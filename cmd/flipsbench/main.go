@@ -1,0 +1,170 @@
+// Command flipsbench regenerates the FLIPS paper's evaluation artifacts:
+// Tables 1–24, Figures 2 and 5–13, and the §5.1 TEE-overhead measurement.
+//
+// Usage:
+//
+//	flipsbench -exp table1,table2          # specific tables
+//	flipsbench -exp fig5,fig13             # specific figures
+//	flipsbench -exp tee                    # TEE clustering overhead
+//	flipsbench -exp all-tables             # every table (12 grids)
+//	flipsbench -exp all-figures            # every figure
+//	flipsbench -exp all                    # everything
+//	flipsbench -scale paper -exp table1    # full 200-party/400-round scale
+//	flipsbench -seed 7 -exp fig2           # change the master seed
+//
+// Output goes to stdout; progress lines go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flips/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flipsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flipsbench", flag.ContinueOnError)
+	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, tee, all-tables, all-figures, all")
+	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
+	seed := fs.Uint64("seed", 1, "master random seed")
+	quiet := fs.Bool("q", false, "suppress per-cell progress")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "laptop":
+		scale = experiment.LaptopScale()
+	case "paper":
+		scale = experiment.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (laptop or paper)", *scaleName)
+	}
+
+	ids, err := expandExperiments(*exps)
+	if err != nil {
+		return err
+	}
+
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(stderr, "  "+msg)
+		}
+	}
+
+	// Tables that share a (dataset, algorithm) grid are computed once.
+	type gridKey struct{ ds, algo string }
+	grids := map[gridKey]*experiment.Grid{}
+
+	for _, id := range ids {
+		switch {
+		case strings.HasPrefix(id, "table"):
+			n, err := strconv.Atoi(strings.TrimPrefix(id, "table"))
+			if err != nil {
+				return fmt.Errorf("bad table id %q", id)
+			}
+			spec, err := experiment.TableSpecByID(n)
+			if err != nil {
+				return err
+			}
+			key := gridKey{spec.Dataset.Name, spec.Algorithm}
+			grid, ok := grids[key]
+			if !ok {
+				fmt.Fprintf(stderr, "running grid %s/%s (%d cells)...\n", key.ds, key.algo, 4*11)
+				grid, err = experiment.RunGrid(spec.Dataset, spec.Algorithm, scale, *seed, progress)
+				if err != nil {
+					return err
+				}
+				grids[key] = grid
+			}
+			grid.RenderTable(stdout, spec)
+			fmt.Fprintln(stdout)
+		case strings.HasPrefix(id, "fig"):
+			fmt.Fprintf(stderr, "running %s...\n", id)
+			fig, err := experiment.RunFigure(id, scale, *seed)
+			if err != nil {
+				return err
+			}
+			fig.Render(stdout)
+			fmt.Fprintln(stdout)
+		case id == "tee":
+			fmt.Fprintln(stderr, "running tee overhead...")
+			res, err := experiment.RunTEEOverhead(scale, 5, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, res)
+			fmt.Fprintln(stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+	return nil
+}
+
+func expandExperiments(spec string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, raw := range strings.Split(spec, ",") {
+		id := strings.TrimSpace(raw)
+		switch id {
+		case "":
+		case "all":
+			for i := 1; i <= 24; i++ {
+				add("table" + strconv.Itoa(i))
+			}
+			for _, f := range experiment.FigureIDs() {
+				add(f)
+			}
+			add("tee")
+		case "all-tables":
+			for i := 1; i <= 24; i++ {
+				add("table" + strconv.Itoa(i))
+			}
+		case "all-figures":
+			for _, f := range experiment.FigureIDs() {
+				add(f)
+			}
+		default:
+			add(id)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	// Stable order: tables numerically, then figures, then tee.
+	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
+	return out, nil
+}
+
+func expRank(id string) int {
+	if strings.HasPrefix(id, "table") {
+		n, _ := strconv.Atoi(strings.TrimPrefix(id, "table"))
+		return n
+	}
+	if strings.HasPrefix(id, "fig") {
+		n, _ := strconv.Atoi(strings.TrimPrefix(id, "fig"))
+		return 100 + n
+	}
+	return 200
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExpandExperimentsAll(t *testing.T) {
+	ids, err := expandExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 24+10+1 {
+		t.Fatalf("expanded %d ids", len(ids))
+	}
+	if ids[0] != "table1" || ids[23] != "table24" {
+		t.Fatalf("table ordering: %v", ids[:24])
+	}
+	if ids[24] != "fig2" {
+		t.Fatalf("figures not after tables: %v", ids[24])
+	}
+	if ids[len(ids)-1] != "tee" {
+		t.Fatalf("tee not last: %v", ids[len(ids)-1])
+	}
+}
+
+func TestExpandExperimentsDedupAndOrder(t *testing.T) {
+	ids, err := expandExperiments("fig5, table2,table2 ,fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table2", "fig2", "fig5"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestExpandExperimentsEmpty(t *testing.T) {
+	if _, err := expandExperiments(" , "); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &out, &errBuf); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "table99"}, &out, &errBuf); err == nil {
+		t.Fatal("bad table accepted")
+	}
+	if err := run([]string{"-exp", "moon-landing"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTeeExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "tee", "-q"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "TEE clustering overhead") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

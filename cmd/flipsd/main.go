@@ -1,0 +1,68 @@
+// Command flipsd runs the FLIPS aggregator-side TEE service: it boots a
+// simulated secure enclave with the label-distribution clustering code and
+// serves the attestation/submission/selection protocol over TCP (paper §3.3,
+// Figure 3).
+//
+// On startup it prints the enclave's code measurement and the hardware
+// attestation public key; parties provision their attestation server with
+// both and refuse to submit label distributions to any enclave that fails
+// verification.
+//
+// Usage:
+//
+//	flipsd -listen 127.0.0.1:7443 -maxk 20 -repeats 20
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"flips/internal/tee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flipsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7443", "TCP listen address")
+	maxK := flag.Int("maxk", 20, "maximum cluster count for the Davies-Bouldin sweep")
+	repeats := flag.Int("repeats", 20, "K-Means restarts per k (the paper's T)")
+	version := flag.String("version", "flips-kmeans-v1", "clustering code version (part of the measurement)")
+	flag.Parse()
+
+	code := tee.ClusteringCode{Version: *version, MaxK: *maxK, Repeats: *repeats}
+	hwPub, hwPriv, err := tee.GenerateHardwareKey()
+	if err != nil {
+		return err
+	}
+	enclave, err := tee.NewEnclave(code, hwPriv)
+	if err != nil {
+		return err
+	}
+	server := tee.NewServer(enclave)
+	addr, err := server.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	fmt.Printf("flipsd: serving TEE clustering on %s\n", addr)
+	fmt.Printf("  enclave measurement:  %s\n", enclave.Measurement())
+	fmt.Printf("  hardware public key:  %s\n", hex.EncodeToString(hwPub))
+	fmt.Println("  parties must provision their attestation server with both values")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("flipsd: wiping enclave state and shutting down")
+	enclave.Wipe()
+	return nil
+}

@@ -1,0 +1,198 @@
+package flips
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func groupedLabelDists(groups, perGroup, labels int) [][]float64 {
+	out := make([][]float64, 0, groups*perGroup)
+	for g := 0; g < groups; g++ {
+		for i := 0; i < perGroup; i++ {
+			ld := make([]float64, labels)
+			ld[g%labels] = 100 + float64(i)
+			ld[(g+1)%labels] = 2
+			out = append(out, ld)
+		}
+	}
+	return out
+}
+
+func TestNewMiddlewareClustersAndSelects(t *testing.T) {
+	lds := groupedLabelDists(3, 8, 5)
+	m, err := NewMiddleware(lds, MiddlewareOptions{Seed: 1, Repeats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	n, err := m.NumClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 || n > 5 {
+		t.Fatalf("found %d clusters", n)
+	}
+	sel, err := m.SelectParticipants(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 6 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, id := range sel {
+		if id < 0 || id >= len(lds) || seen[id] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewMiddlewareRejectsEmpty(t *testing.T) {
+	if _, err := NewMiddleware(nil, MiddlewareOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := NewPrivateMiddleware(nil, MiddlewareOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMiddlewareReportRoundOverprovisions(t *testing.T) {
+	lds := groupedLabelDists(2, 6, 4)
+	m, err := NewMiddleware(lds, MiddlewareOptions{Seed: 2, Repeats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.SelectParticipants(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReportRound(0, sel, sel[2:], sel[:2]); err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.SelectParticipants(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) <= 4 {
+		t.Fatalf("no over-provisioning: %d", len(next))
+	}
+}
+
+func TestPrivateMiddlewareEndToEnd(t *testing.T) {
+	lds := groupedLabelDists(3, 6, 5)
+	m, err := NewPrivateMiddleware(lds, MiddlewareOptions{Seed: 3, Repeats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.NumClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("TEE clustering found %d clusters", n)
+	}
+	sel, err := m.SelectParticipants(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 6 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	if err := m.ReportRound(0, sel, sel, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := m.SelectParticipants(1, 6); err == nil {
+		t.Fatal("selection succeeded after Close (TEE wipe)")
+	}
+}
+
+func TestRunSimulationDefaults(t *testing.T) {
+	res, err := RunSimulation(SimulationConfig{
+		Dataset: "mit-bih-ecg",
+		Rounds:  8,
+		Parties: 24,
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history")
+	}
+	if res.NumClusters == 0 {
+		t.Fatal("default FLIPS strategy should report clusters")
+	}
+	if res.TotalCommBytes <= 0 {
+		t.Fatal("no communication accounted")
+	}
+	if res.TargetAccuracy != 0.65 {
+		t.Fatalf("target %v", res.TargetAccuracy)
+	}
+}
+
+func TestRunSimulationUnknownDataset(t *testing.T) {
+	if _, err := RunSimulation(SimulationConfig{Dataset: "cifar-zillion"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunSimulationAllStrategies(t *testing.T) {
+	for _, strategy := range Strategies() {
+		res, err := RunSimulation(SimulationConfig{
+			Dataset:  "fashion-mnist",
+			Strategy: strategy,
+			Rounds:   4,
+			Parties:  20,
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if res.PeakAccuracy <= 0 {
+			t.Fatalf("%s: peak %v", strategy, res.PeakAccuracy)
+		}
+	}
+}
+
+func TestRunTableWritesTable(t *testing.T) {
+	var buf bytes.Buffer
+	// Table 23 = fashion-mnist fedavg rounds (cheapest dataset at low scale
+	// thanks to the halved budget); run it at laptop scale but overridden by
+	// the small default? RunTable has no scale override, so pick laptop.
+	if testing.Short() {
+		t.Skip("full table at laptop scale")
+	}
+	if err := RunTable(&buf, 23, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 23") || !strings.Contains(out, "fashion-mnist") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestRunTableRejectsBadID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable(&buf, 99, false, 1); err == nil {
+		t.Fatal("bad table id accepted")
+	}
+}
+
+func TestRunFigureRejectsBadID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFigure(&buf, "fig-nope", false, 1); err == nil {
+		t.Fatal("bad figure id accepted")
+	}
+}
+
+func TestDatasetAndStrategyLists(t *testing.T) {
+	if len(Datasets()) != 4 {
+		t.Fatalf("datasets %v", Datasets())
+	}
+	if len(Strategies()) != 6 {
+		t.Fatalf("strategies %v", Strategies())
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"math"
+
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// DaviesBouldin computes the Davies-Bouldin index of a clustering: the mean
+// over clusters of the worst-case ratio (s_i + s_j) / d(c_i, c_j), where s_i
+// is the average distance of cluster i's members to its centroid. Lower is
+// better. Empty clusters are skipped.
+//
+// The FLIPS paper uses this index as the purity metric for choosing the
+// number of label-distribution clusters (Eq. 3, Figure 2).
+func DaviesBouldin(points []tensor.Vec, res *KMeansResult) float64 {
+	k := len(res.Centroids)
+	if k <= 1 {
+		return 0
+	}
+	scatter := make([]float64, k)
+	counts := make([]int, k)
+	for i, p := range points {
+		c := res.Assignments[i]
+		scatter[c] += p.Dist(res.Centroids[c])
+		counts[c]++
+	}
+	live := 0
+	for c := range scatter {
+		if counts[c] > 0 {
+			scatter[c] /= float64(counts[c])
+			live++
+		}
+	}
+	if live <= 1 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if j == i || counts[j] == 0 {
+				continue
+			}
+			d := res.Centroids[i].Dist(res.Centroids[j])
+			if d == 0 {
+				continue
+			}
+			if ratio := (scatter[i] + scatter[j]) / d; ratio > worst {
+				worst = ratio
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(live)
+}
+
+// DBICurve evaluates the mean Davies-Bouldin index for each k in [2, maxK],
+// averaging `repeats` K-Means runs per k because K-Means is sensitive to
+// centroid initialization (the paper averages T=20 runs, §3.1). The returned
+// slice is indexed so curve[i] is the mean DBI at k = i+2.
+func DBICurve(points []tensor.Vec, maxK, repeats int, r *rng.Source) ([]float64, error) {
+	if maxK < 2 {
+		maxK = 2
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	curve := make([]float64, 0, maxK-1)
+	for k := 2; k <= maxK; k++ {
+		var sum float64
+		for t := 0; t < repeats; t++ {
+			res, err := KMeans(points, k, r.Split(uint64(k*1000+t)), KMeansOptions{})
+			if err != nil {
+				return nil, err
+			}
+			sum += DaviesBouldin(points, res)
+		}
+		curve = append(curve, sum/float64(repeats))
+	}
+	return curve, nil
+}
+
+// ElbowK locates the paper's elbow point (Eq. 3, "the cluster size k for
+// which there is a (first) sharp change in the slope of the curve") on the
+// k-vs-DBI curve returned by DBICurve (curve[i] = DBI at k=i+2).
+//
+// The implementation uses the knee-point (max distance below the
+// first-to-last chord) criterion, which is robust to the noise of repeated
+// K-Means restarts, with a smallest-k tie bias: among knees within 5% of the
+// best, the smallest k wins, honouring the paper's warning that large k
+// overfits ("clusters generated are sparse"). Returns the chosen k (>= 2).
+func ElbowK(curve []float64) int {
+	if len(curve) <= 1 {
+		return 2
+	}
+	n := len(curve)
+	// Anchor the chord at the curve's peak within the first half: DBI often
+	// rises briefly before decaying, and the elbow lives on the decreasing
+	// segment.
+	start := 0
+	for i := 1; i < n/2; i++ {
+		if curve[i] > curve[start] {
+			start = i
+		}
+	}
+	x0, y0 := float64(start), curve[start]
+	x1, y1 := float64(n-1), curve[n-1]
+	ySpan := math.Abs(y0 - y1)
+	if ySpan < 1e-12 || x1 <= x0 {
+		return 2 // flat or degenerate curve: no structure, smallest k wins
+	}
+	// Distance below the chord, in normalized units.
+	dist := make([]float64, n)
+	best := math.Inf(-1)
+	for i := start; i < n; i++ {
+		chordY := y0 + (y1-y0)*(float64(i)-x0)/(x1-x0)
+		dist[i] = (chordY - curve[i]) / ySpan
+		if dist[i] > best {
+			best = dist[i]
+		}
+	}
+	if best <= 0 {
+		// Curve never dips below the chord (concave/linear): fall back to
+		// the largest single relative drop.
+		bestK, bestDrop := 2, math.Inf(-1)
+		for i := 1; i < n; i++ {
+			prev := math.Max(math.Abs(curve[i-1]), 1e-12)
+			if drop := (curve[i-1] - curve[i]) / prev; drop > bestDrop {
+				bestDrop, bestK = drop, i+2
+			}
+		}
+		return bestK
+	}
+	for i := start; i < n; i++ {
+		if dist[i] >= 0.95*best {
+			return i + 2
+		}
+	}
+	return 2
+}
+
+// OptimalK runs the full paper §3.1 procedure: compute the DBI curve over
+// k in [2, maxK] with `repeats` restarts each, then choose the elbow point.
+func OptimalK(points []tensor.Vec, maxK, repeats int, r *rng.Source) (int, []float64, error) {
+	curve, err := DBICurve(points, maxK, repeats, r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ElbowK(curve), curve, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"flips/internal/tensor"
+)
+
+// DriftDetector implements the paper's §8 future-work item (2), "handling
+// changing data distributions": FLIPS clusters once and reuses the clusters
+// "as long as the set of participants or the data at participants does not
+// change significantly" (§3.4). The detector quantifies that change as the
+// mean total-variation distance between each party's current normalized
+// label distribution and the baseline the clustering was built from, and
+// recommends re-clustering when it exceeds a threshold.
+type DriftDetector struct {
+	baseline  []tensor.Vec
+	threshold float64
+}
+
+// NewDriftDetector snapshots the label distributions the current clustering
+// was computed from. threshold is the mean total-variation distance (in
+// [0,1]) that triggers re-clustering; 0 selects the default 0.15.
+func NewDriftDetector(lds []tensor.Vec, threshold float64) (*DriftDetector, error) {
+	if len(lds) == 0 {
+		return nil, fmt.Errorf("core: no label distributions to baseline")
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: drift threshold %v out of [0,1]", threshold)
+	}
+	if threshold == 0 {
+		threshold = 0.15
+	}
+	d := &DriftDetector{threshold: threshold}
+	d.baseline = make([]tensor.Vec, len(lds))
+	for i, ld := range lds {
+		d.baseline[i] = ld.Clone().Normalize()
+	}
+	return d, nil
+}
+
+// Threshold returns the configured trigger level.
+func (d *DriftDetector) Threshold() float64 { return d.threshold }
+
+// Drift returns the mean total-variation distance between the current
+// distributions and the baseline. Parties beyond the baseline population (or
+// missing) count as fully drifted (distance 1), so churn in the participant
+// set also registers.
+func (d *DriftDetector) Drift(current []tensor.Vec) float64 {
+	n := len(d.baseline)
+	if len(current) > n {
+		n = len(current)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		if i >= len(d.baseline) || i >= len(current) || len(current[i]) != len(d.baseline[i]) {
+			sum++ // joined, left, or changed label space: fully drifted
+			continue
+		}
+		cur := current[i].Clone().Normalize()
+		var tv float64
+		for j := range cur {
+			diff := cur[j] - d.baseline[i][j]
+			if diff < 0 {
+				diff = -diff
+			}
+			tv += diff
+		}
+		sum += tv / 2 // total variation = L1/2 for distributions
+	}
+	return sum / float64(n)
+}
+
+// ShouldRecluster reports whether the drift exceeds the threshold.
+func (d *DriftDetector) ShouldRecluster(current []tensor.Vec) bool {
+	return d.Drift(current) > d.threshold
+}
+
+// Rebaseline replaces the baseline after a re-clustering.
+func (d *DriftDetector) Rebaseline(lds []tensor.Vec) error {
+	nd, err := NewDriftDetector(lds, d.threshold)
+	if err != nil {
+		return err
+	}
+	d.baseline = nd.baseline
+	return nil
+}

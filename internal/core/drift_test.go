@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flips/internal/tensor"
+)
+
+func TestNewDriftDetectorValidation(t *testing.T) {
+	if _, err := NewDriftDetector(nil, 0.1); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, err := NewDriftDetector([]tensor.Vec{{1}}, 1.5); err == nil {
+		t.Fatal("threshold > 1 accepted")
+	}
+	d, err := NewDriftDetector([]tensor.Vec{{1, 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != 0.15 {
+		t.Fatalf("default threshold %v", d.Threshold())
+	}
+}
+
+func TestDriftZeroForIdenticalDistributions(t *testing.T) {
+	lds := []tensor.Vec{{10, 0, 0}, {0, 5, 5}}
+	d, err := NewDriftDetector(lds, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift := d.Drift(lds); drift != 0 {
+		t.Fatalf("identical drift %v", drift)
+	}
+	// Scaling counts leaves normalized distributions unchanged.
+	scaled := []tensor.Vec{{20, 0, 0}, {0, 50, 50}}
+	if drift := d.Drift(scaled); drift > 1e-12 {
+		t.Fatalf("scaled drift %v", drift)
+	}
+	if d.ShouldRecluster(lds) {
+		t.Fatal("no-drift population triggered re-clustering")
+	}
+}
+
+func TestDriftDetectsLabelSwap(t *testing.T) {
+	baseline := []tensor.Vec{{10, 0}, {0, 10}}
+	d, err := NewDriftDetector(baseline, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both parties completely swap their label: TV distance 1 each.
+	swapped := []tensor.Vec{{0, 10}, {10, 0}}
+	if drift := d.Drift(swapped); math.Abs(drift-1) > 1e-12 {
+		t.Fatalf("full swap drift %v, want 1", drift)
+	}
+	if !d.ShouldRecluster(swapped) {
+		t.Fatal("full swap did not trigger re-clustering")
+	}
+	// Half the parties drifting halfway: mean TV = 0.25.
+	partial := []tensor.Vec{{5, 5}, {0, 10}}
+	if drift := d.Drift(partial); math.Abs(drift-0.25) > 1e-12 {
+		t.Fatalf("partial drift %v, want 0.25", drift)
+	}
+}
+
+func TestDriftCountsPopulationChurn(t *testing.T) {
+	d, err := NewDriftDetector([]tensor.Vec{{1, 0}, {0, 1}}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third party joined: it counts as fully drifted.
+	grown := []tensor.Vec{{1, 0}, {0, 1}, {1, 1}}
+	if drift := d.Drift(grown); math.Abs(drift-1.0/3) > 1e-12 {
+		t.Fatalf("churn drift %v, want 1/3", drift)
+	}
+	// Label-space change also counts as full drift.
+	reshaped := []tensor.Vec{{1, 0, 0}, {0, 1}}
+	if drift := d.Drift(reshaped); math.Abs(drift-0.5) > 1e-12 {
+		t.Fatalf("label-space drift %v, want 0.5", drift)
+	}
+}
+
+func TestRebaseline(t *testing.T) {
+	d, err := NewDriftDetector([]tensor.Vec{{1, 0}}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := []tensor.Vec{{0, 1}}
+	if !d.ShouldRecluster(next) {
+		t.Fatal("swap should trigger")
+	}
+	if err := d.Rebaseline(next); err != nil {
+		t.Fatal(err)
+	}
+	if d.ShouldRecluster(next) {
+		t.Fatal("rebaselined population still triggers")
+	}
+	if err := d.Rebaseline(nil); err == nil {
+		t.Fatal("empty rebaseline accepted")
+	}
+}

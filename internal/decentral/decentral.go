@@ -1,0 +1,257 @@
+// Package decentral implements the paper's §8 decentralized-FLIPS sketch:
+// "To implement FLIPS using SMPC, ... clustering must be computed using an
+// SMPC protocol. Participant selection can be achieved through leader
+// election, with the leader implementing the FLIPS selection protocol and
+// other parties auditing the process."
+//
+// Concretely, this package provides federated K-Means over the pairwise
+// additive-masking secure aggregation of internal/secagg: in every
+// iteration, each live node assigns itself to its nearest centroid locally
+// (the assignment never leaves the node during clustering) and contributes a
+// masked vector containing its label distribution placed in its cluster's
+// slot plus a membership count; the leader learns only per-cluster sums and
+// counts, from which it computes new centroids. After convergence each node
+// reports its final cluster to the elected leader, which builds the FLIPS
+// selector — membership is revealed to the leader only, a weaker but
+// decentralization-compatible trust model than the TEE of §3.3 (recorded in
+// DESIGN.md).
+//
+// Leader election is deterministic (lowest live node ID), and the protocol
+// survives leader failure: the next leader re-collects assignments and
+// rebuilds the selector.
+package decentral
+
+import (
+	"fmt"
+
+	"flips/internal/core"
+	"flips/internal/rng"
+	"flips/internal/secagg"
+	"flips/internal/tensor"
+)
+
+// Node is one decentralized participant.
+type Node struct {
+	ID int
+
+	ld       tensor.Vec // normalized label distribution (private)
+	sec      *secagg.Party
+	assigned int
+	alive    bool
+}
+
+// Network simulates the fully-connected overlay of decentralized FLIPS.
+type Network struct {
+	nodes []*Node
+	dim   int
+}
+
+// NewNetwork creates one node per label distribution, each with its own
+// X25519 masking identity.
+func NewNetwork(lds []tensor.Vec) (*Network, error) {
+	if len(lds) < 2 {
+		return nil, fmt.Errorf("decentral: need at least 2 nodes, have %d", len(lds))
+	}
+	dim := len(lds[0])
+	net := &Network{dim: dim}
+	for i, ld := range lds {
+		if len(ld) != dim {
+			return nil, fmt.Errorf("decentral: node %d label dim %d, want %d", i, len(ld), dim)
+		}
+		sec, err := secagg.NewParty(i)
+		if err != nil {
+			return nil, err
+		}
+		net.nodes = append(net.nodes, &Node{
+			ID:       i,
+			ld:       ld.Clone().Normalize(),
+			sec:      sec,
+			assigned: -1,
+			alive:    true,
+		})
+	}
+	return net, nil
+}
+
+// NumNodes returns the total node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Fail marks a node crashed; it stops participating in every protocol step.
+func (n *Network) Fail(id int) error {
+	if id < 0 || id >= len(n.nodes) {
+		return fmt.Errorf("decentral: unknown node %d", id)
+	}
+	n.nodes[id].alive = false
+	return nil
+}
+
+// Recover brings a crashed node back.
+func (n *Network) Recover(id int) error {
+	if id < 0 || id >= len(n.nodes) {
+		return fmt.Errorf("decentral: unknown node %d", id)
+	}
+	n.nodes[id].alive = true
+	return nil
+}
+
+// ElectLeader returns the lowest-ID live node — the deterministic election
+// every live node can compute and audit locally.
+func (n *Network) ElectLeader() (int, error) {
+	for _, node := range n.nodes {
+		if node.alive {
+			return node.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("decentral: no live nodes")
+}
+
+// liveNodes snapshots the live membership and their masking identities.
+func (n *Network) liveNodes() ([]*Node, []secagg.Peer) {
+	var live []*Node
+	var peers []secagg.Peer
+	for _, node := range n.nodes {
+		if node.alive {
+			live = append(live, node)
+			peers = append(peers, secagg.Peer{ID: node.ID, PublicKey: node.sec.PublicKey()})
+		}
+	}
+	return live, peers
+}
+
+// KMeansResult reports the outcome of the decentralized clustering.
+type KMeansResult struct {
+	// Centroids are the final cluster centers (public to all nodes).
+	Centroids []tensor.Vec
+	// Sizes are per-cluster live-node counts (the only membership
+	// information the aggregation reveals).
+	Sizes []int
+	// Iterations counts protocol rounds until convergence.
+	Iterations int
+	// Leader is the node that coordinated the run.
+	Leader int
+}
+
+// FederatedKMeans runs the SMPC-style clustering over the live nodes:
+// centroids are public, assignments stay local, and the leader learns only
+// masked-sum aggregates. seed fixes centroid initialization; maxIters bounds
+// the protocol rounds.
+func (n *Network) FederatedKMeans(k, maxIters int, seed uint64) (*KMeansResult, error) {
+	live, peers := n.liveNodes()
+	if k < 1 || k > len(live) {
+		return nil, fmt.Errorf("decentral: k=%d out of range [1,%d]", k, len(live))
+	}
+	if maxIters < 1 {
+		maxIters = 50
+	}
+	leader, err := n.ElectLeader()
+	if err != nil {
+		return nil, err
+	}
+
+	// Leader initializes centroids publicly on the probability simplex; it
+	// cannot seed from data it is not allowed to see.
+	r := rng.New(seed)
+	centroids := make([]tensor.Vec, k)
+	for c := range centroids {
+		centroids[c] = tensor.Vec(r.Dirichlet(1, n.dim))
+	}
+
+	slot := n.dim + 1 // per-cluster: LD sum plus membership count
+	res := &KMeansResult{Leader: leader}
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations = iter + 1
+
+		// Each node builds its masked contribution: its LD in its nearest
+		// centroid's slot, a count of 1 there, zeros elsewhere.
+		masked := make([]*secagg.MaskedUpdate, 0, len(live))
+		for _, node := range live {
+			node.assigned = nearestCentroid(node.ld, centroids)
+			contrib := make([]float64, k*slot)
+			base := node.assigned * slot
+			for j, v := range node.ld {
+				contrib[base+j] = v
+			}
+			contrib[base+n.dim] = 1
+			m, err := node.sec.Mask(contrib, peers)
+			if err != nil {
+				return nil, fmt.Errorf("decentral: node %d: %w", node.ID, err)
+			}
+			masked = append(masked, m)
+		}
+
+		// The leader aggregates; masks cancel, revealing only per-cluster
+		// sums and counts.
+		sums, err := secagg.Aggregate(masked, k*slot)
+		if err != nil {
+			return nil, err
+		}
+
+		moved := 0.0
+		sizes := make([]int, k)
+		for c := 0; c < k; c++ {
+			count := sums[c*slot+n.dim]
+			sizes[c] = int(count + 0.5)
+			if sizes[c] == 0 {
+				// Empty cluster: re-seed publicly.
+				centroids[c] = tensor.Vec(r.Dirichlet(1, n.dim))
+				continue
+			}
+			next := tensor.NewVec(n.dim)
+			for j := 0; j < n.dim; j++ {
+				next[j] = sums[c*slot+j] / count
+			}
+			moved += next.Dist(centroids[c])
+			centroids[c] = next
+		}
+		res.Sizes = sizes
+		if moved < 1e-9 {
+			break
+		}
+	}
+	res.Centroids = centroids
+	return res, nil
+}
+
+// BuildSelector completes the §8 workflow: after clustering, every live node
+// reports its final assignment to the elected leader (membership is revealed
+// to the leader only), which constructs the FLIPS selector. Returns the
+// selector, the leader's ID, and the cluster membership view the leader
+// holds.
+func (n *Network) BuildSelector(k, maxIters int, seed uint64) (*core.Selector, *KMeansResult, error) {
+	res, err := n.FederatedKMeans(k, maxIters, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	live, _ := n.liveNodes()
+	clusters := make([][]int, k)
+	for _, node := range live {
+		clusters[node.assigned] = append(clusters[node.assigned], node.ID)
+	}
+	sel, err := core.NewSelector(clusters)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sel, res, nil
+}
+
+// Assignment returns a node's own final cluster id (each node knows only its
+// own during clustering).
+func (n *Network) Assignment(id int) (int, error) {
+	if id < 0 || id >= len(n.nodes) {
+		return 0, fmt.Errorf("decentral: unknown node %d", id)
+	}
+	if n.nodes[id].assigned < 0 {
+		return 0, fmt.Errorf("decentral: node %d has no assignment yet", id)
+	}
+	return n.nodes[id].assigned, nil
+}
+
+func nearestCentroid(x tensor.Vec, centroids []tensor.Vec) int {
+	best, bestD := 0, x.SqDist(centroids[0])
+	for c := 1; c < len(centroids); c++ {
+		if d := x.SqDist(centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

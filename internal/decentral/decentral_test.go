@@ -1,0 +1,222 @@
+package decentral
+
+import (
+	"testing"
+
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// plantedNetwork builds groups of near-identical label distributions.
+func plantedNetwork(t *testing.T, groups, perGroup int) (*Network, []int) {
+	t.Helper()
+	r := rng.New(5)
+	var lds []tensor.Vec
+	var truth []int
+	for g := 0; g < groups; g++ {
+		for i := 0; i < perGroup; i++ {
+			ld := tensor.NewVec(groups)
+			ld[g] = 100
+			for j := range ld {
+				ld[j] += 2 * r.Float64()
+			}
+			lds = append(lds, ld)
+			truth = append(truth, g)
+		}
+	}
+	net, err := NewNetwork(lds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, truth
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	if _, err := NewNetwork([]tensor.Vec{{1, 0}}); err == nil {
+		t.Fatal("single-node network accepted")
+	}
+	if _, err := NewNetwork([]tensor.Vec{{1, 0}, {1}}); err == nil {
+		t.Fatal("ragged dims accepted")
+	}
+}
+
+func TestElectLeaderLowestLiveID(t *testing.T) {
+	net, _ := plantedNetwork(t, 2, 3)
+	leader, err := net.ElectLeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 0 {
+		t.Fatalf("leader %d, want 0", leader)
+	}
+	if err := net.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	leader, err = net.ElectLeader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader != 2 {
+		t.Fatalf("leader after failures %d, want 2", leader)
+	}
+	if err := net.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	leader, _ = net.ElectLeader()
+	if leader != 0 {
+		t.Fatalf("leader after recovery %d, want 0", leader)
+	}
+	for id := 0; id < net.NumNodes(); id++ {
+		_ = net.Fail(id)
+	}
+	if _, err := net.ElectLeader(); err == nil {
+		t.Fatal("election with no live nodes succeeded")
+	}
+}
+
+func TestFederatedKMeansRecoversPlantedClusters(t *testing.T) {
+	net, truth := plantedNetwork(t, 3, 8)
+	res, err := net.FederatedKMeans(3, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids %d", len(res.Centroids))
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 24 {
+		t.Fatalf("cluster sizes sum to %d, want 24", total)
+	}
+	// All members of a true group must share a final assignment.
+	for g := 0; g < 3; g++ {
+		want := -1
+		for id, tg := range truth {
+			if tg != g {
+				continue
+			}
+			got, err := net.Assignment(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == -1 {
+				want = got
+			} else if got != want {
+				t.Fatalf("group %d split across clusters", g)
+			}
+		}
+	}
+}
+
+func TestFederatedKMeansValidation(t *testing.T) {
+	net, _ := plantedNetwork(t, 2, 3)
+	if _, err := net.FederatedKMeans(0, 10, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := net.FederatedKMeans(99, 10, 1); err == nil {
+		t.Fatal("k > live nodes accepted")
+	}
+}
+
+func TestBuildSelectorEquitableOverFederatedClusters(t *testing.T) {
+	net, _ := plantedNetwork(t, 3, 6)
+	sel, res, err := net.BuildSelector(3, 50, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 0 {
+		t.Fatalf("leader %d", res.Leader)
+	}
+	if sel.NumParties() != 18 {
+		t.Fatalf("selector over %d parties", sel.NumParties())
+	}
+	picks := sel.Select(0, 3)
+	if len(picks) != 3 {
+		t.Fatalf("selected %d", len(picks))
+	}
+	// One pick per federated cluster.
+	seen := map[int]bool{}
+	for _, id := range picks {
+		a, err := net.Assignment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("cluster %d represented twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestLeaderFailureReelectionCompletes(t *testing.T) {
+	net, _ := plantedNetwork(t, 2, 5)
+	// First run with node 0 as leader.
+	if _, _, err := net.BuildSelector(2, 50, 17); err != nil {
+		t.Fatal(err)
+	}
+	// Leader crashes; the protocol re-runs under the next leader with the
+	// remaining nodes.
+	if err := net.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	sel, res, err := net.BuildSelector(2, 50, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 1 {
+		t.Fatalf("re-elected leader %d, want 1", res.Leader)
+	}
+	if sel.NumParties() != 9 {
+		t.Fatalf("selector over %d parties after failure, want 9", sel.NumParties())
+	}
+	for _, picked := range sel.Select(0, 4) {
+		if picked == 0 {
+			t.Fatal("crashed node selected")
+		}
+	}
+}
+
+func TestCrashedNodesExcludedFromAggregation(t *testing.T) {
+	net, _ := plantedNetwork(t, 2, 4)
+	if err := net.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Fail(6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.FederatedKMeans(2, 50, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 6 {
+		t.Fatalf("live membership %d, want 6", total)
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	net, _ := plantedNetwork(t, 2, 3)
+	if _, err := net.Assignment(99); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := net.Assignment(0); err == nil {
+		t.Fatal("assignment before clustering accepted")
+	}
+	if err := net.Fail(99); err == nil {
+		t.Fatal("failing unknown node accepted")
+	}
+	if err := net.Recover(99); err == nil {
+		t.Fatal("recovering unknown node accepted")
+	}
+}

@@ -1,0 +1,421 @@
+// Package experiment assembles full FLIPS evaluation runs: it wires datasets,
+// Dirichlet partitions, parties, selectors, FL algorithms and the simulator
+// together, sweeps the paper's evaluation grid, and regenerates every table
+// (1–24) and figure (2, 5–13) of the paper's §5.
+package experiment
+
+import (
+	"fmt"
+
+	"flips/internal/core"
+	"flips/internal/dataset"
+	"flips/internal/fl"
+	"flips/internal/model"
+	"flips/internal/partition"
+	"flips/internal/rng"
+	"flips/internal/selection"
+)
+
+// Strategy names accepted by Setting.Strategy.
+const (
+	StrategyRandom        = "random"
+	StrategyFLIPS         = "flips"
+	StrategyOort          = "oort"
+	StrategyGradClus      = "gradclus"
+	StrategyTiFL          = "tifl"
+	StrategyPowerOfChoice = "power-of-choice"
+)
+
+// Algorithm names accepted by Setting.Algorithm.
+const (
+	AlgoFedAvg     = "fedavg"
+	AlgoFedProx    = "fedprox"
+	AlgoFedYogi    = "fedyogi"
+	AlgoFedAdam    = "fedadam"
+	AlgoFedAdagrad = "fedadagrad"
+	AlgoFedDyn     = "feddyn"
+	AlgoFedSGD     = "fedsgd"
+)
+
+// AllStrategies lists the paper's five compared selectors in table order.
+func AllStrategies() []string {
+	return []string{StrategyRandom, StrategyFLIPS, StrategyOort, StrategyGradClus, StrategyTiFL}
+}
+
+// Scale bounds the compute of one experiment run.
+type Scale struct {
+	// Parties is the population size N (paper: 200).
+	Parties int
+	// Rounds is the round budget R (paper: 400 for ECG/HAM, 200 for
+	// FEMNIST/FashionMNIST).
+	Rounds int
+	// TrainSize / TestSize override dataset sizes.
+	TrainSize, TestSize int
+	// Repeats averages this many seeds per cell (paper: 6).
+	Repeats int
+	// EvalEvery controls evaluation cadence.
+	EvalEvery int
+}
+
+// LaptopScale finishes a full table in seconds on a laptop while preserving
+// the paper's qualitative shape. This is the default for `go test` and the
+// bench harness.
+func LaptopScale() Scale {
+	return Scale{Parties: 60, Rounds: 100, TrainSize: 6000, TestSize: 1000, Repeats: 1, EvalEvery: 2}
+}
+
+// PaperScale mirrors the paper's configuration (200 parties, 400 rounds,
+// 6-seed averages). Expect minutes–hours per table.
+func PaperScale() Scale {
+	return Scale{Parties: 200, Rounds: 400, TrainSize: 20000, TestSize: 2500, Repeats: 6, EvalEvery: 5}
+}
+
+// Setting is one cell of the evaluation grid.
+type Setting struct {
+	// Spec is the dataset generator (dataset.ECG(), ...).
+	Spec dataset.Spec
+	// Algorithm is one of the Algo* constants.
+	Algorithm string
+	// Alpha is the Dirichlet non-IIDness (paper: 0.3 and 0.6).
+	Alpha float64
+	// PartyFraction is the share of parties invited per round (paper: 0.15
+	// and 0.20).
+	PartyFraction float64
+	// StragglerRate drops this fraction of invited parties per round
+	// (paper: 0, 0.10, 0.20).
+	StragglerRate float64
+	// Strategy is one of the Strategy* constants.
+	Strategy string
+	// TargetAccuracy defines the rounds-to-target metric for this dataset.
+	TargetAccuracy float64
+	// Seed fixes all randomness for the run.
+	Seed uint64
+}
+
+// String renders a compact cell identifier.
+func (s Setting) String() string {
+	return fmt.Sprintf("%s/%s/%s a=%.1f p=%.0f%% strag=%.0f%%",
+		s.Spec.Name, s.Algorithm, s.Strategy, s.Alpha, 100*s.PartyFraction, 100*s.StragglerRate)
+}
+
+// TrainingProfile bundles the local-SGD hyperparameters per dataset, mirroring
+// the paper's §4.2 setup (lr 0.001 with decay every 20–30 rounds there; here
+// scaled to the synthetic substrate).
+type TrainingProfile struct {
+	SGD           model.SGDConfig
+	LRDecayEvery  int
+	LRDecayFactor float64
+	LatencySigma  float64
+	StragglerBias float64
+	// FeatureShiftSigma adds a per-party offset vector ~N(0, σ²I) to every
+	// sample a party holds, modelling cross-device feature heterogeneity
+	// (writer style in FEMNIST, wearable/device variation for ECG,
+	// dermatoscope differences for HAM10000). The global test set is
+	// unshifted. This is what makes convergence speed depend on which
+	// parties are selected even for near-balanced datasets.
+	FeatureShiftSigma float64
+	// Hidden selects the MLP hidden width; 0 uses logistic regression.
+	Hidden int
+	// AvgFamilySGD replaces SGD for the plain-averaging FL algorithms
+	// (FedAvg, FedProx, FedSGD, FedDyn): their server applies raw averaged
+	// deltas, so local steps must be larger than under the
+	// adaptively-normalized FedYogi/FedAdam/FedAdagrad servers to converge
+	// in a comparable number of rounds — mirroring how the paper tunes per
+	// algorithm.
+	AvgFamilySGD model.SGDConfig
+}
+
+// DefaultProfile returns the per-dataset training profile. Learning rates
+// and epoch counts are calibrated per dataset (see DESIGN.md) so the paper's
+// convergence ordering emerges at laptop scale.
+func DefaultProfile(spec dataset.Spec) TrainingProfile {
+	p := TrainingProfile{
+		SGD:           model.SGDConfig{LearningRate: 0.03, BatchSize: 16, LocalEpochs: 1},
+		LRDecayEvery:  20,
+		LRDecayFactor: 0.95,
+		LatencySigma:  0.6,
+		StragglerBias: 2,
+	}
+	p.AvgFamilySGD = model.SGDConfig{LearningRate: 0.25, BatchSize: 16, LocalEpochs: 2}
+	switch spec.Name {
+	case "ham10000":
+		p.LRDecayEvery = 30
+		p.FeatureShiftSigma = 0.8
+	case "femnist":
+		p.FeatureShiftSigma = 1.0
+		p.SGD.LearningRate = 0.02
+		p.Hidden = 32
+		p.AvgFamilySGD = model.SGDConfig{LearningRate: 0.08, BatchSize: 16, LocalEpochs: 2}
+	case "fashion-mnist":
+		p.FeatureShiftSigma = 1.0
+		p.SGD.LearningRate = 0.02
+		p.Hidden = 32
+		p.AvgFamilySGD = model.SGDConfig{LearningRate: 0.08, BatchSize: 16, LocalEpochs: 2}
+	default: // mit-bih-ecg
+		p.FeatureShiftSigma = 0.3
+	}
+	return p
+}
+
+// usesPlainAveraging reports whether the algorithm's server applies raw
+// averaged deltas (no per-parameter normalization).
+func usesPlainAveraging(algorithm string) bool {
+	switch algorithm {
+	case AlgoFedAvg, AlgoFedProx, AlgoFedSGD, AlgoFedDyn:
+		return true
+	default:
+		return false
+	}
+}
+
+// TargetFor returns the rounds-to-target accuracy threshold used in the
+// tables for a dataset. The paper uses 60% (ECG, HAM10000) and 80% (FEMNIST,
+// Fashion-MNIST) top-accuracy on the real datasets; on the synthetic
+// substrate the balanced-accuracy thresholds below sit at the same relative
+// position of each learning curve (reached by FLIPS well inside the budget,
+// by Random near or beyond it).
+func TargetFor(spec dataset.Spec) float64 {
+	switch spec.Name {
+	case "femnist", "fashion-mnist":
+		return 0.80
+	default:
+		return 0.65
+	}
+}
+
+// RoundsFor returns the per-dataset round budget: the paper trains ECG and
+// HAM10000 for up to 400 rounds and FEMNIST/Fashion-MNIST for 200, i.e. half.
+func RoundsFor(spec dataset.Spec, scale Scale) int {
+	switch spec.Name {
+	case "femnist", "fashion-mnist":
+		return max(scale.Rounds/2, 4)
+	default:
+		return scale.Rounds
+	}
+}
+
+// BuildResult carries everything assembled for one run, exposed so examples
+// and the TEE pipeline can reuse the construction.
+type BuildResult struct {
+	Parties  []*fl.Party
+	Test     *dataset.Dataset
+	Config   fl.Config
+	Selector fl.Selector
+	Clusters [][]int // non-nil only for FLIPS
+}
+
+// Build assembles (but does not run) the FL job for a setting.
+func Build(setting Setting, scale Scale) (*BuildResult, error) {
+	if setting.PartyFraction <= 0 || setting.PartyFraction > 1 {
+		return nil, fmt.Errorf("experiment: party fraction %v out of (0,1]", setting.PartyFraction)
+	}
+	spec := setting.Spec
+	if scale.TrainSize > 0 {
+		spec = spec.WithSizes(scale.TrainSize, max(scale.TestSize, 1))
+	}
+	root := rng.New(setting.Seed)
+
+	train, test, err := dataset.Generate(spec, root.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.Dirichlet(train, scale.Parties, setting.Alpha, root.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	profile := DefaultProfile(spec)
+	parties := fl.BuildParties(train, part, profile.LatencySigma, root.Split(3))
+	if profile.FeatureShiftSigma > 0 {
+		applyFeatureShift(parties, spec.Dim, profile.FeatureShiftSigma, root.Split(5))
+	}
+
+	classes := len(spec.LabelNames)
+	var factory model.Factory
+	var paramDim int
+	if profile.Hidden > 0 {
+		factory = model.MLPFactory(spec.Dim, profile.Hidden, classes)
+		paramDim = model.NewMLP(spec.Dim, profile.Hidden, classes, root.Split(6)).NumParams()
+	} else {
+		factory = model.LogRegFactory(spec.Dim, classes)
+		paramDim = model.NewLogReg(spec.Dim, classes).NumParams()
+	}
+
+	sel, clusters, err := buildSelector(setting, parties, paramDim, root.Split(4))
+	if err != nil {
+		return nil, err
+	}
+	baseSGD := profile.SGD
+	if usesPlainAveraging(setting.Algorithm) {
+		baseSGD = profile.AvgFamilySGD
+	}
+	opt, sgd, dynAlpha, err := buildAlgorithm(setting.Algorithm, baseSGD)
+	if err != nil {
+		return nil, err
+	}
+
+	perRound := int(setting.PartyFraction * float64(scale.Parties))
+	if perRound < 1 {
+		perRound = 1
+	}
+	cfg := fl.Config{
+		Parties:         parties,
+		Test:            test.Samples,
+		NumClasses:      classes,
+		Factory:         factory,
+		Optimizer:       opt,
+		Selector:        sel,
+		Rounds:          scale.Rounds,
+		PartiesPerRound: perRound,
+		SGD:             sgd,
+		LRDecayEvery:    profile.LRDecayEvery,
+		LRDecayFactor:   profile.LRDecayFactor,
+		StragglerRate:   setting.StragglerRate,
+		StragglerBias:   profile.StragglerBias,
+		FedDynAlpha:     dynAlpha,
+		EvalEvery:       max(scale.EvalEvery, 1),
+		TargetAccuracy:  setting.TargetAccuracy,
+		Seed:            setting.Seed,
+	}
+	return &BuildResult{
+		Parties:  parties,
+		Test:     test,
+		Config:   cfg,
+		Selector: sel,
+		Clusters: clusters,
+	}, nil
+}
+
+// applyFeatureShift adds each party's style offset to copies of its samples
+// (copies, because parties share sample structs with the source dataset).
+func applyFeatureShift(parties []*fl.Party, dim int, sigma float64, r *rng.Source) {
+	for _, p := range parties {
+		pr := r.Split(uint64(p.ID) + 1)
+		off := make([]float64, dim)
+		for j := range off {
+			off[j] = sigma * pr.NormFloat64()
+		}
+		for i, s := range p.Data {
+			x := s.X.Clone()
+			for j := range x {
+				x[j] += off[j]
+			}
+			p.Data[i].X = x
+		}
+	}
+}
+
+func buildSelector(setting Setting, parties []*fl.Party, paramDim int, r *rng.Source) (fl.Selector, [][]int, error) {
+	n := len(parties)
+	switch setting.Strategy {
+	case StrategyRandom:
+		return selection.NewRandom(n, r), nil, nil
+	case StrategyFLIPS:
+		lds := fl.NormalizedLabelDists(parties)
+		maxK := n / 4
+		if maxK < 3 {
+			maxK = min(3, n)
+		}
+		clusters, err := core.ClusterLabelDistributions(lds, maxK, 5, r.Split(1))
+		if err != nil {
+			return nil, nil, err
+		}
+		sel, err := core.NewSelector(clusters)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sel, clusters, nil
+	case StrategyOort:
+		sizes := make([]int, n)
+		for i, p := range parties {
+			sizes[i] = p.NumSamples()
+		}
+		return selection.NewOort(n, sizes, selection.OortConfig{}, r), nil, nil
+	case StrategyGradClus:
+		return selection.NewGradClus(n, paramDim, r), nil, nil
+	case StrategyTiFL:
+		latencies := make([]float64, n)
+		for i, p := range parties {
+			latencies[i] = p.Latency
+		}
+		return selection.NewTiFL(latencies, selection.TiFLConfig{}, r), nil, nil
+	case StrategyPowerOfChoice:
+		return selection.NewPowerOfChoice(n, 2, r), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("experiment: unknown strategy %q", setting.Strategy)
+	}
+}
+
+func buildAlgorithm(name string, sgd model.SGDConfig) (fl.ServerOptimizer, model.SGDConfig, float64, error) {
+	switch name {
+	case AlgoFedAvg:
+		return &fl.FedAvg{}, sgd, 0, nil
+	case AlgoFedSGD:
+		sgd.LocalEpochs = 1
+		return &fl.FedAvg{}, sgd, 0, nil
+	case AlgoFedProx:
+		sgd.ProxMu = 0.1
+		return &fl.FedAvg{}, sgd, 0, nil
+	case AlgoFedYogi:
+		return fl.NewFedYogi(), sgd, 0, nil
+	case AlgoFedAdam:
+		return fl.NewFedAdam(), sgd, 0, nil
+	case AlgoFedAdagrad:
+		return fl.NewFedAdagrad(), sgd, 0, nil
+	case AlgoFedDyn:
+		return &fl.FedAvg{}, sgd, 0.1, nil
+	default:
+		return nil, sgd, 0, fmt.Errorf("experiment: unknown algorithm %q", name)
+	}
+}
+
+// RunSetting builds and executes one cell, averaging scale.Repeats seeds.
+// The returned result is the first seed's run with PeakAccuracy and
+// RoundsToTarget replaced by across-seed means (the paper reports 6-run
+// averages).
+func RunSetting(setting Setting, scale Scale) (*fl.Result, error) {
+	repeats := max(scale.Repeats, 1)
+	var first *fl.Result
+	var peakSum float64
+	var rttSum, rttCount int
+	for rep := 0; rep < repeats; rep++ {
+		s := setting
+		s.Seed = setting.Seed + uint64(rep)*0x9E37
+		built, err := Build(s, scale)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fl.Run(built.Config)
+		if err != nil {
+			return nil, err
+		}
+		if rep == 0 {
+			first = res
+		}
+		peakSum += res.PeakAccuracy
+		if res.RoundsToTarget > 0 {
+			rttSum += res.RoundsToTarget
+			rttCount++
+		}
+	}
+	first.PeakAccuracy = peakSum / float64(repeats)
+	if rttCount == repeats && rttCount > 0 {
+		first.RoundsToTarget = rttSum / rttCount
+	} else {
+		first.RoundsToTarget = -1 // any failed seed reports ">R" like the paper
+	}
+	return first, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

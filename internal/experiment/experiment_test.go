@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flips/internal/dataset"
+)
+
+// tinyScale keeps unit tests fast while exercising every code path.
+func tinyScale() Scale {
+	return Scale{Parties: 24, Rounds: 12, TrainSize: 1200, TestSize: 300, Repeats: 1, EvalEvery: 3}
+}
+
+func TestTableSpecsEnumerate24(t *testing.T) {
+	specs := TableSpecs()
+	if len(specs) != 24 {
+		t.Fatalf("enumerated %d tables", len(specs))
+	}
+	seen := map[int]bool{}
+	for _, s := range specs {
+		if s.ID < 1 || s.ID > 24 || seen[s.ID] {
+			t.Fatalf("bad table id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	// Spot-check the paper's assignments.
+	t1, _ := TableSpecByID(1)
+	if t1.Dataset.Name != "mit-bih-ecg" || t1.Algorithm != AlgoFedYogi || t1.Metric != MetricRounds {
+		t.Fatalf("table 1 = %+v", t1)
+	}
+	t8, _ := TableSpecByID(8)
+	if t8.Dataset.Name != "fashion-mnist" || t8.Algorithm != AlgoFedYogi || t8.Metric != MetricPeak {
+		t.Fatalf("table 8 = %+v", t8)
+	}
+	t9, _ := TableSpecByID(9)
+	if t9.Dataset.Name != "mit-bih-ecg" || t9.Algorithm != AlgoFedProx {
+		t.Fatalf("table 9 = %+v", t9)
+	}
+	t24, _ := TableSpecByID(24)
+	if t24.Dataset.Name != "fashion-mnist" || t24.Algorithm != AlgoFedAvg || t24.Metric != MetricPeak {
+		t.Fatalf("table 24 = %+v", t24)
+	}
+	if _, err := TableSpecByID(25); err == nil {
+		t.Fatal("table 25 should not exist")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	s := Setting{Spec: dataset.ECG(), Algorithm: AlgoFedAvg, Alpha: 0.3, PartyFraction: 0, Strategy: StrategyRandom, Seed: 1}
+	if _, err := Build(s, tinyScale()); err == nil {
+		t.Fatal("expected error for zero party fraction")
+	}
+	s.PartyFraction = 0.2
+	s.Strategy = "nope"
+	if _, err := Build(s, tinyScale()); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+	s.Strategy = StrategyRandom
+	s.Algorithm = "nope"
+	if _, err := Build(s, tinyScale()); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestBuildAllStrategiesAndAlgorithms(t *testing.T) {
+	for _, strategy := range append(AllStrategies(), StrategyPowerOfChoice) {
+		for _, algo := range []string{AlgoFedAvg, AlgoFedProx, AlgoFedYogi, AlgoFedAdam, AlgoFedAdagrad, AlgoFedDyn, AlgoFedSGD} {
+			s := Setting{
+				Spec: dataset.ECG(), Algorithm: algo, Alpha: 0.3,
+				PartyFraction: 0.2, Strategy: strategy, Seed: 3,
+			}
+			built, err := Build(s, tinyScale())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", strategy, algo, err)
+			}
+			if built.Selector.Name() == "" {
+				t.Fatalf("%s/%s: empty selector name", strategy, algo)
+			}
+			if strategy == StrategyFLIPS && len(built.Clusters) == 0 {
+				t.Fatalf("FLIPS build missing clusters")
+			}
+		}
+	}
+}
+
+func TestRunSettingAveragesRepeats(t *testing.T) {
+	scale := tinyScale()
+	scale.Repeats = 2
+	res, err := RunSetting(Setting{
+		Spec: dataset.ECG(), Algorithm: AlgoFedAvg, Alpha: 0.6,
+		PartyFraction: 0.25, Strategy: StrategyRandom, TargetAccuracy: 0.9, Seed: 5,
+	}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakAccuracy <= 0 || res.PeakAccuracy > 1 {
+		t.Fatalf("peak %v", res.PeakAccuracy)
+	}
+	// Target 0.9 unreachable in 12 tiny rounds: must report -1 (">R").
+	if res.RoundsToTarget != -1 {
+		t.Fatalf("rounds-to-target %d for unreachable target", res.RoundsToTarget)
+	}
+}
+
+func TestRunGridShapeAndRender(t *testing.T) {
+	scale := tinyScale()
+	grid, err := RunGrid(dataset.FashionMNIST(), AlgoFedAvg, scale, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Rows) != 4 {
+		t.Fatalf("grid has %d rows, want 4", len(grid.Rows))
+	}
+	for _, row := range grid.Rows {
+		if len(row.Cells) != 11 { // 5 + 3 + 3
+			t.Fatalf("row has %d cells, want 11", len(row.Cells))
+		}
+		if _, ok := row.Cell(StrategyFLIPS, 0.10); !ok {
+			t.Fatal("missing FLIPS@10% cell")
+		}
+		if _, ok := row.Cell(StrategyGradClus, 0.10); ok {
+			t.Fatal("GradClus should not appear in straggler columns")
+		}
+	}
+	rounds, peak := grid.Tables()
+	if rounds.Metric != MetricRounds || peak.Metric != MetricPeak {
+		t.Fatal("grid tables metrics wrong")
+	}
+	if rounds.ID != 23 || peak.ID != 24 {
+		t.Fatalf("fashion-mnist fedavg tables = %d, %d; want 23, 24", rounds.ID, peak.ID)
+	}
+	var buf bytes.Buffer
+	grid.RenderTable(&buf, rounds)
+	out := buf.String()
+	if !strings.Contains(out, "Table 23") || !strings.Contains(out, "FLIPS@0%") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+1+4 { // title + threshold + header + 4 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFigure2Elbow(t *testing.T) {
+	fig, err := RunFigure("fig2", tinyScale(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 1 || len(fig.Panels[0].Series) != 1 {
+		t.Fatal("fig2 structure")
+	}
+	s := fig.Panels[0].Series[0]
+	if len(s.Rounds) < 3 || s.Rounds[0] != 2 {
+		t.Fatalf("fig2 k-axis %v", s.Rounds)
+	}
+	for _, dbi := range s.Accuracy {
+		if dbi < 0 {
+			t.Fatalf("negative DBI %v", dbi)
+		}
+	}
+}
+
+func TestConvergenceFigureStructure(t *testing.T) {
+	fig, err := RunFigure("fig11", tinyScale(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 4 { // (α=0.3, 0.6) × (15%, 20%)
+		t.Fatalf("fig11 has %d panels", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if len(p.Series) != 5 {
+			t.Fatalf("panel %s has %d series, want 5 strategies", p.Name, len(p.Series))
+		}
+	}
+}
+
+func TestStragglerFigureStructure(t *testing.T) {
+	fig, err := RunFigure("fig12", tinyScale(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Panels {
+		if len(p.Series) != 6 { // 3 strategies × 2 straggler rates
+			t.Fatalf("panel %s has %d series, want 6", p.Name, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if !strings.Contains(s.Label, "stragglers") {
+				t.Fatalf("series label %q missing straggler annotation", s.Label)
+			}
+		}
+	}
+}
+
+func TestFigure13Structure(t *testing.T) {
+	fig, err := RunFigure("fig13", tinyScale(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 2 {
+		t.Fatalf("fig13 has %d panels", len(fig.Panels))
+	}
+	if !strings.Contains(fig.Panels[0].Name, "arrhythmia") {
+		t.Fatalf("panel 0 = %s", fig.Panels[0].Name)
+	}
+	if !strings.Contains(fig.Panels[1].Name, "bcc") {
+		t.Fatalf("panel 1 = %s", fig.Panels[1].Name)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := RunFigure("fig99", tinyScale(), 1); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig, err := RunFigure("fig2", tinyScale(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	if !strings.Contains(buf.String(), "davies-bouldin") {
+		t.Fatal("render missing series header")
+	}
+}
+
+func TestTargetsAndRounds(t *testing.T) {
+	if TargetFor(dataset.ECG()) != 0.65 || TargetFor(dataset.FEMNIST()) != 0.80 {
+		t.Fatal("targets changed unexpectedly")
+	}
+	scale := Scale{Rounds: 100}
+	if RoundsFor(dataset.ECG(), scale) != 100 {
+		t.Fatal("ECG rounds")
+	}
+	if RoundsFor(dataset.FEMNIST(), scale) != 50 {
+		t.Fatal("FEMNIST rounds")
+	}
+}
+
+// TestHeadlineShape is the repository's core scientific regression: on the
+// heavily non-IID ECG workload with FedYogi, FLIPS must converge to the
+// target in fewer rounds than Random selection and reach at least as high a
+// peak (paper Tables 1–2).
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline shape check is a multi-second FL run")
+	}
+	scale := LaptopScale()
+	scale.Rounds = 60
+	run := func(strategy string) (int, float64) {
+		res, err := RunSetting(Setting{
+			Spec: dataset.ECG(), Algorithm: AlgoFedYogi, Alpha: 0.3,
+			PartyFraction: 0.2, Strategy: strategy,
+			TargetAccuracy: TargetFor(dataset.ECG()), Seed: 1,
+		}, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtt := res.RoundsToTarget
+		if rtt < 0 {
+			rtt = scale.Rounds + 1
+		}
+		return rtt, res.PeakAccuracy
+	}
+	flipsRTT, flipsPeak := run(StrategyFLIPS)
+	randomRTT, randomPeak := run(StrategyRandom)
+	if flipsRTT >= randomRTT {
+		t.Fatalf("FLIPS rtt %d not better than Random rtt %d", flipsRTT, randomRTT)
+	}
+	if flipsPeak < randomPeak-0.01 {
+		t.Fatalf("FLIPS peak %v below Random peak %v", flipsPeak, randomPeak)
+	}
+}

@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"flips/internal/cluster"
+	"flips/internal/dataset"
+	"flips/internal/partition"
+	"flips/internal/rng"
+)
+
+// Series is one labeled convergence curve.
+type Series struct {
+	Label    string
+	Rounds   []int
+	Accuracy []float64 // balanced accuracy in [0,1]
+}
+
+// Panel is one subplot of a figure.
+type Panel struct {
+	Name   string
+	Series []Series
+}
+
+// Figure is the data behind one of the paper's plots.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Panels []Panel
+}
+
+// Render writes the figure as aligned TSV blocks, one per panel: a header of
+// series labels, then one line per evaluated round. This is the plottable
+// artifact the paper's matplotlib figures are generated from.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s (x=%s, y=%s)\n", f.ID, f.Title, f.XLabel, f.YLabel)
+	for _, panel := range f.Panels {
+		fmt.Fprintf(w, "# panel: %s\n", panel.Name)
+		header := []string{"round"}
+		for _, s := range panel.Series {
+			header = append(header, s.Label)
+		}
+		fmt.Fprintln(w, strings.Join(header, "\t"))
+		if len(panel.Series) == 0 {
+			continue
+		}
+		for i := range panel.Series[0].Rounds {
+			fields := []string{fmt.Sprintf("%d", panel.Series[0].Rounds[i])}
+			for _, s := range panel.Series {
+				if i < len(s.Accuracy) {
+					fields = append(fields, fmt.Sprintf("%.4f", s.Accuracy[i]))
+				} else {
+					fields = append(fields, "")
+				}
+			}
+			fmt.Fprintln(w, strings.Join(fields, "\t"))
+		}
+	}
+}
+
+// FigureIDs lists the reproducible figures in paper order.
+func FigureIDs() []string {
+	return []string{"fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+}
+
+// RunFigure regenerates the named figure's data.
+func RunFigure(id string, scale Scale, seed uint64) (*Figure, error) {
+	switch id {
+	case "fig2":
+		return runFigure2(scale, seed)
+	case "fig5":
+		return runConvergenceFigure(id, dataset.ECG(), false, scale, seed)
+	case "fig6":
+		return runConvergenceFigure(id, dataset.ECG(), true, scale, seed)
+	case "fig7":
+		return runConvergenceFigure(id, dataset.HAM10000(), false, scale, seed)
+	case "fig8":
+		return runConvergenceFigure(id, dataset.HAM10000(), true, scale, seed)
+	case "fig9":
+		return runConvergenceFigure(id, dataset.FEMNIST(), false, scale, seed)
+	case "fig10":
+		return runConvergenceFigure(id, dataset.FEMNIST(), true, scale, seed)
+	case "fig11":
+		return runConvergenceFigure(id, dataset.FashionMNIST(), false, scale, seed)
+	case "fig12":
+		return runConvergenceFigure(id, dataset.FashionMNIST(), true, scale, seed)
+	case "fig13":
+		return runFigure13(scale, seed)
+	default:
+		return nil, fmt.Errorf("experiment: unknown figure %q (valid: %v)", id, FigureIDs())
+	}
+}
+
+// runFigure2 reproduces the elbow-point determination plot: cluster size k
+// vs Davies-Bouldin score over the ECG parties' label distributions.
+func runFigure2(scale Scale, seed uint64) (*Figure, error) {
+	spec := dataset.ECG()
+	if scale.TrainSize > 0 {
+		spec = spec.WithSizes(scale.TrainSize, max(scale.TestSize, 1))
+	}
+	root := rng.New(seed)
+	train, _, err := dataset.Generate(spec, root.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.Dirichlet(train, scale.Parties, 0.3, root.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	lds := partition.NormalizedLabelDistributions(train, part)
+	maxK := scale.Parties / 2
+	curve, err := cluster.DBICurve(lds, maxK, 20, root.Split(3))
+	if err != nil {
+		return nil, err
+	}
+	elbow := cluster.ElbowK(curve)
+	series := Series{Label: "davies-bouldin"}
+	for i, dbi := range curve {
+		series.Rounds = append(series.Rounds, i+2)
+		series.Accuracy = append(series.Accuracy, dbi)
+	}
+	return &Figure{
+		ID:     "fig2",
+		Title:  fmt.Sprintf("Elbow point determination for optimal k (elbow at k=%d)", elbow),
+		XLabel: "cluster size k",
+		YLabel: "Davies-Bouldin score",
+		Panels: []Panel{{Name: "ecg-label-distributions", Series: []Series{series}}},
+	}, nil
+}
+
+// runConvergenceFigure reproduces Figures 5, 7, 9, 11 (without stragglers:
+// five strategies) or 6, 8, 10, 12 (with stragglers: FLIPS/Oort/TiFL at 10%
+// and 20%), each with 15%- and 20%-participation panels at α=0.3 and α=0.6.
+func runConvergenceFigure(id string, ds dataset.Spec, stragglers bool, scale Scale, seed uint64) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		XLabel: "communication rounds",
+		YLabel: "balanced accuracy",
+	}
+	mode := "without stragglers"
+	if stragglers {
+		mode = "with stragglers"
+	}
+	fig.Title = fmt.Sprintf("Convergence on %s %s, FL algorithm: FedYogi", ds.Name, mode)
+
+	runScale := scale
+	runScale.Rounds = RoundsFor(ds, scale)
+	for _, alpha := range []float64{0.3, 0.6} {
+		for _, frac := range []float64{0.15, 0.20} {
+			panel := Panel{Name: fmt.Sprintf("alpha=%.1f party=%.0f%%", alpha, frac*100)}
+			type variant struct {
+				strategy string
+				rate     float64
+			}
+			var variants []variant
+			if stragglers {
+				for _, s := range []string{StrategyFLIPS, StrategyOort, StrategyTiFL} {
+					variants = append(variants, variant{s, 0.10}, variant{s, 0.20})
+				}
+			} else {
+				for _, s := range AllStrategies() {
+					variants = append(variants, variant{s, 0})
+				}
+			}
+			for _, v := range variants {
+				res, err := RunSetting(Setting{
+					Spec:           ds,
+					Algorithm:      AlgoFedYogi,
+					Alpha:          alpha,
+					PartyFraction:  frac,
+					StragglerRate:  v.rate,
+					Strategy:       v.strategy,
+					TargetAccuracy: TargetFor(ds),
+					Seed:           seed,
+				}, runScale)
+				if err != nil {
+					return nil, err
+				}
+				label := displayName(v.strategy)
+				if stragglers {
+					label = fmt.Sprintf("%s %.0f%% stragglers", label, v.rate*100)
+				}
+				s := Series{Label: label}
+				for _, h := range res.History {
+					s.Rounds = append(s.Rounds, h.Round)
+					s.Accuracy = append(s.Accuracy, h.Accuracy)
+				}
+				panel.Series = append(panel.Series, s)
+			}
+			fig.Panels = append(fig.Panels, panel)
+		}
+	}
+	return fig, nil
+}
+
+// runFigure13 reproduces the underrepresented-label convergence curves:
+// mean recall over the arrhythmia (non-N) classes of the ECG dataset, and
+// recall of the bcc label of HAM10000, per strategy.
+func runFigure13(scale Scale, seed uint64) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig13",
+		Title:  "Convergence on underrepresented labels, FL algorithm: FedYogi",
+		XLabel: "communication rounds",
+		YLabel: "per-label recall",
+	}
+
+	type panelSpec struct {
+		name   string
+		ds     dataset.Spec
+		labels []int
+	}
+	ecg := dataset.ECG()
+	ham := dataset.HAM10000()
+	panels := []panelSpec{
+		{name: "ecg-arrhythmia(S,V,F,Q)", ds: ecg, labels: []int{1, 2, 3, 4}},
+		{name: "ham10000-bcc", ds: ham, labels: []int{1}},
+	}
+	for _, ps := range panels {
+		runScale := scale
+		runScale.Rounds = RoundsFor(ps.ds, scale)
+		panel := Panel{Name: ps.name}
+		for _, strategy := range AllStrategies() {
+			res, err := RunSetting(Setting{
+				Spec:           ps.ds,
+				Algorithm:      AlgoFedYogi,
+				Alpha:          0.3,
+				PartyFraction:  0.20,
+				Strategy:       strategy,
+				TargetAccuracy: TargetFor(ps.ds),
+				Seed:           seed,
+			}, runScale)
+			if err != nil {
+				return nil, err
+			}
+			s := Series{Label: displayName(strategy)}
+			for _, h := range res.History {
+				s.Rounds = append(s.Rounds, h.Round)
+				s.Accuracy = append(s.Accuracy, meanRecall(h.PerLabel, ps.labels))
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+func meanRecall(perLabel []float64, labels []int) float64 {
+	var sum float64
+	n := 0
+	for _, l := range labels {
+		if l < len(perLabel) && !math.IsNaN(perLabel[l]) {
+			sum += perLabel[l]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

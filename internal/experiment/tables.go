@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"flips/internal/dataset"
+)
+
+// Metric selects which of the paper's two table metrics to report.
+type Metric int
+
+const (
+	// MetricRounds is "Rounds required to attain Target Accuracy"
+	// (odd-numbered tables).
+	MetricRounds Metric = iota + 1
+	// MetricPeak is "highest accuracy attained within the rounds threshold"
+	// (even-numbered tables).
+	MetricPeak
+)
+
+func (m Metric) String() string {
+	if m == MetricRounds {
+		return "rounds-to-target"
+	}
+	return "peak-accuracy"
+}
+
+// TableSpec identifies one of the paper's Tables 1–24.
+type TableSpec struct {
+	ID        int
+	Dataset   dataset.Spec
+	Algorithm string
+	Metric    Metric
+}
+
+// Title renders the paper's table caption.
+func (t TableSpec) Title() string {
+	if t.Metric == MetricRounds {
+		return fmt.Sprintf("Table %d: %s — rounds required to attain target accuracy, FL algorithm: %s",
+			t.ID, t.Dataset.Name, t.Algorithm)
+	}
+	return fmt.Sprintf("Table %d: %s — highest accuracy attained within the rounds threshold, FL algorithm: %s",
+		t.ID, t.Dataset.Name, t.Algorithm)
+}
+
+// TableSpecs enumerates all 24 tables in paper order: Tables 1–8 FedYogi,
+// 9–16 FedProx, 17–24 FedAvg; within each algorithm the datasets appear as
+// ECG, HAM10000, FEMNIST, FashionMNIST with a rounds-table then a
+// peak-accuracy table.
+func TableSpecs() []TableSpec {
+	algos := []string{AlgoFedYogi, AlgoFedProx, AlgoFedAvg}
+	specs := make([]TableSpec, 0, 24)
+	id := 1
+	for _, algo := range algos {
+		for _, ds := range dataset.AllSpecs() {
+			specs = append(specs,
+				TableSpec{ID: id, Dataset: ds, Algorithm: algo, Metric: MetricRounds},
+				TableSpec{ID: id + 1, Dataset: ds, Algorithm: algo, Metric: MetricPeak},
+			)
+			id += 2
+		}
+	}
+	return specs
+}
+
+// TableSpecByID returns the spec for Tables 1..24.
+func TableSpecByID(id int) (TableSpec, error) {
+	for _, s := range TableSpecs() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return TableSpec{}, fmt.Errorf("experiment: no table %d (valid: 1-24)", id)
+}
+
+// Cell is one table entry: a (strategy, straggler-rate) measurement.
+type Cell struct {
+	Strategy       string
+	StragglerRate  float64
+	RoundsToTarget int // -1 encodes ">R"
+	PeakAccuracy   float64
+}
+
+// Row is one evaluation setting (α, party fraction) with all its cells.
+type Row struct {
+	Alpha         float64
+	PartyFraction float64
+	Cells         []Cell
+}
+
+// Cell returns the cell for (strategy, stragglerRate), or false.
+func (r *Row) Cell(strategy string, stragglerRate float64) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Strategy == strategy && c.StragglerRate == stragglerRate {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Grid holds every run needed for one (dataset, algorithm) pair — i.e. for
+// one rounds-table and one peak-table.
+type Grid struct {
+	Dataset   dataset.Spec
+	Algorithm string
+	Rounds    int
+	Target    float64
+	Rows      []Row
+}
+
+// stragglerColumns mirrors the paper's table layout: all five strategies at
+// 0% stragglers, and the three best (FLIPS, Oort, TiFL) at 10% and 20%.
+func stragglerColumns() []struct {
+	rate       float64
+	strategies []string
+} {
+	return []struct {
+		rate       float64
+		strategies []string
+	}{
+		{0, AllStrategies()},
+		{0.10, []string{StrategyFLIPS, StrategyOort, StrategyTiFL}},
+		{0.20, []string{StrategyFLIPS, StrategyOort, StrategyTiFL}},
+	}
+}
+
+// RunGrid executes the full evaluation grid for one (dataset, algorithm)
+// pair: (α ∈ {0.3, 0.6}) × (party% ∈ {20, 15}) × the paper's straggler
+// columns. progress (may be nil) receives one line per completed cell.
+func RunGrid(ds dataset.Spec, algorithm string, scale Scale, seed uint64, progress func(string)) (*Grid, error) {
+	grid := &Grid{
+		Dataset:   ds,
+		Algorithm: algorithm,
+		Rounds:    RoundsFor(ds, scale),
+		Target:    TargetFor(ds),
+	}
+	runScale := scale
+	runScale.Rounds = grid.Rounds
+	for _, alpha := range []float64{0.3, 0.6} {
+		for _, frac := range []float64{0.20, 0.15} {
+			row := Row{Alpha: alpha, PartyFraction: frac}
+			for _, col := range stragglerColumns() {
+				for _, strategy := range col.strategies {
+					setting := Setting{
+						Spec:           ds,
+						Algorithm:      algorithm,
+						Alpha:          alpha,
+						PartyFraction:  frac,
+						StragglerRate:  col.rate,
+						Strategy:       strategy,
+						TargetAccuracy: grid.Target,
+						Seed:           seed,
+					}
+					res, err := RunSetting(setting, runScale)
+					if err != nil {
+						return nil, fmt.Errorf("run %s: %w", setting, err)
+					}
+					cell := Cell{
+						Strategy:       strategy,
+						StragglerRate:  col.rate,
+						RoundsToTarget: res.RoundsToTarget,
+						PeakAccuracy:   res.PeakAccuracy,
+					}
+					row.Cells = append(row.Cells, cell)
+					if progress != nil {
+						progress(fmt.Sprintf("%s -> rtt=%s peak=%.2f%%",
+							setting, formatRounds(cell.RoundsToTarget, grid.Rounds), 100*cell.PeakAccuracy))
+					}
+				}
+			}
+			grid.Rows = append(grid.Rows, row)
+		}
+	}
+	return grid, nil
+}
+
+// RenderTable writes the grid as one of its two paper tables.
+func (g *Grid) RenderTable(w io.Writer, spec TableSpec) {
+	fmt.Fprintln(w, spec.Title())
+	if spec.Metric == MetricRounds {
+		fmt.Fprintf(w, "Target balanced accuracy: %.0f%%, rounds threshold: %d\n", 100*g.Target, g.Rounds)
+	}
+	header := []string{"alpha", "party%"}
+	for _, col := range stragglerColumns() {
+		for _, s := range col.strategies {
+			header = append(header, fmt.Sprintf("%s@%.0f%%", displayName(s), col.rate*100))
+		}
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, row := range g.Rows {
+		fields := []string{
+			fmt.Sprintf("%.1f", row.Alpha),
+			fmt.Sprintf("%.0f", row.PartyFraction*100),
+		}
+		for _, c := range row.Cells {
+			if spec.Metric == MetricRounds {
+				fields = append(fields, formatRounds(c.RoundsToTarget, g.Rounds))
+			} else {
+				fields = append(fields, fmt.Sprintf("%.2f", 100*c.PeakAccuracy))
+			}
+		}
+		fmt.Fprintln(w, strings.Join(fields, "\t"))
+	}
+}
+
+// Tables returns the grid's two TableSpecs (rounds, peak) with their paper
+// IDs resolved from the canonical enumeration.
+func (g *Grid) Tables() (rounds, peak TableSpec) {
+	for _, s := range TableSpecs() {
+		if s.Dataset.Name == g.Dataset.Name && s.Algorithm == g.Algorithm {
+			if s.Metric == MetricRounds {
+				rounds = s
+			} else {
+				peak = s
+			}
+		}
+	}
+	return rounds, peak
+}
+
+func formatRounds(rtt, budget int) string {
+	if rtt < 0 {
+		return fmt.Sprintf(">%d", budget)
+	}
+	return fmt.Sprintf("%d", rtt)
+}
+
+func displayName(strategy string) string {
+	switch strategy {
+	case StrategyRandom:
+		return "Random"
+	case StrategyFLIPS:
+		return "FLIPS"
+	case StrategyOort:
+		return "OORT"
+	case StrategyGradClus:
+		return "GradCls"
+	case StrategyTiFL:
+		return "TiFL"
+	default:
+		return strategy
+	}
+}

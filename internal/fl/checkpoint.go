@@ -1,0 +1,96 @@
+package fl
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flips/internal/tensor"
+)
+
+// Checkpoint captures the aggregator-side state needed to resume an FL job
+// after an aggregator failure — the §7 fault-tolerance story: "In case of
+// aggregator failure, data can be recovered, and aggregation can be resumed
+// from the last round."
+//
+// The checkpoint covers the global model, the server optimizer's moment
+// state, progress counters and accounting. Selector state is deliberately
+// not included: selection is a logically separate service (§3.4) that is
+// reconstructed from the (persisted) clusters on recovery; Random selection
+// is stateless and FLIPS's pick counts re-equalize within one rotation.
+type Checkpoint struct {
+	// Round is the number of completed rounds; Run resumes at this round.
+	Round int `json:"round"`
+	// GlobalParams is the global model's flat parameter vector.
+	GlobalParams []float64 `json:"globalParams"`
+	// OptimizerName guards against resuming with a different algorithm.
+	OptimizerName string `json:"optimizerName"`
+	// OptimizerMoment / OptimizerSecondMoment carry adaptive-optimizer
+	// state (empty for FedAvg).
+	OptimizerMoment       []float64 `json:"optimizerMoment,omitempty"`
+	OptimizerSecondMoment []float64 `json:"optimizerSecondMoment,omitempty"`
+	// LearningRate is the (possibly decayed) local learning rate.
+	LearningRate float64 `json:"learningRate"`
+	// TotalCommBytes resumes communication accounting.
+	TotalCommBytes int64 `json:"totalCommBytes"`
+	// PeakAccuracy / RoundsToTarget resume the result metrics.
+	PeakAccuracy   float64 `json:"peakAccuracy"`
+	RoundsToTarget int     `json:"roundsToTarget"`
+	// Seed must match the resuming Config's Seed for deterministic
+	// continuation.
+	Seed uint64 `json:"seed"`
+}
+
+// Marshal serializes the checkpoint to JSON (the paper suggests
+// "fault-tolerant cloud object stores or key-value stores" as the home for
+// FL job state; JSON keeps it portable).
+func (c *Checkpoint) Marshal() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// UnmarshalCheckpoint parses a serialized checkpoint.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("fl: checkpoint decode: %w", err)
+	}
+	return &c, nil
+}
+
+// validateResume checks a checkpoint against the resuming configuration.
+func (c *Checkpoint) validateResume(cfg *Config, paramLen int) error {
+	if c.Round < 0 || c.Round >= cfg.Rounds {
+		return fmt.Errorf("fl: checkpoint round %d out of [0, %d)", c.Round, cfg.Rounds)
+	}
+	if len(c.GlobalParams) != paramLen {
+		return fmt.Errorf("fl: checkpoint has %d params, model has %d", len(c.GlobalParams), paramLen)
+	}
+	if c.OptimizerName != cfg.Optimizer.Name() {
+		return fmt.Errorf("fl: checkpoint optimizer %q, config uses %q", c.OptimizerName, cfg.Optimizer.Name())
+	}
+	if c.Seed != cfg.Seed {
+		return fmt.Errorf("fl: checkpoint seed %d, config seed %d", c.Seed, cfg.Seed)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("fl: checkpoint learning rate %v", c.LearningRate)
+	}
+	return nil
+}
+
+// State exposes the adaptive optimizer's moment vectors for checkpointing.
+// Nil slices mean the optimizer has not been applied yet.
+func (o *Adaptive) State() (moment, secondMoment tensor.Vec) {
+	if o.mt == nil {
+		return nil, nil
+	}
+	return o.mt.Clone(), o.vt.Clone()
+}
+
+// SetState restores checkpointed moment vectors.
+func (o *Adaptive) SetState(moment, secondMoment tensor.Vec) {
+	if moment == nil || secondMoment == nil {
+		o.mt, o.vt = nil, nil
+		return
+	}
+	o.mt = moment.Clone()
+	o.vt = secondMoment.Clone()
+}

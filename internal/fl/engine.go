@@ -1,0 +1,370 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"flips/internal/dataset"
+	"flips/internal/model"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// Config describes one FL training job.
+type Config struct {
+	// Parties is the full participant pool S.
+	Parties []*Party
+	// Test is the aggregator-held global test set (paper §4.4).
+	Test []dataset.Sample
+	// NumClasses is the label-space size g.
+	NumClasses int
+	// Factory builds the model architecture all parties agree on.
+	Factory model.Factory
+	// Optimizer is the server OPTIMIZER applying aggregated deltas.
+	Optimizer ServerOptimizer
+	// Selector picks the parties for each round.
+	Selector Selector
+	// Rounds is the synchronization-round budget R.
+	Rounds int
+	// PartiesPerRound is Nr, the nominal per-round participation.
+	PartiesPerRound int
+	// SGD configures local training (τ epochs, η, FedProx µ, ...).
+	SGD model.SGDConfig
+	// LRDecayEvery / LRDecayFactor decay the local learning rate every k
+	// rounds, as the paper does ("a decay applied every 20/30 rounds").
+	// Zero disables decay.
+	LRDecayEvery  int
+	LRDecayFactor float64
+	// StragglerRate drops this fraction of each round's invited parties
+	// (paper §5: "We emulate stragglers by dropping 10% or 20% of
+	// participants involved in an FL round").
+	StragglerRate float64
+	// StragglerBias biases straggler choice toward high-latency parties;
+	// 0 drops uniformly, larger values concentrate failures on slow
+	// parties (which gives TiFL's latency tiers their signal).
+	StragglerBias float64
+	// FedDynAlpha enables the (simplified) FedDyn dynamic-regularization
+	// local objective when positive.
+	FedDynAlpha float64
+	// BeforeRound, when non-nil, runs at the start of every round with the
+	// full party pool. It supports streaming/drift scenarios (paper §8
+	// future work) where party data changes during the FL job; combined
+	// with a Swappable selector, the orchestrator can detect label
+	// distribution drift and re-cluster mid-job.
+	BeforeRound func(round int, parties []*Party)
+	// Resume continues a job from an aggregator checkpoint (§7 fault
+	// tolerance). The configuration must match the checkpointed job (same
+	// seed, optimizer and model); a resumed run with a stateless selector
+	// reproduces the uninterrupted run exactly.
+	Resume *Checkpoint
+	// CheckpointEvery emits a checkpoint to CheckpointSink every k rounds
+	// when both are set.
+	CheckpointEvery int
+	// CheckpointSink receives emitted checkpoints.
+	CheckpointSink func(*Checkpoint)
+	// EvalEvery evaluates the global model every k rounds (default 1).
+	EvalEvery int
+	// TargetAccuracy records the first round whose balanced accuracy
+	// reaches this value (the paper's rounds-to-target metric).
+	TargetAccuracy float64
+	// Seed makes the entire run reproducible.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if len(c.Parties) == 0 {
+		return fmt.Errorf("fl: no parties")
+	}
+	if c.Factory == nil {
+		return fmt.Errorf("fl: nil model factory")
+	}
+	if c.Optimizer == nil {
+		return fmt.Errorf("fl: nil server optimizer")
+	}
+	if c.Selector == nil {
+		return fmt.Errorf("fl: nil selector")
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: non-positive rounds %d", c.Rounds)
+	}
+	if c.PartiesPerRound <= 0 || c.PartiesPerRound > len(c.Parties) {
+		return fmt.Errorf("fl: parties per round %d out of range [1,%d]", c.PartiesPerRound, len(c.Parties))
+	}
+	if c.StragglerRate < 0 || c.StragglerRate >= 1 {
+		return fmt.Errorf("fl: straggler rate %v out of [0,1)", c.StragglerRate)
+	}
+	if c.NumClasses <= 0 {
+		return fmt.Errorf("fl: non-positive class count %d", c.NumClasses)
+	}
+	return nil
+}
+
+// RoundStats records the observable state after one round.
+type RoundStats struct {
+	Round     int
+	Accuracy  float64   // balanced accuracy on the global test set
+	PerLabel  []float64 // per-label recall (NaN for absent labels)
+	Invited   int
+	Completed int
+	CommBytes int64 // model download + update upload bytes this round
+	MeanLoss  float64
+}
+
+// Result summarizes a finished FL job.
+type Result struct {
+	// History has one entry per evaluated round.
+	History []RoundStats
+	// PeakAccuracy is the highest balanced accuracy attained.
+	PeakAccuracy float64
+	// RoundsToTarget is the 1-based round at which TargetAccuracy was first
+	// reached, or -1 if never (reported as ">R" in the paper's tables).
+	RoundsToTarget int
+	// TotalCommBytes accumulates all model transfer volume.
+	TotalCommBytes int64
+	// FinalParams is the final global model parameter vector.
+	FinalParams tensor.Vec
+}
+
+// Run executes the FL job and returns its result. The run is fully
+// deterministic given Config.Seed.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	root := rng.New(cfg.Seed)
+
+	global := cfg.Factory(root.Split(0xF0))
+	globalParams := global.Params()
+	cfg.Optimizer.Reset()
+	paramBytes := int64(global.NumParams()) * 8
+
+	// FedDyn per-party gradient-correction state (lazily allocated).
+	var dynState map[int]tensor.Vec
+	if cfg.FedDynAlpha > 0 {
+		dynState = make(map[int]tensor.Vec, len(cfg.Parties))
+	}
+
+	res := &Result{RoundsToTarget: -1}
+	sgd := cfg.SGD.WithDefaults()
+
+	startRound := 0
+	if cfg.Resume != nil {
+		if err := cfg.Resume.validateResume(&cfg, len(globalParams)); err != nil {
+			return nil, err
+		}
+		copy(globalParams, cfg.Resume.GlobalParams)
+		global.SetParams(globalParams)
+		if adaptive, ok := cfg.Optimizer.(*Adaptive); ok {
+			adaptive.SetState(cfg.Resume.OptimizerMoment, cfg.Resume.OptimizerSecondMoment)
+		}
+		sgd.LearningRate = cfg.Resume.LearningRate
+		res.TotalCommBytes = cfg.Resume.TotalCommBytes
+		res.PeakAccuracy = cfg.Resume.PeakAccuracy
+		res.RoundsToTarget = cfg.Resume.RoundsToTarget
+		startRound = cfg.Resume.Round
+		// Fast-forward the root RNG so per-round streams match an
+		// uninterrupted run of the same seed.
+		for r := 0; r < startRound; r++ {
+			root.Split(uint64(r) + 1)
+		}
+	}
+
+	for round := startRound; round < cfg.Rounds; round++ {
+		roundRng := root.Split(uint64(round) + 1)
+
+		if cfg.BeforeRound != nil {
+			cfg.BeforeRound(round, cfg.Parties)
+		}
+
+		if cfg.LRDecayEvery > 0 && round > 0 && round%cfg.LRDecayEvery == 0 {
+			factor := cfg.LRDecayFactor
+			if factor <= 0 || factor > 1 {
+				factor = 0.9
+			}
+			sgd.LearningRate *= factor
+		}
+
+		invited := dedupe(cfg.Selector.Select(round, cfg.PartiesPerRound))
+		if len(invited) == 0 {
+			return nil, fmt.Errorf("fl: selector %q returned no parties at round %d", cfg.Selector.Name(), round)
+		}
+		for _, id := range invited {
+			if id < 0 || id >= len(cfg.Parties) {
+				return nil, fmt.Errorf("fl: selector %q returned out-of-range party %d at round %d",
+					cfg.Selector.Name(), id, round)
+			}
+		}
+		stragglers := pickStragglers(cfg, invited, roundRng.Split(0x5A))
+		completed := make([]int, 0, len(invited))
+		isStraggler := make(map[int]bool, len(stragglers))
+		for _, id := range stragglers {
+			isStraggler[id] = true
+		}
+		for _, id := range invited {
+			if !isStraggler[id] {
+				completed = append(completed, id)
+			}
+		}
+
+		fb := RoundFeedback{
+			Round:      round,
+			Selected:   invited,
+			Completed:  completed,
+			Stragglers: stragglers,
+			MeanLoss:   make(map[int]float64, len(completed)),
+			SqLoss:     make(map[int]float64, len(completed)),
+			Duration:   make(map[int]float64, len(completed)),
+			Update:     make(map[int]tensor.Vec, len(completed)),
+		}
+
+		updates := make([]tensor.Vec, 0, len(completed))
+		weights := make([]float64, 0, len(completed))
+		var lossSum float64
+		for _, id := range completed {
+			party := cfg.Parties[id]
+			local := global.Clone()
+			local.SetParams(globalParams.Clone())
+
+			partyRng := roundRng.Split(uint64(id) + 0x1000)
+			lr := model.TrainLocal(local, party.Data, sgd, globalParams, partyRng)
+			params := lr.Params
+
+			if cfg.FedDynAlpha > 0 {
+				params = applyFedDyn(dynState, id, params, globalParams, cfg.FedDynAlpha)
+			}
+
+			updates = append(updates, params)
+			weights = append(weights, float64(lr.NumSamples))
+			fb.MeanLoss[id] = lr.MeanLoss
+			fb.SqLoss[id] = lr.SqLossMean
+			fb.Duration[id] = party.Latency * float64(lr.Steps)
+			fb.Update[id] = params.Sub(globalParams)
+			lossSum += lr.MeanLoss
+		}
+
+		if len(updates) > 0 {
+			delta := WeightedAverageDelta(globalParams, updates, weights)
+			cfg.Optimizer.Apply(globalParams, delta)
+			global.SetParams(globalParams)
+		}
+
+		// Communication: every invited party downloads the model; every
+		// completed party uploads an update.
+		roundBytes := paramBytes * int64(len(invited)+len(completed))
+		res.TotalCommBytes += roundBytes
+
+		cfg.Selector.Observe(fb)
+
+		if (round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1 {
+			stats := RoundStats{
+				Round:     round + 1,
+				Invited:   len(invited),
+				Completed: len(completed),
+				CommBytes: roundBytes,
+			}
+			if len(completed) > 0 {
+				stats.MeanLoss = lossSum / float64(len(completed))
+			}
+			stats.Accuracy = model.BalancedAccuracy(global, cfg.Test, cfg.NumClasses)
+			stats.PerLabel = model.PerLabelAccuracy(global, cfg.Test, cfg.NumClasses)
+			res.History = append(res.History, stats)
+			if stats.Accuracy > res.PeakAccuracy {
+				res.PeakAccuracy = stats.Accuracy
+			}
+			if cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && stats.Accuracy >= cfg.TargetAccuracy {
+				res.RoundsToTarget = round + 1
+			}
+		}
+
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && (round+1)%cfg.CheckpointEvery == 0 {
+			cp := &Checkpoint{
+				Round:          round + 1,
+				GlobalParams:   globalParams.Clone(),
+				OptimizerName:  cfg.Optimizer.Name(),
+				LearningRate:   sgd.LearningRate,
+				TotalCommBytes: res.TotalCommBytes,
+				PeakAccuracy:   res.PeakAccuracy,
+				RoundsToTarget: res.RoundsToTarget,
+				Seed:           cfg.Seed,
+			}
+			if adaptive, ok := cfg.Optimizer.(*Adaptive); ok {
+				cp.OptimizerMoment, cp.OptimizerSecondMoment = adaptive.State()
+			}
+			cfg.CheckpointSink(cp)
+		}
+	}
+
+	res.FinalParams = globalParams
+	return res, nil
+}
+
+// pickStragglers drops StragglerRate of the invited parties, biased toward
+// high-latency parties when StragglerBias > 0.
+func pickStragglers(cfg Config, invited []int, r *rng.Source) []int {
+	k := int(math.Round(cfg.StragglerRate * float64(len(invited))))
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(invited) {
+		k = len(invited) - 1 // never drop everyone
+	}
+	if cfg.StragglerBias <= 0 {
+		idx := r.SampleWithoutReplacement(len(invited), k)
+		out := make([]int, k)
+		for i, j := range idx {
+			out[i] = invited[j]
+		}
+		return out
+	}
+	// Weighted sampling without replacement by latency^bias.
+	weights := make([]float64, len(invited))
+	for i, id := range invited {
+		weights[i] = math.Pow(cfg.Parties[id].Latency, cfg.StragglerBias)
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		j := r.Categorical(weights)
+		out = append(out, invited[j])
+		weights[j] = 0
+	}
+	return out
+}
+
+// applyFedDyn applies the simplified FedDyn gradient-correction: each party
+// keeps state h_i updated as h_i ← h_i − α(x_i − m); the reported model is
+// x_i − h_i/α, which debiases persistent client drift. (Acar et al. 2021,
+// simplified to the parameter-space form.)
+func applyFedDyn(state map[int]tensor.Vec, id int, params, global tensor.Vec, alpha float64) tensor.Vec {
+	h, ok := state[id]
+	if !ok {
+		h = tensor.NewVec(len(params))
+		state[id] = h
+	}
+	drift := params.Sub(global)
+	h.Axpy(-alpha, drift)
+	corrected := params.Clone()
+	corrected.Axpy(-1/alpha, h)
+	// Blend: the corrected model is used for aggregation but bounded to
+	// avoid runaway corrections in early rounds.
+	for i := range corrected {
+		if math.IsNaN(corrected[i]) || math.IsInf(corrected[i], 0) {
+			return params
+		}
+	}
+	return corrected
+}
+
+func dedupe(ids []int) []int {
+	seen := make(map[int]bool, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package fl implements the federated-learning substrate FLIPS plugs into:
+// parties with local data, an aggregator that orchestrates synchronization
+// rounds, weighted model aggregation, pluggable server optimizers (FedAvg,
+// FedYogi, FedAdam, FedAdagrad), FedProx/FedDyn local objectives, straggler
+// emulation, communication-cost accounting and balanced-accuracy evaluation
+// — everything §2 of the paper describes as the FL job substrate.
+package fl
+
+import (
+	"math"
+
+	"flips/internal/dataset"
+	"flips/internal/partition"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// Party is one FL participant: a private local dataset plus a platform
+// profile used for straggler emulation.
+type Party struct {
+	// ID is the party's index in [0, N).
+	ID int
+	// Data is the party's private training set.
+	Data []dataset.Sample
+	// LabelDist is the party's label-count vector ld_i (paper §3.1).
+	LabelDist tensor.Vec
+	// Latency is a unitless per-round training-time multiplier drawn from a
+	// lognormal platform profile. Slow parties straggle more often and land
+	// in slow TiFL tiers.
+	Latency float64
+}
+
+// NumSamples returns the size of the party's local dataset (the FedAvg
+// aggregation weight n_i).
+func (p *Party) NumSamples() int { return len(p.Data) }
+
+// BuildParties materializes the party population from a dataset partition.
+// Latencies are lognormal(0, sigma) so a heavy tail of slow parties exists,
+// matching the paper's platform-heterogeneity setting; sigma=0 gives a
+// homogeneous fleet.
+func BuildParties(ds *dataset.Dataset, part *partition.Partition, latencySigma float64, r *rng.Source) []*Party {
+	parties := make([]*Party, part.NumParties())
+	for i, indices := range part.Parties {
+		data := make([]dataset.Sample, len(indices))
+		for j, idx := range indices {
+			data[j] = ds.Samples[idx]
+		}
+		latency := 1.0
+		if latencySigma > 0 {
+			latency = math.Exp(latencySigma * r.NormFloat64())
+		}
+		parties[i] = &Party{
+			ID:        i,
+			Data:      data,
+			LabelDist: partition.LabelDistribution(ds, indices),
+			Latency:   latency,
+		}
+	}
+	return parties
+}
+
+// NormalizedLabelDists returns per-party label proportion vectors — the
+// clustering input FLIPS submits to the TEE.
+func NormalizedLabelDists(parties []*Party) []tensor.Vec {
+	out := make([]tensor.Vec, len(parties))
+	for i, p := range parties {
+		out[i] = p.LabelDist.Clone().Normalize()
+	}
+	return out
+}

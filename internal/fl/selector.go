@@ -1,0 +1,41 @@
+package fl
+
+import "flips/internal/tensor"
+
+// Selector chooses which parties participate in each FL round. It is the
+// extension point FLIPS and all baseline strategies implement.
+type Selector interface {
+	// Name identifies the strategy in reports ("flips", "random", ...).
+	Name() string
+	// Select returns the party IDs invited to round r. target is the
+	// nominal parties-per-round Nr; strategies with over-provisioning
+	// (FLIPS straggler handling, Oort's 1.3x) may return more than target.
+	// Returned IDs must be unique.
+	Select(round, target int) []int
+	// Observe delivers the round's outcome so adaptive strategies (Oort,
+	// TiFL, GradClus, FLIPS straggler tracking) can update their state.
+	Observe(fb RoundFeedback)
+}
+
+// RoundFeedback summarizes one completed round for adaptive selectors.
+type RoundFeedback struct {
+	// Round is the 0-based round index.
+	Round int
+	// Selected lists the invited party IDs.
+	Selected []int
+	// Completed lists parties whose updates arrived within the deadline.
+	Completed []int
+	// Stragglers lists invited parties that failed to respond.
+	Stragglers []int
+	// MeanLoss maps completed party ID -> mean local training loss
+	// (Oort's statistical-utility signal).
+	MeanLoss map[int]float64
+	// SqLoss maps completed party ID -> mean squared per-batch loss.
+	SqLoss map[int]float64
+	// Duration maps completed party ID -> simulated training duration
+	// (latency x local work), the TiFL tiering signal.
+	Duration map[int]float64
+	// Update maps completed party ID -> parameter delta x_i - m
+	// (GradClus's clustering signal). Shared storage: treat as read-only.
+	Update map[int]tensor.Vec
+}

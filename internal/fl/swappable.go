@@ -1,0 +1,50 @@
+package fl
+
+import "sync"
+
+// Swappable is a Selector whose underlying strategy can be replaced
+// mid-job. It supports the re-clustering workflow of FLIPS's
+// changing-data-distributions extension: when a drift detector fires, the
+// orchestrator builds a fresh FLIPS selector from the new label
+// distributions and swaps it in without restarting the FL job.
+type Swappable struct {
+	mu    sync.Mutex
+	inner Selector
+}
+
+var _ Selector = (*Swappable)(nil)
+
+// NewSwappable wraps an initial selector.
+func NewSwappable(inner Selector) *Swappable {
+	return &Swappable{inner: inner}
+}
+
+// Swap replaces the wrapped selector and returns the previous one.
+func (s *Swappable) Swap(next Selector) Selector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.inner
+	s.inner = next
+	return prev
+}
+
+// Name implements Selector.
+func (s *Swappable) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Name()
+}
+
+// Select implements Selector.
+func (s *Swappable) Select(round, target int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Select(round, target)
+}
+
+// Observe implements Selector.
+func (s *Swappable) Observe(fb RoundFeedback) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Observe(fb)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flips/internal/dataset"
+	"flips/internal/model"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// constModel predicts a fixed class (test double).
+type constModel struct{ class, params int }
+
+func (c *constModel) Clone() model.Model                    { cc := *c; return &cc }
+func (c *constModel) NumParams() int                        { return c.params }
+func (c *constModel) Params() tensor.Vec                    { return tensor.NewVec(c.params) }
+func (c *constModel) SetParams(tensor.Vec)                  {}
+func (c *constModel) Loss([]dataset.Sample) float64         { return 0 }
+func (c *constModel) Gradient([]dataset.Sample, tensor.Vec) {}
+func (c *constModel) Predict(tensor.Vec) int                { return c.class }
+
+func samplesWithLabels(labels ...int) []dataset.Sample {
+	out := make([]dataset.Sample, len(labels))
+	for i, y := range labels {
+		out[i] = dataset.Sample{X: tensor.Vec{0}, Y: y}
+	}
+	return out
+}
+
+func TestConfusionMatrixConstantPredictor(t *testing.T) {
+	m := &constModel{class: 0, params: 1}
+	samples := samplesWithLabels(0, 0, 0, 1, 2)
+	cm := NewConfusionMatrix(m, samples, []string{"a", "b", "c"})
+	if cm.Counts[0][0] != 3 || cm.Counts[1][0] != 1 || cm.Counts[2][0] != 1 {
+		t.Fatalf("counts %v", cm.Counts)
+	}
+	if r := cm.Recall(0); r != 1 {
+		t.Fatalf("recall(0)=%v", r)
+	}
+	if r := cm.Recall(1); r != 0 {
+		t.Fatalf("recall(1)=%v", r)
+	}
+	if p := cm.Precision(0); math.Abs(p-0.6) > 1e-12 {
+		t.Fatalf("precision(0)=%v", p)
+	}
+	if !math.IsNaN(cm.Precision(1)) {
+		t.Fatal("precision of never-predicted class should be NaN")
+	}
+	if acc := cm.Accuracy(); math.Abs(acc-0.6) > 1e-12 {
+		t.Fatalf("accuracy=%v", acc)
+	}
+	// Balanced accuracy = (1+0+0)/3.
+	if b := cm.BalancedAccuracy(); math.Abs(b-1.0/3) > 1e-12 {
+		t.Fatalf("balanced=%v", b)
+	}
+}
+
+func TestConfusionMatrixMatchesModelBalancedAccuracy(t *testing.T) {
+	r := rng.New(1)
+	train, test, err := dataset.Generate(dataset.ECG().WithSizes(1000, 400), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := model.NewLogReg(train.Dim, train.NumClasses())
+	model.TrainLocal(lr, train.Samples, model.SGDConfig{LearningRate: 0.1, LocalEpochs: 3}, nil, r)
+	cm := NewConfusionMatrix(lr, test.Samples, train.LabelNames)
+	want := model.BalancedAccuracy(lr, test.Samples, train.NumClasses())
+	if got := cm.BalancedAccuracy(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("confusion-matrix balanced accuracy %v != model %v", got, want)
+	}
+}
+
+func TestF1(t *testing.T) {
+	m := &constModel{class: 1, params: 1}
+	samples := samplesWithLabels(1, 1, 0, 0)
+	cm := NewConfusionMatrix(m, samples, []string{"a", "b"})
+	// precision(1)=0.5, recall(1)=1 -> F1 = 2*0.5/1.5 = 2/3.
+	if f := cm.F1(1); math.Abs(f-2.0/3) > 1e-12 {
+		t.Fatalf("f1=%v", f)
+	}
+	if !math.IsNaN(cm.F1(0)) {
+		t.Fatal("F1 of never-predicted class should be NaN")
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	m := &constModel{class: 0, params: 1}
+	cm := NewConfusionMatrix(m, samplesWithLabels(0, 1), []string{"normal", "arrhythmia"})
+	s := cm.String()
+	if !strings.Contains(s, "normal") || !strings.Contains(s, "recall") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample std of 1..4 is sqrt(5/3).
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if empty := Summarize(nil); empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Mean != 7 {
+		t.Fatalf("single summary %+v", single)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean || s.Mean > s.Max {
+			return false
+		}
+		return s.Std >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

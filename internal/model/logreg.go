@@ -1,0 +1,110 @@
+package model
+
+import (
+	"math"
+
+	"flips/internal/dataset"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// LogReg is multinomial logistic regression (a softmax linear classifier):
+// logits = W x + b with W in R^{classes x dim}.
+type LogReg struct {
+	dim, classes int
+	w            *tensor.Mat // classes x dim
+	b            tensor.Vec  // classes
+}
+
+var _ Model = (*LogReg)(nil)
+
+// NewLogReg returns a zero-initialized logistic regression model. Zero
+// initialization is exactly optimal-symmetric for the convex softmax loss,
+// so no randomness is needed.
+func NewLogReg(dim, classes int) *LogReg {
+	return &LogReg{
+		dim:     dim,
+		classes: classes,
+		w:       tensor.NewMat(classes, dim),
+		b:       tensor.NewVec(classes),
+	}
+}
+
+// LogRegFactory adapts NewLogReg to the Factory signature.
+func LogRegFactory(dim, classes int) Factory {
+	return func(*rng.Source) Model { return NewLogReg(dim, classes) }
+}
+
+// Clone returns a deep copy.
+func (m *LogReg) Clone() Model {
+	return &LogReg{dim: m.dim, classes: m.classes, w: m.w.Clone(), b: m.b.Clone()}
+}
+
+// NumParams returns classes*dim + classes.
+func (m *LogReg) NumParams() int { return m.classes*m.dim + m.classes }
+
+// Params returns [W row-major..., b...].
+func (m *LogReg) Params() tensor.Vec {
+	out := tensor.NewVec(m.NumParams())
+	copy(out, m.w.Data)
+	copy(out[len(m.w.Data):], m.b)
+	return out
+}
+
+// SetParams overwrites W and b from a flat vector.
+func (m *LogReg) SetParams(p tensor.Vec) {
+	if len(p) != m.NumParams() {
+		panic("model: LogReg.SetParams length mismatch")
+	}
+	copy(m.w.Data, p[:len(m.w.Data)])
+	copy(m.b, p[len(m.w.Data):])
+}
+
+// logits computes W x + b.
+func (m *LogReg) logits(x tensor.Vec) tensor.Vec {
+	z := m.w.MulVec(x)
+	z.AddInPlace(m.b)
+	return z
+}
+
+// Predict returns the most likely class for x.
+func (m *LogReg) Predict(x tensor.Vec) int {
+	return m.logits(x).ArgMax()
+}
+
+// Loss returns mean cross-entropy over the batch.
+func (m *LogReg) Loss(batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range batch {
+		p := m.logits(s.X)
+		p.SoftmaxInPlace()
+		total += -math.Log(math.Max(p[s.Y], 1e-12))
+	}
+	return total / float64(len(batch))
+}
+
+// Gradient writes the mean cross-entropy gradient into out.
+func (m *LogReg) Gradient(batch []dataset.Sample, out tensor.Vec) {
+	if len(out) != m.NumParams() {
+		panic("model: LogReg.Gradient length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	if len(batch) == 0 {
+		return
+	}
+	wGrad := tensor.Mat{Rows: m.classes, Cols: m.dim, Data: out[:m.classes*m.dim]}
+	bGrad := out[m.classes*m.dim:]
+	inv := 1 / float64(len(batch))
+	for _, s := range batch {
+		p := m.logits(s.X)
+		p.SoftmaxInPlace()
+		p[s.Y] -= 1 // dL/dz = softmax - onehot
+		wGrad.AddOuterInPlace(inv, p, s.X)
+		bGrad.Axpy(inv, p)
+	}
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"math"
+
+	"flips/internal/dataset"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// MLP is a one-hidden-layer perceptron with ReLU activation:
+// logits = W2 · relu(W1 x + b1) + b2. It stands in for the paper's small
+// CNNs (LeNet-5, 1-D CNN) on our synthetic feature vectors.
+type MLP struct {
+	dim, hidden, classes int
+	w1                   *tensor.Mat // hidden x dim
+	b1                   tensor.Vec  // hidden
+	w2                   *tensor.Mat // classes x hidden
+	b2                   tensor.Vec  // classes
+}
+
+var _ Model = (*MLP)(nil)
+
+// NewMLP returns an MLP with He-style Gaussian initialization drawn from r.
+func NewMLP(dim, hidden, classes int, r *rng.Source) *MLP {
+	m := &MLP{
+		dim:     dim,
+		hidden:  hidden,
+		classes: classes,
+		w1:      tensor.NewMat(hidden, dim),
+		b1:      tensor.NewVec(hidden),
+		w2:      tensor.NewMat(classes, hidden),
+		b2:      tensor.NewVec(classes),
+	}
+	scale1 := math.Sqrt(2 / float64(dim))
+	for i := range m.w1.Data {
+		m.w1.Data[i] = scale1 * r.NormFloat64()
+	}
+	scale2 := math.Sqrt(2 / float64(hidden))
+	for i := range m.w2.Data {
+		m.w2.Data[i] = scale2 * r.NormFloat64()
+	}
+	return m
+}
+
+// MLPFactory adapts NewMLP to the Factory signature.
+func MLPFactory(dim, hidden, classes int) Factory {
+	return func(r *rng.Source) Model { return NewMLP(dim, hidden, classes, r) }
+}
+
+// Clone returns a deep copy.
+func (m *MLP) Clone() Model {
+	return &MLP{
+		dim: m.dim, hidden: m.hidden, classes: m.classes,
+		w1: m.w1.Clone(), b1: m.b1.Clone(),
+		w2: m.w2.Clone(), b2: m.b2.Clone(),
+	}
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	return m.hidden*m.dim + m.hidden + m.classes*m.hidden + m.classes
+}
+
+// Params returns [W1..., b1..., W2..., b2...].
+func (m *MLP) Params() tensor.Vec {
+	out := tensor.NewVec(m.NumParams())
+	pos := 0
+	pos += copy(out[pos:], m.w1.Data)
+	pos += copy(out[pos:], m.b1)
+	pos += copy(out[pos:], m.w2.Data)
+	copy(out[pos:], m.b2)
+	return out
+}
+
+// SetParams overwrites all layers from a flat vector.
+func (m *MLP) SetParams(p tensor.Vec) {
+	if len(p) != m.NumParams() {
+		panic("model: MLP.SetParams length mismatch")
+	}
+	pos := 0
+	pos += copy(m.w1.Data, p[pos:pos+len(m.w1.Data)])
+	pos += copy(m.b1, p[pos:pos+len(m.b1)])
+	pos += copy(m.w2.Data, p[pos:pos+len(m.w2.Data)])
+	copy(m.b2, p[pos:])
+}
+
+// forward computes hidden activations and logits.
+func (m *MLP) forward(x tensor.Vec) (h, z tensor.Vec) {
+	h = m.w1.MulVec(x)
+	h.AddInPlace(m.b1)
+	for i := range h {
+		if h[i] < 0 {
+			h[i] = 0
+		}
+	}
+	z = m.w2.MulVec(h)
+	z.AddInPlace(m.b2)
+	return h, z
+}
+
+// Predict returns the most likely class for x.
+func (m *MLP) Predict(x tensor.Vec) int {
+	_, z := m.forward(x)
+	return z.ArgMax()
+}
+
+// Loss returns mean cross-entropy over the batch.
+func (m *MLP) Loss(batch []dataset.Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range batch {
+		_, z := m.forward(s.X)
+		z.SoftmaxInPlace()
+		total += -math.Log(math.Max(z[s.Y], 1e-12))
+	}
+	return total / float64(len(batch))
+}
+
+// Gradient writes the mean cross-entropy gradient (backprop) into out.
+func (m *MLP) Gradient(batch []dataset.Sample, out tensor.Vec) {
+	if len(out) != m.NumParams() {
+		panic("model: MLP.Gradient length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	if len(batch) == 0 {
+		return
+	}
+	pos := 0
+	w1g := tensor.Mat{Rows: m.hidden, Cols: m.dim, Data: out[pos : pos+len(m.w1.Data)]}
+	pos += len(m.w1.Data)
+	b1g := out[pos : pos+len(m.b1)]
+	pos += len(m.b1)
+	w2g := tensor.Mat{Rows: m.classes, Cols: m.hidden, Data: out[pos : pos+len(m.w2.Data)]}
+	pos += len(m.w2.Data)
+	b2g := out[pos:]
+
+	inv := 1 / float64(len(batch))
+	for _, s := range batch {
+		h, z := m.forward(s.X)
+		z.SoftmaxInPlace()
+		z[s.Y] -= 1 // dL/dlogits
+
+		// Output layer.
+		w2g.AddOuterInPlace(inv, z, h)
+		b2g.Axpy(inv, z)
+
+		// Backprop through ReLU.
+		dh := m.w2.MulVecT(z)
+		for i := range dh {
+			if h[i] <= 0 {
+				dh[i] = 0
+			}
+		}
+		w1g.AddOuterInPlace(inv, dh, s.X)
+		b1g.Axpy(inv, dh)
+	}
+}

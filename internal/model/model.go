@@ -1,0 +1,56 @@
+// Package model provides the learners the FL simulator trains: multinomial
+// logistic regression and a one-hidden-layer MLP, both exposing their
+// parameters as a single flat vector so that FL aggregation and server
+// optimizers (FedAvg/FedYogi/FedAdam/...) are model-agnostic.
+//
+// The paper trains CNNs (1-D CNN, LeNet-5, DenseNet-121) on raw signals and
+// images; here the datasets are synthetic feature vectors (see package
+// dataset), so convex/shallow models exhibit the same selection-dependent
+// convergence behaviour at a fraction of the cost. DESIGN.md records this
+// substitution.
+package model
+
+import (
+	"flips/internal/dataset"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// Model is a trainable classifier with flat-vector parameter access.
+type Model interface {
+	// Clone returns an independent deep copy.
+	Clone() Model
+	// NumParams returns the parameter count.
+	NumParams() int
+	// Params returns a copy of the flattened parameters.
+	Params() tensor.Vec
+	// SetParams overwrites the parameters from a flat vector of length
+	// NumParams.
+	SetParams(p tensor.Vec)
+	// Loss returns the mean cross-entropy over the batch.
+	Loss(batch []dataset.Sample) float64
+	// Gradient accumulates the mean cross-entropy gradient over the batch
+	// into out (length NumParams). out is zeroed first.
+	Gradient(batch []dataset.Sample, out tensor.Vec)
+	// Predict returns the argmax class for x.
+	Predict(x tensor.Vec) int
+}
+
+// Factory constructs a fresh model with deterministic initialization. FL
+// components use factories so every party and the aggregator agree on
+// architecture and the initial global model.
+type Factory func(r *rng.Source) Model
+
+// Accuracy returns plain (unbalanced) accuracy of m on the samples.
+func Accuracy(m Model, samples []dataset.Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if m.Predict(s.X) == s.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

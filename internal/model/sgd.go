@@ -1,0 +1,179 @@
+package model
+
+import (
+	"math"
+
+	"flips/internal/dataset"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// SGDConfig configures local (on-party) minibatch SGD.
+type SGDConfig struct {
+	// LearningRate is the step size η.
+	LearningRate float64
+	// BatchSize is the minibatch size (clamped to the dataset size).
+	BatchSize int
+	// LocalEpochs is the number of passes over the party's data per round
+	// (the τ local iterations of Algorithm 1).
+	LocalEpochs int
+	// ProxMu is FedProx's proximal penalty µ: the local objective gains
+	// (µ/2)·||x − m||², pulling the local model toward the round's global
+	// model m. Zero disables the term (plain FedAvg-style local SGD).
+	ProxMu float64
+	// MaxGradNorm clips the per-step gradient L2 norm when positive.
+	MaxGradNorm float64
+}
+
+// WithDefaults returns a copy of c with zero fields replaced by the package
+// defaults (lr=0.05, batch=32, one local epoch).
+func (c SGDConfig) WithDefaults() SGDConfig {
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 1
+	}
+	return c
+}
+
+// LocalResult reports the outcome of one party's local training round.
+type LocalResult struct {
+	// Params is the post-training flat parameter vector x^(r,τ).
+	Params tensor.Vec
+	// NumSamples is the party's dataset size n_i (FedAvg aggregation weight).
+	NumSamples int
+	// MeanLoss is the mean per-minibatch training loss observed across the
+	// round — Oort's statistical-utility signal.
+	MeanLoss float64
+	// SqLossMean is the mean squared per-minibatch loss, matching Oort's
+	// sqrt(1/|B| Σ loss²) utility when square-rooted.
+	SqLossMean float64
+	// Steps is the number of SGD steps taken.
+	Steps int
+}
+
+// TrainLocal runs cfg.LocalEpochs epochs of minibatch SGD on data starting
+// from the model's current parameters and returns the resulting parameters.
+// globalParams (may be nil when ProxMu is 0) anchors the FedProx proximal
+// term. The model's parameters are mutated in place; callers pass a clone
+// seeded with the round's global model.
+func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tensor.Vec, r *rng.Source) LocalResult {
+	cfg = cfg.WithDefaults()
+	n := len(data)
+	res := LocalResult{NumSamples: n}
+	if n == 0 {
+		res.Params = m.Params()
+		return res
+	}
+	batch := cfg.BatchSize
+	if batch > n {
+		batch = n
+	}
+
+	params := m.Params()
+	grad := tensor.NewVec(len(params))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	minibatch := make([]dataset.Sample, 0, batch)
+
+	var lossSum, sqLossSum float64
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			minibatch = minibatch[:0]
+			for _, idx := range order[start:end] {
+				minibatch = append(minibatch, data[idx])
+			}
+
+			loss := m.Loss(minibatch)
+			lossSum += loss
+			sqLossSum += loss * loss
+			res.Steps++
+
+			m.Gradient(minibatch, grad)
+			if cfg.ProxMu > 0 && globalParams != nil {
+				// ∇[(µ/2)||x−m||²] = µ(x−m)
+				for i := range grad {
+					grad[i] += cfg.ProxMu * (params[i] - globalParams[i])
+				}
+			}
+			if cfg.MaxGradNorm > 0 {
+				if norm := grad.Norm2(); norm > cfg.MaxGradNorm {
+					grad.ScaleInPlace(cfg.MaxGradNorm / norm)
+				}
+			}
+			params.Axpy(-cfg.LearningRate, grad)
+			m.SetParams(params)
+		}
+	}
+
+	res.Params = params.Clone()
+	if res.Steps > 0 {
+		res.MeanLoss = lossSum / float64(res.Steps)
+		res.SqLossMean = sqLossSum / float64(res.Steps)
+	}
+	return res
+}
+
+// BalancedAccuracy computes the paper's §4.4 metric: the unweighted mean of
+// per-label recalls, Acc = (lA_1 + ... + lA_g)/g, which neutralizes label
+// imbalance in the test set. Labels absent from the test set are excluded
+// from the mean.
+func BalancedAccuracy(m Model, samples []dataset.Sample, numClasses int) float64 {
+	if len(samples) == 0 || numClasses == 0 {
+		return 0
+	}
+	correct := make([]int, numClasses)
+	total := make([]int, numClasses)
+	for _, s := range samples {
+		total[s.Y]++
+		if m.Predict(s.X) == s.Y {
+			correct[s.Y]++
+		}
+	}
+	var sum float64
+	present := 0
+	for c := 0; c < numClasses; c++ {
+		if total[c] == 0 {
+			continue
+		}
+		sum += float64(correct[c]) / float64(total[c])
+		present++
+	}
+	if present == 0 {
+		return 0
+	}
+	return sum / float64(present)
+}
+
+// PerLabelAccuracy returns per-label recall lA_i for each label, with NaN
+// for labels absent from the sample set.
+func PerLabelAccuracy(m Model, samples []dataset.Sample, numClasses int) []float64 {
+	correct := make([]int, numClasses)
+	total := make([]int, numClasses)
+	for _, s := range samples {
+		total[s.Y]++
+		if m.Predict(s.X) == s.Y {
+			correct[s.Y]++
+		}
+	}
+	out := make([]float64, numClasses)
+	for c := range out {
+		if total[c] == 0 {
+			out[c] = math.NaN()
+			continue
+		}
+		out[c] = float64(correct[c]) / float64(total[c])
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package partition distributes a centralized dataset across FL parties.
+//
+// The headline strategy is Dirichlet Allocation (paper §4.3): for every
+// label l a proportion vector p ~ Dir_N(alpha) decides how that label's
+// samples are split across the N parties. alpha→0 gives each party data from
+// essentially one label (extreme non-IID); alpha>=1 approaches IID. The
+// package also provides IID and label-shard partitioners and helpers to
+// compute the per-party label-distribution vectors FLIPS clusters on.
+package partition
+
+import (
+	"fmt"
+
+	"flips/internal/dataset"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// Partition assigns every sample index of a dataset to exactly one party.
+type Partition struct {
+	// Parties[i] lists the dataset sample indices owned by party i.
+	Parties [][]int
+}
+
+// NumParties returns the number of parties in the partition.
+func (p *Partition) NumParties() int { return len(p.Parties) }
+
+// TotalSamples returns the number of assigned samples across all parties.
+func (p *Partition) TotalSamples() int {
+	var n int
+	for _, idx := range p.Parties {
+		n += len(idx)
+	}
+	return n
+}
+
+// Dirichlet partitions ds across parties using per-label Dirichlet draws
+// with concentration alpha. Every party is guaranteed at least one sample
+// (zero-sample parties are topped up from the largest party) so that local
+// training is always defined.
+func Dirichlet(ds *dataset.Dataset, parties int, alpha float64, r *rng.Source) (*Partition, error) {
+	if parties <= 0 {
+		return nil, fmt.Errorf("partition: non-positive party count %d", parties)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("partition: non-positive alpha %v", alpha)
+	}
+	if ds.Len() < parties {
+		return nil, fmt.Errorf("partition: %d samples cannot cover %d parties", ds.Len(), parties)
+	}
+
+	// Bucket sample indices by label.
+	byLabel := make([][]int, ds.NumClasses())
+	for i, s := range ds.Samples {
+		byLabel[s.Y] = append(byLabel[s.Y], i)
+	}
+
+	p := &Partition{Parties: make([][]int, parties)}
+	for label, indices := range byLabel {
+		if len(indices) == 0 {
+			continue
+		}
+		r.Shuffle(len(indices), func(a, b int) { indices[a], indices[b] = indices[b], indices[a] })
+		props := r.Dirichlet(alpha, parties)
+		counts := largestRemainderApportion(props, len(indices))
+		pos := 0
+		for party, c := range counts {
+			p.Parties[party] = append(p.Parties[party], indices[pos:pos+c]...)
+			pos += c
+		}
+		_ = label
+	}
+	topUpEmptyParties(p, r)
+	return p, nil
+}
+
+// IID partitions ds across parties uniformly at random with near-equal
+// sizes.
+func IID(ds *dataset.Dataset, parties int, r *rng.Source) (*Partition, error) {
+	if parties <= 0 {
+		return nil, fmt.Errorf("partition: non-positive party count %d", parties)
+	}
+	if ds.Len() < parties {
+		return nil, fmt.Errorf("partition: %d samples cannot cover %d parties", ds.Len(), parties)
+	}
+	perm := r.Perm(ds.Len())
+	p := &Partition{Parties: make([][]int, parties)}
+	for i, idx := range perm {
+		party := i % parties
+		p.Parties[party] = append(p.Parties[party], idx)
+	}
+	return p, nil
+}
+
+// LabelShard emulates the "pathological" non-IID split of McMahan et al.:
+// the label-sorted data is cut into parties*shardsPerParty shards and each
+// party receives shardsPerParty shards, so each party sees at most
+// shardsPerParty distinct labels.
+func LabelShard(ds *dataset.Dataset, parties, shardsPerParty int, r *rng.Source) (*Partition, error) {
+	if parties <= 0 || shardsPerParty <= 0 {
+		return nil, fmt.Errorf("partition: invalid parties=%d shards=%d", parties, shardsPerParty)
+	}
+	total := parties * shardsPerParty
+	if ds.Len() < total {
+		return nil, fmt.Errorf("partition: %d samples cannot fill %d shards", ds.Len(), total)
+	}
+	// Sort indices by label (stable bucketing preserves determinism).
+	sorted := make([]int, 0, ds.Len())
+	byLabel := make([][]int, ds.NumClasses())
+	for i, s := range ds.Samples {
+		byLabel[s.Y] = append(byLabel[s.Y], i)
+	}
+	for _, idxs := range byLabel {
+		sorted = append(sorted, idxs...)
+	}
+	shardSize := len(sorted) / total
+	shardOrder := r.Perm(total)
+	p := &Partition{Parties: make([][]int, parties)}
+	for i, shard := range shardOrder {
+		party := i / shardsPerParty
+		lo := shard * shardSize
+		hi := lo + shardSize
+		if shard == total-1 {
+			hi = len(sorted) // last shard absorbs the remainder
+		}
+		p.Parties[party] = append(p.Parties[party], sorted[lo:hi]...)
+	}
+	return p, nil
+}
+
+// LabelDistribution returns the label-count vector ld_i = {l_1 ... l_g}
+// (paper §3.1) for the samples at the given indices.
+func LabelDistribution(ds *dataset.Dataset, indices []int) tensor.Vec {
+	ld := tensor.NewVec(ds.NumClasses())
+	for _, i := range indices {
+		ld[ds.Samples[i].Y]++
+	}
+	return ld
+}
+
+// LabelDistributions returns one label-count vector per party — the LD set
+// FLIPS submits to the TEE for clustering.
+func LabelDistributions(ds *dataset.Dataset, p *Partition) []tensor.Vec {
+	out := make([]tensor.Vec, p.NumParties())
+	for i, indices := range p.Parties {
+		out[i] = LabelDistribution(ds, indices)
+	}
+	return out
+}
+
+// NormalizedLabelDistributions returns per-party label *proportion* vectors,
+// which is what the clustering operates on so that party dataset size does
+// not dominate the label mix.
+func NormalizedLabelDistributions(ds *dataset.Dataset, p *Partition) []tensor.Vec {
+	out := LabelDistributions(ds, p)
+	for i := range out {
+		out[i].Normalize()
+	}
+	return out
+}
+
+// largestRemainderApportion converts fractional proportions over n items to
+// integer counts summing exactly to n (Hamilton's method).
+func largestRemainderApportion(props []float64, n int) []int {
+	counts := make([]int, len(props))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(props))
+	assigned := 0
+	for i, p := range props {
+		exact := p * float64(n)
+		counts[i] = int(exact)
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+		assigned += counts[i]
+	}
+	// Distribute the remaining items to the largest remainders
+	// (deterministic tie-break by index).
+	for assigned < n {
+		best := -1
+		for j := range rems {
+			if best == -1 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return counts
+}
+
+// topUpEmptyParties moves one sample from the largest party to each empty
+// party so every party can train locally.
+func topUpEmptyParties(p *Partition, r *rng.Source) {
+	for i := range p.Parties {
+		if len(p.Parties[i]) > 0 {
+			continue
+		}
+		// Find the largest donor.
+		donor := -1
+		for j := range p.Parties {
+			if donor == -1 || len(p.Parties[j]) > len(p.Parties[donor]) {
+				donor = j
+			}
+		}
+		if donor == -1 || len(p.Parties[donor]) <= 1 {
+			return // nothing to donate; caller's size validation prevents this
+		}
+		d := p.Parties[donor]
+		pick := r.Intn(len(d))
+		p.Parties[i] = append(p.Parties[i], d[pick])
+		d[pick] = d[len(d)-1]
+		p.Parties[donor] = d[:len(d)-1]
+	}
+}

@@ -1,0 +1,241 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flips/internal/dataset"
+	"flips/internal/rng"
+)
+
+func makeDataset(t *testing.T, n int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	train, _, err := dataset.Generate(dataset.ECG().WithSizes(n, 50), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train
+}
+
+func assertExactCover(t *testing.T, ds *dataset.Dataset, p *Partition) {
+	t.Helper()
+	seen := make([]int, ds.Len())
+	for _, party := range p.Parties {
+		for _, idx := range party {
+			if idx < 0 || idx >= ds.Len() {
+				t.Fatalf("index %d out of range", idx)
+			}
+			seen[idx]++
+		}
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d assigned %d times", idx, c)
+		}
+	}
+}
+
+func TestDirichletExactCover(t *testing.T) {
+	ds := makeDataset(t, 2000, 1)
+	for _, alpha := range []float64{0.1, 0.3, 0.6, 1, 10} {
+		p, err := Dirichlet(ds, 40, alpha, rng.New(7))
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		assertExactCover(t, ds, p)
+		if p.TotalSamples() != ds.Len() {
+			t.Fatalf("alpha=%v: total %d != %d", alpha, p.TotalSamples(), ds.Len())
+		}
+	}
+}
+
+func TestDirichletNoEmptyParties(t *testing.T) {
+	ds := makeDataset(t, 500, 2)
+	p, err := Dirichlet(ds, 100, 0.05, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, party := range p.Parties {
+		if len(party) == 0 {
+			t.Fatalf("party %d empty", i)
+		}
+	}
+}
+
+func TestDirichletSkewIncreasesAsAlphaDecreases(t *testing.T) {
+	ds := makeDataset(t, 4000, 4)
+	entropyAt := func(alpha float64) float64 {
+		p, err := Dirichlet(ds, 50, alpha, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lds := NormalizedLabelDistributions(ds, p)
+		var mean float64
+		for _, ld := range lds {
+			var h float64
+			for _, q := range ld {
+				if q > 0 {
+					h -= q * math.Log(q)
+				}
+			}
+			mean += h
+		}
+		return mean / float64(len(lds))
+	}
+	lo, hi := entropyAt(0.1), entropyAt(5)
+	if lo >= hi {
+		t.Fatalf("expected lower label entropy at alpha=0.1 (%v) than alpha=5 (%v)", lo, hi)
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	ds := makeDataset(t, 100, 5)
+	if _, err := Dirichlet(ds, 0, 0.3, rng.New(1)); err == nil {
+		t.Fatal("expected error for 0 parties")
+	}
+	if _, err := Dirichlet(ds, 10, 0, rng.New(1)); err == nil {
+		t.Fatal("expected error for alpha=0")
+	}
+	if _, err := Dirichlet(ds, 101, 0.3, rng.New(1)); err == nil {
+		t.Fatal("expected error for more parties than samples")
+	}
+}
+
+func TestIIDBalanced(t *testing.T) {
+	ds := makeDataset(t, 1000, 6)
+	p, err := IID(ds, 10, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExactCover(t, ds, p)
+	for i, party := range p.Parties {
+		if len(party) != 100 {
+			t.Fatalf("party %d has %d samples, want 100", i, len(party))
+		}
+	}
+}
+
+func TestLabelShardLimitsLabels(t *testing.T) {
+	ds := makeDataset(t, 2000, 7)
+	shards := 2
+	p, err := LabelShard(ds, 20, shards, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExactCover(t, ds, p)
+	for i, party := range p.Parties {
+		labels := make(map[int]bool)
+		for _, idx := range party {
+			labels[ds.Samples[idx].Y] = true
+		}
+		// A party holding s shards can see at most 2*s labels (each shard
+		// straddles at most one label boundary).
+		if len(labels) > 2*shards {
+			t.Fatalf("party %d sees %d labels with %d shards", i, len(labels), shards)
+		}
+	}
+}
+
+func TestLabelShardValidation(t *testing.T) {
+	ds := makeDataset(t, 100, 8)
+	if _, err := LabelShard(ds, 200, 1, rng.New(1)); err == nil {
+		t.Fatal("expected error when shards exceed samples")
+	}
+	if _, err := LabelShard(ds, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("expected error for zero parties")
+	}
+}
+
+func TestLabelDistributionMatchesCounts(t *testing.T) {
+	ds := makeDataset(t, 1000, 9)
+	p, err := Dirichlet(ds, 25, 0.3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lds := LabelDistributions(ds, p)
+	if len(lds) != 25 {
+		t.Fatalf("got %d label distributions", len(lds))
+	}
+	for i, ld := range lds {
+		if int(ld.Sum()) != len(p.Parties[i]) {
+			t.Fatalf("party %d: LD sum %v != size %d", i, ld.Sum(), len(p.Parties[i]))
+		}
+		for _, idx := range p.Parties[i] {
+			y := ds.Samples[idx].Y
+			if ld[y] == 0 {
+				t.Fatalf("party %d: label %d present but LD count is 0", i, y)
+			}
+		}
+	}
+}
+
+func TestNormalizedLabelDistributionsSumToOne(t *testing.T) {
+	ds := makeDataset(t, 800, 10)
+	p, err := Dirichlet(ds, 20, 0.6, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ld := range NormalizedLabelDistributions(ds, p) {
+		if math.Abs(ld.Sum()-1) > 1e-9 {
+			t.Fatalf("party %d: normalized LD sums to %v", i, ld.Sum())
+		}
+	}
+}
+
+func TestLargestRemainderApportion(t *testing.T) {
+	counts := largestRemainderApportion([]float64{0.5, 0.3, 0.2}, 10)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("apportioned %d of 10", total)
+	}
+	if counts[0] != 5 || counts[1] != 3 || counts[2] != 2 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestApportionPropertyConservesN(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(20)
+		props := r.Dirichlet(0.5, dim)
+		n := r.Intn(1000)
+		counts := largestRemainderApportion(props, n)
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletDeterministic(t *testing.T) {
+	ds := makeDataset(t, 600, 13)
+	a, err := Dirichlet(ds, 15, 0.3, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dirichlet(ds, 15, 0.3, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Parties {
+		if len(a.Parties[i]) != len(b.Parties[i]) {
+			t.Fatalf("party %d sizes differ", i)
+		}
+		for j := range a.Parties[i] {
+			if a.Parties[i][j] != b.Parties[i][j] {
+				t.Fatalf("party %d index %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package privacy implements the differential-privacy alternative the paper
+// surveys in §2.4(ii) for protecting label distributions: instead of (or in
+// addition to) sealing the exact counts inside a TEE, each party perturbs
+// its label-distribution vector with calibrated Laplace noise before
+// submission. Clustering then operates on noisy distributions, trading
+// cluster fidelity for a provable (ε, 0)-DP guarantee on the counts.
+//
+// The mechanism is the classic Laplace mechanism over histogram queries: a
+// party's label histogram has L1 sensitivity 2 under neighbouring-dataset
+// semantics where one sample's label may change (one count decrements, one
+// increments), so noise Lap(2/ε) per coordinate gives ε-DP.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// LabelHistogramSensitivity is the L1 sensitivity of a label histogram under
+// change-one-label neighbouring semantics.
+const LabelHistogramSensitivity = 2.0
+
+// Laplace draws from the Laplace distribution with the given scale b
+// (mean 0), via inverse-CDF sampling.
+func Laplace(b float64, r *rng.Source) float64 {
+	u := r.Float64() - 0.5
+	return -b * sign(u) * math.Log(1-2*math.Abs(u))
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// NoisyLabelDistribution returns an ε-DP copy of the label-count vector:
+// each count gains Lap(2/ε) noise and is clamped at zero (post-processing
+// preserves DP). epsilon must be positive.
+func NoisyLabelDistribution(ld tensor.Vec, epsilon float64, r *rng.Source) (tensor.Vec, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("privacy: epsilon %v must be positive", epsilon)
+	}
+	scale := LabelHistogramSensitivity / epsilon
+	out := make(tensor.Vec, len(ld))
+	for i, c := range ld {
+		v := c + Laplace(scale, r)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// NoisyLabelDistributions applies NoisyLabelDistribution to every party with
+// independent noise.
+func NoisyLabelDistributions(lds []tensor.Vec, epsilon float64, r *rng.Source) ([]tensor.Vec, error) {
+	out := make([]tensor.Vec, len(lds))
+	for i, ld := range lds {
+		noisy, err := NoisyLabelDistribution(ld, epsilon, r.Split(uint64(i)+1))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = noisy
+	}
+	return out, nil
+}
+
+// ClusteringAgreement measures how well a clustering of noisy distributions
+// matches the clustering of exact ones: the fraction of party pairs on whose
+// co-membership the two clusterings agree (Rand index). Both assignment
+// slices must have equal length.
+func ClusteringAgreement(exact, noisy []int) (float64, error) {
+	if len(exact) != len(noisy) {
+		return 0, fmt.Errorf("privacy: assignment lengths %d != %d", len(exact), len(noisy))
+	}
+	n := len(exact)
+	if n < 2 {
+		return 1, nil
+	}
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameExact := exact[i] == exact[j]
+			sameNoisy := noisy[i] == noisy[j]
+			if sameExact == sameNoisy {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total), nil
+}

@@ -1,0 +1,180 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flips/internal/cluster"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+func TestLaplaceMoments(t *testing.T) {
+	r := rng.New(1)
+	const b, n = 2.0, 200000
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := Laplace(b, r)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05 {
+		t.Fatalf("laplace mean %v", mean)
+	}
+	// E|X| = b for Laplace(b).
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-b) > 0.05 {
+		t.Fatalf("laplace E|X| = %v, want %v", meanAbs, b)
+	}
+}
+
+func TestNoisyLabelDistributionValidation(t *testing.T) {
+	if _, err := NoisyLabelDistribution(tensor.Vec{1}, 0, rng.New(1)); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := NoisyLabelDistribution(tensor.Vec{1}, -1, rng.New(1)); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestNoisyLabelDistributionNonNegativeAndUnbiasedish(t *testing.T) {
+	r := rng.New(2)
+	ld := tensor.Vec{100, 50, 5, 0}
+	const trials = 5000
+	sums := make(tensor.Vec, len(ld))
+	for i := 0; i < trials; i++ {
+		noisy, err := NoisyLabelDistribution(ld, 1.0, r.Split(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range noisy {
+			if v < 0 {
+				t.Fatalf("negative noisy count %v", v)
+			}
+			sums[j] += v
+		}
+	}
+	// Large counts are approximately unbiased (clamping rarely binds).
+	if mean := sums[0] / trials; math.Abs(mean-100) > 1 {
+		t.Fatalf("noisy mean of count 100 is %v", mean)
+	}
+	// The zero count is biased upward by clamping — that is expected; it
+	// must stay bounded by the noise scale.
+	if mean := sums[3] / trials; mean > 4 {
+		t.Fatalf("clamped zero count mean %v too large", mean)
+	}
+}
+
+func TestMoreEpsilonLessNoise(t *testing.T) {
+	deviation := func(eps float64) float64 {
+		r := rng.New(3)
+		ld := tensor.Vec{100, 100, 100}
+		var dev float64
+		for i := 0; i < 2000; i++ {
+			noisy, err := NoisyLabelDistribution(ld, eps, r.Split(uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range ld {
+				dev += math.Abs(noisy[j] - ld[j])
+			}
+		}
+		return dev
+	}
+	if loose, tight := deviation(0.1), deviation(10); loose <= tight {
+		t.Fatalf("eps=0.1 deviation %v should exceed eps=10 deviation %v", loose, tight)
+	}
+}
+
+func TestClusteringAgreement(t *testing.T) {
+	if _, err := ClusteringAgreement([]int{0, 1}, []int{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	same, err := ClusteringAgreement([]int{0, 0, 1, 1}, []int{5, 5, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != 1 {
+		t.Fatalf("relabeled identical clustering agreement %v", same)
+	}
+	// One point moved: pairs (0,1) agree, (0,2),(1,2) flip, (others)...
+	partial, err := ClusteringAgreement([]int{0, 0, 0}, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(partial-1.0/3) > 1e-12 {
+		t.Fatalf("partial agreement %v, want 1/3", partial)
+	}
+	single, err := ClusteringAgreement([]int{0}, []int{3})
+	if err != nil || single != 1 {
+		t.Fatalf("single-point agreement %v err %v", single, err)
+	}
+}
+
+func TestAgreementSymmetricProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = r.Intn(4)
+		}
+		x, err1 := ClusteringAgreement(a, b)
+		y, err2 := ClusteringAgreement(b, a)
+		return err1 == nil && err2 == nil && x == y && x >= 0 && x <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDPClusteringTradeoff is the privacy/utility claim test: at generous ε
+// the noisy clustering matches the exact one almost perfectly; at tiny ε it
+// degrades toward chance.
+func TestDPClusteringTradeoff(t *testing.T) {
+	r := rng.New(7)
+	// Three clean label-distribution archetypes, 10 parties each.
+	var lds []tensor.Vec
+	archetypes := []tensor.Vec{{200, 5, 5}, {5, 200, 5}, {5, 5, 200}}
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 10; i++ {
+			ld := archetypes[g].Clone()
+			for j := range ld {
+				ld[j] += 3 * r.Float64()
+			}
+			lds = append(lds, ld)
+		}
+	}
+	clusterAssign := func(points []tensor.Vec) []int {
+		normalized := make([]tensor.Vec, len(points))
+		for i, p := range points {
+			normalized[i] = p.Clone().Normalize()
+		}
+		res, err := cluster.KMeans(normalized, 3, rng.New(42), cluster.KMeansOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Assignments
+	}
+	exact := clusterAssign(lds)
+
+	agreementAt := func(eps float64) float64 {
+		noisy, err := NoisyLabelDistributions(lds, eps, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agreement, err := ClusteringAgreement(exact, clusterAssign(noisy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agreement
+	}
+	if high := agreementAt(5.0); high < 0.95 {
+		t.Fatalf("eps=5 agreement %v, want near-perfect", high)
+	}
+	if low, high := agreementAt(0.005), agreementAt(5.0); low >= high {
+		t.Fatalf("tiny-eps agreement %v not below generous-eps %v", low, high)
+	}
+}

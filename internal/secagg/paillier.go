@@ -1,0 +1,166 @@
+package secagg
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// PaillierPublicKey is the encryption half of a Paillier key pair.
+type PaillierPublicKey struct {
+	N  *big.Int // modulus n = p·q
+	N2 *big.Int // n²
+}
+
+// PaillierPrivateKey is the decryption half.
+type PaillierPrivateKey struct {
+	PaillierPublicKey
+	lambda *big.Int // lcm(p−1, q−1)
+	mu     *big.Int // lambda⁻¹ mod n (valid for g = n+1)
+}
+
+// GeneratePaillierKey creates a key pair with the given modulus size. 1024
+// bits is comfortable for benchmarks; production uses ≥2048.
+func GeneratePaillierKey(bits int) (*PaillierPrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("secagg: paillier modulus %d bits too small", bits)
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue // λ not invertible mod n (vanishingly rare); retry
+		}
+		return &PaillierPrivateKey{
+			PaillierPublicKey: PaillierPublicKey{N: n, N2: new(big.Int).Mul(n, n)},
+			lambda:            lambda,
+			mu:                mu,
+		}, nil
+	}
+}
+
+// Encrypt encrypts m ∈ [0, n) as c = (1+n)^m · r^n mod n², using the g = n+1
+// optimization: (1+n)^m ≡ 1 + m·n (mod n²).
+func (pk *PaillierPublicKey) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("secagg: plaintext out of [0, n)")
+	}
+	r, err := rand.Int(rand.Reader, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: nonce: %w", err)
+	}
+	for r.Sign() == 0 {
+		if r, err = rand.Int(rand.Reader, pk.N); err != nil {
+			return nil, err
+		}
+	}
+	// gm = 1 + m·n mod n².
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pk.N2), nil
+}
+
+// AddCipher homomorphically adds two ciphertexts: Dec(c1·c2) = m1 + m2.
+func (pk *PaillierPublicKey) AddCipher(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// Decrypt recovers m = L(c^λ mod n²)·µ mod n with L(u) = (u−1)/n.
+func (sk *PaillierPrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("secagg: ciphertext out of range")
+	}
+	u := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	u.Sub(u, big.NewInt(1))
+	u.Div(u, sk.N)
+	u.Mul(u, sk.mu)
+	return u.Mod(u, sk.N), nil
+}
+
+// paillierOffset centers fixed-point values so negatives encode as positive
+// residues; sums of up to maxParties values stay below n for any realistic
+// modulus.
+var paillierOffset = new(big.Int).Lsh(big.NewInt(1), 40)
+
+// EncodeFloat maps a float64 into the Paillier plaintext space.
+func EncodeFloat(x float64) *big.Int {
+	v := big.NewInt(int64(math.Round(x * FixedPointScale)))
+	return v.Add(v, paillierOffset)
+}
+
+// DecodeFloatSum inverts EncodeFloat on a sum of parties values.
+func DecodeFloatSum(sum *big.Int, parties int) float64 {
+	v := new(big.Int).Sub(sum, new(big.Int).Mul(paillierOffset, big.NewInt(int64(parties))))
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f / FixedPointScale
+}
+
+// EncryptVector encrypts a float vector element-wise.
+func (pk *PaillierPublicKey) EncryptVector(xs []float64) ([]*big.Int, error) {
+	out := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		c, err := pk.Encrypt(EncodeFloat(x))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// AggregateCiphertexts multiplies ciphertext vectors element-wise, which
+// homomorphically sums the underlying updates — the aggregator never sees a
+// plaintext.
+func (pk *PaillierPublicKey) AggregateCiphertexts(vectors [][]*big.Int) ([]*big.Int, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("secagg: no ciphertext vectors")
+	}
+	dim := len(vectors[0])
+	sum := make([]*big.Int, dim)
+	for i := range sum {
+		sum[i] = big.NewInt(1) // multiplicative identity = Enc(0) aggregate seed
+	}
+	for _, vec := range vectors {
+		if len(vec) != dim {
+			return nil, fmt.Errorf("secagg: ciphertext vector dim %d, want %d", len(vec), dim)
+		}
+		for i, c := range vec {
+			sum[i] = pk.AddCipher(sum[i], c)
+		}
+	}
+	return sum, nil
+}
+
+// DecryptVectorSum decrypts an aggregated ciphertext vector produced from
+// `parties` contributions.
+func (sk *PaillierPrivateKey) DecryptVectorSum(sum []*big.Int, parties int) ([]float64, error) {
+	out := make([]float64, len(sum))
+	for i, c := range sum {
+		m, err := sk.Decrypt(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = DecodeFloatSum(m, parties)
+	}
+	return out, nil
+}

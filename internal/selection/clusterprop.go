@@ -1,0 +1,75 @@
+package selection
+
+import (
+	"fmt"
+
+	"flips/internal/fl"
+	"flips/internal/rng"
+)
+
+// ClusterProportional is an ablation variant of FLIPS's selection policy:
+// it uses the same label-distribution clusters but samples parties with
+// probability proportional to cluster size instead of equitable round-robin.
+// Large (majority-label) clusters therefore dominate every round, which is
+// exactly the failure mode FLIPS's equal per-cluster representation is
+// designed to avoid; the ablation bench quantifies that design choice.
+type ClusterProportional struct {
+	clusters [][]int
+	weights  []float64
+	r        *rng.Source
+}
+
+var _ fl.Selector = (*ClusterProportional)(nil)
+
+// NewClusterProportional builds the ablation selector from party clusters.
+func NewClusterProportional(clusters [][]int, r *rng.Source) (*ClusterProportional, error) {
+	s := &ClusterProportional{r: r}
+	for _, members := range clusters {
+		if len(members) == 0 {
+			continue
+		}
+		s.clusters = append(s.clusters, append([]int(nil), members...))
+		s.weights = append(s.weights, float64(len(members)))
+	}
+	if len(s.clusters) == 0 {
+		return nil, fmt.Errorf("selection: no parties in any cluster")
+	}
+	return s, nil
+}
+
+// Name implements fl.Selector.
+func (s *ClusterProportional) Name() string { return "cluster-proportional" }
+
+// Select implements fl.Selector: draw clusters proportional to size, then a
+// uniform not-yet-selected member within the drawn cluster.
+func (s *ClusterProportional) Select(_, target int) []int {
+	total := 0
+	for _, c := range s.clusters {
+		total += len(c)
+	}
+	if target > total {
+		target = total
+	}
+	selected := make([]int, 0, target)
+	inRound := make(map[int]bool, target)
+	for len(selected) < target {
+		c := s.clusters[s.r.Categorical(s.weights)]
+		// Uniform member; skip if exhausted this round.
+		free := make([]int, 0, len(c))
+		for _, id := range c {
+			if !inRound[id] {
+				free = append(free, id)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		id := free[s.r.Intn(len(free))]
+		inRound[id] = true
+		selected = append(selected, id)
+	}
+	return selected
+}
+
+// Observe implements fl.Selector; the ablation variant is stateless.
+func (s *ClusterProportional) Observe(fl.RoundFeedback) {}

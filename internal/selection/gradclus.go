@@ -1,0 +1,84 @@
+package selection
+
+import (
+	"flips/internal/cluster"
+	"flips/internal/fl"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// GradClus implements clustered sampling over party gradients (Fraboni et
+// al. 2021, the paper's §4.1 third baseline): every round it hierarchically
+// clusters the parties' last-known model updates into Nr groups by cosine
+// similarity and picks one random party per group. Parties that have never
+// participated carry random placeholder gradients ("The gradients assigned
+// in the beginning are random numbers and get iteratively updated as the
+// party gets picked").
+type GradClus struct {
+	numParties int
+	r          *rng.Source
+	grads      []tensor.Vec
+	linkage    cluster.Linkage
+}
+
+var _ fl.Selector = (*GradClus)(nil)
+
+// NewGradClus builds a GradClus selector. gradDim is the model parameter
+// count (placeholder-gradient dimensionality).
+func NewGradClus(numParties, gradDim int, r *rng.Source) *GradClus {
+	g := &GradClus{
+		numParties: numParties,
+		r:          r,
+		grads:      make([]tensor.Vec, numParties),
+		linkage:    cluster.AverageLinkage,
+	}
+	for i := range g.grads {
+		v := tensor.NewVec(gradDim)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		g.grads[i] = v
+	}
+	return g
+}
+
+// Name implements fl.Selector.
+func (s *GradClus) Name() string { return "gradclus" }
+
+// Select implements fl.Selector: hierarchical clustering into target groups,
+// one uniformly random party from each.
+func (s *GradClus) Select(_, target int) []int {
+	if target > s.numParties {
+		target = s.numParties
+	}
+	dist := cluster.CosineDistanceMatrix(s.grads)
+	assign, err := cluster.Agglomerative(dist, target, s.linkage)
+	if err != nil {
+		// Degenerate geometry cannot occur with a square matrix and
+		// validated target, but fall back to random rather than failing
+		// the FL job.
+		return s.r.SampleWithoutReplacement(s.numParties, target)
+	}
+	members := make([][]int, target)
+	for id, c := range assign {
+		members[c] = append(members[c], id)
+	}
+	out := make([]int, 0, target)
+	for _, group := range members {
+		if len(group) == 0 {
+			continue
+		}
+		out = append(out, group[s.r.Intn(len(group))])
+	}
+	return out
+}
+
+// Observe implements fl.Selector: store the completed parties' updates as
+// their current gradient representation.
+func (s *GradClus) Observe(fb fl.RoundFeedback) {
+	for _, id := range fb.Completed {
+		if u, ok := fb.Update[id]; ok && len(u) == len(s.grads[id]) {
+			s.grads[id] = u.Clone()
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package selection
+
+import (
+	"math"
+	"sort"
+
+	"flips/internal/fl"
+	"flips/internal/rng"
+)
+
+// OortConfig tunes the Oort selector. Zero values take the defaults from the
+// Oort paper's reference implementation.
+type OortConfig struct {
+	// ExplorationFraction is the share of each round reserved for parties
+	// never tried before (default 0.3, decaying by ExplorationDecay).
+	ExplorationFraction float64
+	// ExplorationDecay multiplies the exploration fraction each round
+	// (default 0.98, floored at 0.1).
+	ExplorationDecay float64
+	// OverProvisionFactor inflates the request size when stragglers have
+	// been observed; the FLIPS paper runs Oort with 1.3x (§5.3).
+	OverProvisionFactor float64
+	// StalenessWeight scales the exploration bonus sqrt(log(r)/last_used)
+	// added to utilities (default 0.1 of the mean utility).
+	StalenessWeight float64
+	// SlowPenalty divides the utility of parties whose observed duration
+	// exceeds the round's median (Oort's systemic utility; default 2).
+	SlowPenalty float64
+}
+
+func (c OortConfig) withDefaults() OortConfig {
+	if c.ExplorationFraction == 0 {
+		c.ExplorationFraction = 0.3
+	}
+	if c.ExplorationDecay == 0 {
+		c.ExplorationDecay = 0.98
+	}
+	if c.OverProvisionFactor == 0 {
+		c.OverProvisionFactor = 1.3
+	}
+	if c.StalenessWeight == 0 {
+		c.StalenessWeight = 0.1
+	}
+	if c.SlowPenalty == 0 {
+		c.SlowPenalty = 2
+	}
+	return c
+}
+
+// Oort implements guided participant selection: parties are ranked by a
+// statistical utility |B_i| * sqrt(mean loss²) — high-loss parties
+// contribute more to convergence — discounted by a systemic (speed) utility,
+// with an exploration budget for never-tried parties and over-provisioning
+// once stragglers appear.
+type Oort struct {
+	cfg        OortConfig
+	numParties int
+	r          *rng.Source
+
+	utility   []float64
+	lastUsed  []int
+	tried     []bool
+	duration  []float64
+	sawStrag  bool
+	explore   float64
+	dataSizes []float64
+}
+
+var _ fl.Selector = (*Oort)(nil)
+
+// NewOort builds an Oort selector. dataSizes gives |B_i| per party (Oort
+// weights statistical utility by the party's data volume); pass nil for
+// uniform sizes.
+func NewOort(numParties int, dataSizes []int, cfg OortConfig, r *rng.Source) *Oort {
+	o := &Oort{
+		cfg:        cfg.withDefaults(),
+		numParties: numParties,
+		r:          r,
+		utility:    make([]float64, numParties),
+		lastUsed:   make([]int, numParties),
+		tried:      make([]bool, numParties),
+		duration:   make([]float64, numParties),
+		dataSizes:  make([]float64, numParties),
+	}
+	o.explore = o.cfg.ExplorationFraction
+	for i := range o.dataSizes {
+		if dataSizes != nil && i < len(dataSizes) {
+			o.dataSizes[i] = float64(dataSizes[i])
+		} else {
+			o.dataSizes[i] = 1
+		}
+	}
+	return o
+}
+
+// Name implements fl.Selector.
+func (s *Oort) Name() string { return "oort" }
+
+// Select implements fl.Selector.
+func (s *Oort) Select(round, target int) []int {
+	if target > s.numParties {
+		target = s.numParties
+	}
+	request := target
+	if s.sawStrag {
+		request = int(math.Ceil(s.cfg.OverProvisionFactor * float64(target)))
+		if request > s.numParties {
+			request = s.numParties
+		}
+	}
+
+	// Split the request between exploration (never-tried parties) and
+	// exploitation (highest utility among tried parties).
+	var untried, tried []int
+	for i := 0; i < s.numParties; i++ {
+		if s.tried[i] {
+			tried = append(tried, i)
+		} else {
+			untried = append(untried, i)
+		}
+	}
+	nExplore := int(math.Round(s.explore * float64(request)))
+	if nExplore > len(untried) {
+		nExplore = len(untried)
+	}
+	nExploit := request - nExplore
+	if nExploit > len(tried) {
+		// Not enough history yet: widen exploration.
+		nExplore = minInt(request, len(untried))
+		nExploit = minInt(request-nExplore, len(tried))
+	}
+
+	selected := make([]int, 0, request)
+	if nExplore > 0 {
+		for _, j := range s.r.SampleWithoutReplacement(len(untried), nExplore) {
+			selected = append(selected, untried[j])
+		}
+	}
+	if nExploit > 0 {
+		// Oort samples probabilistically among the high-utility candidates
+		// (its priority queue is randomized within a utility band) rather
+		// than deterministically taking the top-k, which avoids collapsing
+		// onto a few pathological high-loss parties.
+		scores := make([]float64, len(tried))
+		for j, id := range tried {
+			scores[j] = s.score(id, round)
+		}
+		for i := 0; i < nExploit; i++ {
+			j := s.r.Categorical(scores)
+			selected = append(selected, tried[j])
+			scores[j] = 0
+		}
+	}
+	return selected
+}
+
+// score combines statistical utility, staleness bonus and systemic penalty.
+func (s *Oort) score(id, round int) float64 {
+	u := s.utility[id]
+	// Staleness exploration bonus (Oort Eq. 2's confidence term).
+	age := round - s.lastUsed[id]
+	if age > 0 && round > 0 {
+		u += s.cfg.StalenessWeight * u * math.Sqrt(math.Log(float64(round+1))/float64(age))
+	}
+	return u
+}
+
+// Observe implements fl.Selector.
+func (s *Oort) Observe(fb fl.RoundFeedback) {
+	if len(fb.Stragglers) > 0 {
+		s.sawStrag = true
+	}
+	// Median completed duration defines "slow" for the systemic penalty.
+	var durs []float64
+	for _, id := range fb.Completed {
+		if d, ok := fb.Duration[id]; ok {
+			durs = append(durs, d)
+		}
+	}
+	med := median(durs)
+	for _, id := range fb.Completed {
+		s.tried[id] = true
+		s.lastUsed[id] = fb.Round
+		sq := fb.SqLoss[id]
+		util := s.dataSizes[id] * math.Sqrt(math.Max(sq, 0))
+		if med > 0 && fb.Duration[id] > med*1.5 {
+			util /= s.cfg.SlowPenalty
+		}
+		s.utility[id] = util
+		s.duration[id] = fb.Duration[id]
+	}
+	// Stragglers burn their utility so repeat offenders fall in rank.
+	for _, id := range fb.Stragglers {
+		s.tried[id] = true
+		s.utility[id] /= s.cfg.SlowPenalty
+	}
+	s.explore = math.Max(0.1, s.explore*s.cfg.ExplorationDecay)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+// Package selection implements the participant-selection baselines the FLIPS
+// paper compares against (§4.1): the predominant Random selection, Oort
+// (guided selection via statistical+systemic utility, Lai et al. OSDI'21),
+// GradClus (hierarchical clustering of party gradients, Fraboni et al.
+// ICML'21), TiFL (latency tiers with adaptive credit-based tier choice, Chai
+// et al. HPDC'20), and the Power-of-Choice extension (Cho et al.).
+package selection
+
+import (
+	"flips/internal/fl"
+	"flips/internal/rng"
+)
+
+// Random selects every party with equal probability each round — the
+// default in FedAvg/FedProx deployments and the paper's primary baseline.
+type Random struct {
+	numParties int
+	r          *rng.Source
+}
+
+var _ fl.Selector = (*Random)(nil)
+
+// NewRandom builds a Random selector over parties [0, numParties).
+func NewRandom(numParties int, r *rng.Source) *Random {
+	return &Random{numParties: numParties, r: r}
+}
+
+// Name implements fl.Selector.
+func (s *Random) Name() string { return "random" }
+
+// Select implements fl.Selector.
+func (s *Random) Select(_, target int) []int {
+	if target > s.numParties {
+		target = s.numParties
+	}
+	return s.r.SampleWithoutReplacement(s.numParties, target)
+}
+
+// Observe implements fl.Selector; Random is stateless.
+func (s *Random) Observe(fl.RoundFeedback) {}

@@ -1,0 +1,168 @@
+package selection
+
+import (
+	"math"
+	"sort"
+
+	"flips/internal/fl"
+	"flips/internal/rng"
+)
+
+// TiFLConfig tunes the TiFL selector.
+type TiFLConfig struct {
+	// NumTiers is the number of latency tiers (default 5, as in TiFL).
+	NumTiers int
+	// CreditsPerTier caps how many rounds each tier can be chosen, spreading
+	// rounds across tiers over the job (default rounds budget / tiers; here
+	// a large default of 1<<30 ≈ unlimited unless set).
+	CreditsPerTier int
+	// Adaptivity blends uniform tier choice with loss-weighted choice in
+	// [0,1] (default 0.7): TiFL's "adaptive tier selection approach to
+	// update the tiering on the fly based on the observed ... accuracy".
+	Adaptivity float64
+}
+
+func (c TiFLConfig) withDefaults() TiFLConfig {
+	if c.NumTiers <= 0 {
+		c.NumTiers = 5
+	}
+	if c.CreditsPerTier <= 0 {
+		c.CreditsPerTier = 1 << 30
+	}
+	if c.Adaptivity == 0 {
+		c.Adaptivity = 0.7
+	}
+	return c
+}
+
+// TiFL groups parties into latency tiers from an offline profiling pass and
+// draws each round's participants from a single tier, which bounds the
+// round's completion time by the tier's speed. Tier choice is adaptive:
+// tiers whose parties currently exhibit higher training loss are favored,
+// within per-tier credits. Because tiers reflect *platform* speed rather
+// than *data*, tier-homogeneous rounds do not improve label coverage — the
+// behaviour the FLIPS paper observes ("TiFL's adaptive tiering approach is
+// unable to group the parties with under-represented labels into a single
+// tier").
+type TiFL struct {
+	cfg     TiFLConfig
+	r       *rng.Source
+	tiers   [][]int // tier -> party ids, fastest first
+	tierOf  []int
+	credits []int
+	loss    []float64 // last observed mean loss per party
+}
+
+var _ fl.Selector = (*TiFL)(nil)
+
+// NewTiFL builds a TiFL selector from profiled per-party latencies
+// (the offline profiling phase of the TiFL system).
+func NewTiFL(latencies []float64, cfg TiFLConfig, r *rng.Source) *TiFL {
+	cfg = cfg.withDefaults()
+	n := len(latencies)
+	if cfg.NumTiers > n {
+		cfg.NumTiers = n
+	}
+	t := &TiFL{
+		cfg:     cfg,
+		r:       r,
+		tierOf:  make([]int, n),
+		credits: make([]int, cfg.NumTiers),
+		loss:    make([]float64, n),
+	}
+	// Quantile tiering: sort by latency, cut into equal tiers.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if latencies[order[a]] != latencies[order[b]] {
+			return latencies[order[a]] < latencies[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	t.tiers = make([][]int, cfg.NumTiers)
+	for rank, id := range order {
+		tier := rank * cfg.NumTiers / n
+		if tier >= cfg.NumTiers {
+			tier = cfg.NumTiers - 1
+		}
+		t.tiers[tier] = append(t.tiers[tier], id)
+		t.tierOf[id] = tier
+	}
+	for i := range t.credits {
+		t.credits[i] = cfg.CreditsPerTier
+	}
+	for i := range t.loss {
+		t.loss[i] = 1 // optimistic prior so fresh tiers stay eligible
+	}
+	return t
+}
+
+// Name implements fl.Selector.
+func (s *TiFL) Name() string { return "tifl" }
+
+// Select implements fl.Selector: adaptively choose one tier, then sample the
+// round's parties uniformly within it (topping up from neighbouring tiers
+// when the tier is smaller than the request).
+func (s *TiFL) Select(_, target int) []int {
+	tier := s.chooseTier()
+	pool := append([]int(nil), s.tiers[tier]...)
+	// Top up from adjacent tiers if this tier is too small.
+	for delta := 1; len(pool) < target && delta < s.cfg.NumTiers; delta++ {
+		if t := tier - delta; t >= 0 {
+			pool = append(pool, s.tiers[t]...)
+		}
+		if t := tier + delta; t < s.cfg.NumTiers {
+			pool = append(pool, s.tiers[t]...)
+		}
+	}
+	if target > len(pool) {
+		target = len(pool)
+	}
+	idx := s.r.SampleWithoutReplacement(len(pool), target)
+	out := make([]int, target)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	if s.credits[tier] > 0 {
+		s.credits[tier]--
+	}
+	return out
+}
+
+// chooseTier blends uniform and loss-weighted tier selection over tiers with
+// remaining credits.
+func (s *TiFL) chooseTier() int {
+	weights := make([]float64, s.cfg.NumTiers)
+	anyCredit := false
+	for tier, members := range s.tiers {
+		if s.credits[tier] <= 0 || len(members) == 0 {
+			continue
+		}
+		anyCredit = true
+		var meanLoss float64
+		for _, id := range members {
+			meanLoss += s.loss[id]
+		}
+		meanLoss /= float64(len(members))
+		weights[tier] = (1-s.cfg.Adaptivity)*1 + s.cfg.Adaptivity*math.Max(meanLoss, 1e-6)
+	}
+	if !anyCredit {
+		// Credits exhausted everywhere: reset (TiFL re-tiers periodically).
+		for i := range s.credits {
+			s.credits[i] = s.cfg.CreditsPerTier
+		}
+		return s.chooseTier()
+	}
+	return s.r.Categorical(weights)
+}
+
+// Observe implements fl.Selector: refresh per-party loss estimates.
+func (s *TiFL) Observe(fb fl.RoundFeedback) {
+	for _, id := range fb.Completed {
+		if l, ok := fb.MeanLoss[id]; ok {
+			s.loss[id] = l
+		}
+	}
+}

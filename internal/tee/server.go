@@ -1,0 +1,307 @@
+package tee
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// request is the single wire message type of the TEE service. Operations
+// mirror the enclave API; all byte fields are base64 via encoding/json.
+type request struct {
+	Op         string `json:"op"`
+	Nonce      []byte `json:"nonce,omitempty"`
+	Pub        []byte `json:"pub,omitempty"`
+	Session    string `json:"session,omitempty"`
+	Ciphertext []byte `json:"ciphertext,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Round      int    `json:"round,omitempty"`
+	Target     int    `json:"target,omitempty"`
+	Selected   []int  `json:"selected,omitempty"`
+	Completed  []int  `json:"completed,omitempty"`
+	Stragglers []int  `json:"stragglers,omitempty"`
+}
+
+type response struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Quote   *Quote `json:"quote,omitempty"`
+	Session string `json:"session,omitempty"`
+	Parties []int  `json:"parties,omitempty"`
+	Count   int    `json:"count,omitempty"`
+}
+
+// Server exposes an Enclave over TCP with newline-delimited JSON — the
+// deployment shape of Figure 3, where remote parties reach the aggregator's
+// TEE across the network. (Production would wrap this listener in TLS; the
+// payload privacy does not depend on it because label distributions are
+// already sealed to the enclave's channel key.)
+type Server struct {
+	enclave *Enclave
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps an enclave for network serving.
+func NewServer(enclave *Enclave) *Server {
+	return &Server{
+		enclave: enclave,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address. Serving continues until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("tee server: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{Error: "malformed request: " + err.Error()})
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	switch req.Op {
+	case "quote":
+		q := s.enclave.Quote(req.Nonce)
+		return response{OK: true, Quote: &q}
+	case "open":
+		session, err := s.enclave.OpenSession(req.Pub)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Session: session}
+	case "submit":
+		if err := s.enclave.Submit(req.Session, req.Ciphertext); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "cluster":
+		if err := s.enclave.Cluster(req.Seed); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "numclusters":
+		n, err := s.enclave.NumClusters()
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Count: n}
+	case "select":
+		parties, err := s.enclave.SelectParticipants(req.Round, req.Target)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Parties: parties}
+	case "observe":
+		if err := s.enclave.ObserveRound(req.Selected, req.Completed, req.Stragglers, req.Round); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "wipe":
+		s.enclave.Wipe()
+		return response{OK: true}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Close stops the listener, closes active connections, and waits for all
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	close(s.done)
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// RemoteEnclave is the client stub: it speaks the Server protocol and
+// implements EnclaveAPI for parties plus the aggregator-side operations.
+type RemoteEnclave struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+var _ EnclaveAPI = (*RemoteEnclave)(nil)
+
+// DialEnclave connects to a TEE server.
+func DialEnclave(addr string) (*RemoteEnclave, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tee dial: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &RemoteEnclave{addr: addr, conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (r *RemoteEnclave) Close() error { return r.conn.Close() }
+
+func (r *RemoteEnclave) roundTrip(req request) (response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("tee send: %w", err)
+	}
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return response{}, fmt.Errorf("tee recv: %w", err)
+		}
+		return response{}, fmt.Errorf("tee recv: connection closed")
+	}
+	var resp response
+	if err := json.Unmarshal(r.sc.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("tee decode: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("tee remote: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Quote implements EnclaveAPI. Transport errors surface as a zero Quote,
+// which fails verification — the failure mode attestation is designed for.
+func (r *RemoteEnclave) Quote(nonce []byte) Quote {
+	resp, err := r.roundTrip(request{Op: "quote", Nonce: nonce})
+	if err != nil || resp.Quote == nil {
+		return Quote{}
+	}
+	return *resp.Quote
+}
+
+// OpenSession implements EnclaveAPI.
+func (r *RemoteEnclave) OpenSession(partyPub []byte) (string, error) {
+	resp, err := r.roundTrip(request{Op: "open", Pub: partyPub})
+	if err != nil {
+		return "", err
+	}
+	return resp.Session, nil
+}
+
+// Submit implements EnclaveAPI.
+func (r *RemoteEnclave) Submit(sessionID string, ciphertext []byte) error {
+	_, err := r.roundTrip(request{Op: "submit", Session: sessionID, Ciphertext: ciphertext})
+	return err
+}
+
+// Cluster triggers in-enclave clustering (aggregator side).
+func (r *RemoteEnclave) Cluster(seed uint64) error {
+	_, err := r.roundTrip(request{Op: "cluster", Seed: seed})
+	return err
+}
+
+// NumClusters reports |C|.
+func (r *RemoteEnclave) NumClusters() (int, error) {
+	resp, err := r.roundTrip(request{Op: "numclusters"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// SelectParticipants runs FLIPS selection inside the remote enclave.
+func (r *RemoteEnclave) SelectParticipants(round, target int) ([]int, error) {
+	resp, err := r.roundTrip(request{Op: "select", Round: round, Target: target})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Parties, nil
+}
+
+// ObserveRound forwards round feedback for straggler tracking.
+func (r *RemoteEnclave) ObserveRound(selected, completed, stragglers []int, round int) error {
+	_, err := r.roundTrip(request{
+		Op: "observe", Round: round,
+		Selected: selected, Completed: completed, Stragglers: stragglers,
+	})
+	return err
+}
+
+// Wipe asks the enclave to delete all party state.
+func (r *RemoteEnclave) Wipe() error {
+	_, err := r.roundTrip(request{Op: "wipe"})
+	return err
+}

@@ -1,0 +1,77 @@
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec // len == Rows*Cols
+}
+
+// NewMat returns a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: NewVec(rows * cols)}
+}
+
+// FromRows builds a matrix whose rows are copies of the given vectors, which
+// must all share the same length.
+func FromRows(rows []Vec) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	m := NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		assertSameLen(len(r), m.Cols)
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Mat) Row(i int) Vec {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// MulVec computes y = m * x for a column vector x of length Cols.
+func (m *Mat) MulVec(x Vec) Vec {
+	assertSameLen(len(x), m.Cols)
+	y := NewVec(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = m.Row(i).Dot(x)
+	}
+	return y
+}
+
+// MulVecT computes y = mᵀ * x for a column vector x of length Rows.
+func (m *Mat) MulVecT(x Vec) Vec {
+	assertSameLen(len(x), m.Rows)
+	y := NewVec(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		y.Axpy(x[i], m.Row(i))
+	}
+	return y
+}
+
+// AddOuterInPlace performs m += scale * a ⊗ b (rank-1 update), where a has
+// length Rows and b has length Cols.
+func (m *Mat) AddOuterInPlace(scale float64, a, b Vec) {
+	assertSameLen(len(a), m.Rows)
+	assertSameLen(len(b), m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		m.Row(i).Axpy(scale*a[i], b)
+	}
+}

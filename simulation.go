@@ -1,0 +1,184 @@
+package flips
+
+import (
+	"fmt"
+	"io"
+
+	"flips/internal/dataset"
+	"flips/internal/experiment"
+)
+
+// SimulationConfig selects one evaluation cell of the paper's grid.
+type SimulationConfig struct {
+	// Dataset is one of "mit-bih-ecg", "ham10000", "femnist",
+	// "fashion-mnist".
+	Dataset string
+	// Algorithm is one of "fedavg", "fedprox", "fedyogi", "fedadam",
+	// "fedadagrad", "feddyn", "fedsgd" (default "fedyogi").
+	Algorithm string
+	// Strategy is one of "random", "flips", "oort", "gradclus", "tifl",
+	// "power-of-choice" (default "flips").
+	Strategy string
+	// Alpha is the Dirichlet non-IIDness (default 0.3).
+	Alpha float64
+	// PartyFraction is per-round participation (default 0.2).
+	PartyFraction float64
+	// StragglerRate drops this fraction of invited parties (default 0).
+	StragglerRate float64
+	// PaperScale runs the full 200-party/400-round configuration instead of
+	// the laptop default.
+	PaperScale bool
+	// Rounds overrides the round budget when positive.
+	Rounds int
+	// Parties overrides the population size when positive.
+	Parties int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// RoundPoint is one evaluated round of a simulation.
+type RoundPoint struct {
+	Round     int
+	Accuracy  float64 // balanced accuracy on the held-out global test set
+	PerLabel  []float64
+	CommBytes int64
+}
+
+// SimulationResult summarizes a finished FL simulation.
+type SimulationResult struct {
+	History        []RoundPoint
+	PeakAccuracy   float64
+	RoundsToTarget int // -1 if the target was not reached
+	TargetAccuracy float64
+	TotalCommBytes int64
+	NumClusters    int // FLIPS strategy only; 0 otherwise
+}
+
+func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error) {
+	spec, ok := dataset.ByName(c.Dataset)
+	if !ok {
+		names := make([]string, 0, 4)
+		for _, s := range dataset.AllSpecs() {
+			names = append(names, s.Name)
+		}
+		return experiment.Setting{}, experiment.Scale{}, fmt.Errorf("flips: unknown dataset %q (valid: %v)", c.Dataset, names)
+	}
+	scale := experiment.LaptopScale()
+	if c.PaperScale {
+		scale = experiment.PaperScale()
+	}
+	if c.Rounds > 0 {
+		scale.Rounds = c.Rounds
+	} else {
+		scale.Rounds = experiment.RoundsFor(spec, scale)
+	}
+	if c.Parties > 0 {
+		scale.Parties = c.Parties
+	}
+	setting := experiment.Setting{
+		Spec:           spec,
+		Algorithm:      orDefault(c.Algorithm, experiment.AlgoFedYogi),
+		Strategy:       orDefault(c.Strategy, experiment.StrategyFLIPS),
+		Alpha:          orDefaultF(c.Alpha, 0.3),
+		PartyFraction:  orDefaultF(c.PartyFraction, 0.2),
+		StragglerRate:  c.StragglerRate,
+		TargetAccuracy: experiment.TargetFor(spec),
+		Seed:           c.Seed,
+	}
+	return setting, scale, nil
+}
+
+// RunSimulation executes one FL job and returns its convergence history.
+func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
+	setting, scale, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	built, err := experiment.Build(setting, scale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.RunSetting(setting, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &SimulationResult{
+		PeakAccuracy:   res.PeakAccuracy,
+		RoundsToTarget: res.RoundsToTarget,
+		TargetAccuracy: setting.TargetAccuracy,
+		TotalCommBytes: res.TotalCommBytes,
+		NumClusters:    len(built.Clusters),
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, RoundPoint{
+			Round:     h.Round,
+			Accuracy:  h.Accuracy,
+			PerLabel:  h.PerLabel,
+			CommBytes: h.CommBytes,
+		})
+	}
+	return out, nil
+}
+
+// RunTable regenerates one of the paper's Tables 1–24 and writes it to w.
+// paperScale switches to the 200-party/400-round grid.
+func RunTable(w io.Writer, tableID int, paperScale bool, seed uint64) error {
+	spec, err := experiment.TableSpecByID(tableID)
+	if err != nil {
+		return err
+	}
+	scale := experiment.LaptopScale()
+	if paperScale {
+		scale = experiment.PaperScale()
+	}
+	grid, err := experiment.RunGrid(spec.Dataset, spec.Algorithm, scale, seed, nil)
+	if err != nil {
+		return err
+	}
+	grid.RenderTable(w, spec)
+	return nil
+}
+
+// RunFigure regenerates one of the paper's figures ("fig2", "fig5".."fig13")
+// and writes its plottable data to w.
+func RunFigure(w io.Writer, figureID string, paperScale bool, seed uint64) error {
+	scale := experiment.LaptopScale()
+	if paperScale {
+		scale = experiment.PaperScale()
+	}
+	fig, err := experiment.RunFigure(figureID, scale, seed)
+	if err != nil {
+		return err
+	}
+	fig.Render(w)
+	return nil
+}
+
+// Datasets lists the built-in workload names.
+func Datasets() []string {
+	specs := dataset.AllSpecs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Strategies lists the built-in participant-selection strategy names.
+func Strategies() []string {
+	return append(experiment.AllStrategies(), experiment.StrategyPowerOfChoice)
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+func orDefaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
