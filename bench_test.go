@@ -316,6 +316,64 @@ func BenchmarkAblationClusterSignal(b *testing.B) {
 	})
 }
 
+// BenchmarkRoundParallelism measures the parallel round execution engine on
+// its hot path: a 32-party FL job with full participation (every party
+// trains an MLP every round), run at Parallelism: 1 (the sequential
+// baseline) vs Parallelism: GOMAXPROCS. Both produce bit-identical Results
+// (see internal/fl determinism tests); on a multi-core runner the parallel
+// case should show ≥2x wall-clock speedup. Job assembly (dataset synthesis,
+// partitioning, clustering) is excluded from the timed section.
+func BenchmarkRoundParallelism(b *testing.B) {
+	run := func(b *testing.B, parallelism int) {
+		scale := experiment.Scale{
+			Parties: 32, Rounds: 4, TrainSize: 3200, TestSize: 1600,
+			Repeats: 1, EvalEvery: 2, Parallelism: parallelism,
+		}
+		setting := experiment.Setting{
+			Spec:           dataset.FEMNIST(),
+			Algorithm:      experiment.AlgoFedYogi,
+			Alpha:          0.3,
+			PartyFraction:  1, // all 32 parties train every round
+			Strategy:       experiment.StrategyRandom,
+			TargetAccuracy: experiment.TargetFor(dataset.FEMNIST()),
+			Seed:           benchSeed,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			built, err := experiment.Build(setting, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := fl.Run(built.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("parallelism=1", func(b *testing.B) { run(b, 1) })
+	b.Run("parallelism=gomaxprocs", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkGridParallelism measures experiment-grid fan-out: one full
+// (dataset, algorithm) table grid — 44 cells — at sequential vs GOMAXPROCS
+// cell parallelism. The rendered Grid is bit-identical in both cases.
+func BenchmarkGridParallelism(b *testing.B) {
+	run := func(b *testing.B, parallelism int) {
+		scale := benchScale()
+		scale.Parallelism = parallelism
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.RunGrid(dataset.ECG(), experiment.AlgoFedAvg, scale, benchSeed, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("parallelism=1", func(b *testing.B) { run(b, 1) })
+	b.Run("parallelism=gomaxprocs", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkSecureAggregation compares the per-round cost of the three
 // aggregation-privacy mechanisms the paper discusses in §2.4 on one
 // ECG-model-sized update (paper claim: HE costs two to three orders of

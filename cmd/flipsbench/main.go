@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, tee, all-tables, all-figures, all")
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
 	seed := fs.Uint64("seed", 1, "master random seed")
+	par := fs.Int("parallel", 0, "worker-pool width for grid cells, repeats, local training and eval shards (0 = GOMAXPROCS, 1 = sequential; results are identical at every width)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown scale %q (laptop or paper)", *scaleName)
 	}
+	scale.Parallelism = *par
 
 	ids, err := expandExperiments(*exps)
 	if err != nil {

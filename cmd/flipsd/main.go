@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	flipsd -listen 127.0.0.1:7443 -maxk 20 -repeats 20
+//	flipsd -listen 127.0.0.1:7443 -maxk 20 -repeats 20 -parallel 4
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"flips/internal/tee"
@@ -36,7 +37,14 @@ func run() error {
 	maxK := flag.Int("maxk", 20, "maximum cluster count for the Davies-Bouldin sweep")
 	repeats := flag.Int("repeats", 20, "K-Means restarts per k (the paper's T)")
 	version := flag.String("version", "flips-kmeans-v1", "clustering code version (part of the measurement)")
+	par := flag.Int("parallel", 0, "cap on CPU parallelism for the service (0 = all cores)")
 	flag.Parse()
+
+	if *par > 0 {
+		// The service shares hosts with FL aggregators; a deployment can pin
+		// its CPU budget without cgroup plumbing.
+		runtime.GOMAXPROCS(*par)
+	}
 
 	code := tee.ClusteringCode{Version: *version, MaxK: *maxK, Repeats: *repeats}
 	hwPub, hwPriv, err := tee.GenerateHardwareKey()

@@ -20,6 +20,7 @@ package flips
 
 import (
 	"fmt"
+	"sync"
 
 	"flips/internal/core"
 	"flips/internal/fl"
@@ -42,7 +43,13 @@ type MiddlewareOptions struct {
 // Middleware is the FLIPS participant-selection middleware: it clusters
 // parties by label distribution once, then serves equitable, straggler-aware
 // selections for every FL round (Algorithm 1 of the paper).
+//
+// A Middleware is safe for concurrent use: an embedding FL system may serve
+// SelectParticipants and ReportRound from multiple aggregator goroutines.
+// Selection state advances atomically per call, so concurrent rounds observe
+// a consistent (if interleaved) pick-count and straggler history.
 type Middleware struct {
+	mu       sync.Mutex
 	selector *core.Selector
 	enclave  *tee.Enclave
 }
@@ -126,6 +133,8 @@ func NewPrivateMiddleware(labelDists [][]float64, opts MiddlewareOptions) (*Midd
 // SelectParticipants returns the party IDs for round r with nominal size
 // target (FLIPS may over-provision while stragglers are outstanding).
 func (m *Middleware) SelectParticipants(round, target int) ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.enclave != nil {
 		return m.enclave.SelectParticipants(round, target)
 	}
@@ -135,6 +144,8 @@ func (m *Middleware) SelectParticipants(round, target int) ([]int, error) {
 // ReportRound feeds the round outcome back so straggler over-provisioning
 // adapts (Algorithm 1 lines 33–45).
 func (m *Middleware) ReportRound(round int, selected, completed, stragglers []int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.enclave != nil {
 		return m.enclave.ObserveRound(selected, completed, stragglers, round)
 	}
@@ -149,6 +160,8 @@ func (m *Middleware) ReportRound(round int, selected, completed, stragglers []in
 
 // NumClusters reports how many label-distribution clusters were found.
 func (m *Middleware) NumClusters() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.enclave != nil {
 		return m.enclave.NumClusters()
 	}
@@ -157,6 +170,8 @@ func (m *Middleware) NumClusters() (int, error) {
 
 // Close wipes TEE state (no-op for the plain middleware).
 func (m *Middleware) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.enclave != nil {
 		m.enclave.Wipe()
 	}

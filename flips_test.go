@@ -2,8 +2,14 @@ package flips
 
 import (
 	"bytes"
+	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"testing"
+
+	"flips/internal/dataset"
+	"flips/internal/experiment"
 )
 
 func groupedLabelDists(groups, perGroup, labels int) [][]float64 {
@@ -194,5 +200,115 @@ func TestDatasetAndStrategyLists(t *testing.T) {
 	}
 	if len(Strategies()) != 6 {
 		t.Fatalf("strategies %v", Strategies())
+	}
+}
+
+// TestMiddlewareConcurrentRounds exercises the middleware the way an
+// embedding FL system with concurrent aggregator goroutines would: many
+// goroutines interleaving SelectParticipants, ReportRound and NumClusters on
+// one Middleware. Run with -race, this is the regression gate for the
+// documented "safe for concurrent use" contract.
+func TestMiddlewareConcurrentRounds(t *testing.T) {
+	t.Parallel()
+	lds := groupedLabelDists(3, 8, 5)
+	m, err := NewMiddleware(lds, MiddlewareOptions{Seed: 9, Repeats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const goroutines = 8
+	const roundsPer = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < roundsPer; r++ {
+				round := g*roundsPer + r
+				sel, err := m.SelectParticipants(round, 6)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(sel) < 6 {
+					errs <- fmt.Errorf("round %d selected %d parties", round, len(sel))
+					return
+				}
+				// Report a third of the selection as stragglers so the
+				// adaptive over-provisioning state is exercised too.
+				cut := len(sel) / 3
+				if err := m.ReportRound(round, sel, sel[cut:], sel[:cut]); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := m.NumClusters(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRunGridShortScale is the reduced-scale short-mode stand-in for
+// TestRunTableWritesTable: the same grid-and-render path at a scale that
+// finishes in well under a second.
+func TestRunGridShortScale(t *testing.T) {
+	t.Parallel()
+	scale := experiment.Scale{Parties: 16, Rounds: 6, TrainSize: 800, TestSize: 200, Repeats: 1, EvalEvery: 3}
+	grid, err := experiment.RunGrid(dataset.FashionMNIST(), experiment.AlgoFedAvg, scale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, peak := grid.Tables()
+	grid.RenderTable(&buf, peak)
+	out := buf.String()
+	if !strings.Contains(out, "Table 24") || !strings.Contains(out, "fashion-mnist") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+// TestRunSimulationParallelismKnob checks the public Parallelism knob is
+// honored end to end: parallel and sequential simulations of one seed agree
+// on every reported number.
+func TestRunSimulationParallelismKnob(t *testing.T) {
+	t.Parallel()
+	run := func(par int) *SimulationResult {
+		res, err := RunSimulation(SimulationConfig{
+			Dataset:     "mit-bih-ecg",
+			Rounds:      6,
+			Parties:     20,
+			Parallelism: par,
+			Seed:        13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(8)
+	if len(seq.History) != len(par.History) {
+		t.Fatalf("history lengths %d vs %d", len(seq.History), len(par.History))
+	}
+	for i := range seq.History {
+		if math.Float64bits(seq.History[i].Accuracy) != math.Float64bits(par.History[i].Accuracy) {
+			t.Fatalf("round %d accuracy %v vs %v", seq.History[i].Round, seq.History[i].Accuracy, par.History[i].Accuracy)
+		}
+		if seq.History[i].CommBytes != par.History[i].CommBytes {
+			t.Fatalf("round %d comm bytes differ", seq.History[i].Round)
+		}
+	}
+	if math.Float64bits(seq.PeakAccuracy) != math.Float64bits(par.PeakAccuracy) ||
+		seq.RoundsToTarget != par.RoundsToTarget ||
+		seq.TotalCommBytes != par.TotalCommBytes {
+		t.Fatalf("summaries diverge: %+v vs %+v", seq, par)
 	}
 }

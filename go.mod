@@ -1,0 +1,3 @@
+module flips
+
+go 1.22

@@ -39,6 +39,7 @@ func blobPoints(k, perCluster, dim int, sep, noise float64, r *rng.Source) ([]te
 }
 
 func TestKMeansRecoversBlobs(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	points, truth := blobPoints(4, 50, 8, 20, 0.5, r)
 	res, err := KMeans(points, 4, r.Split(9), KMeansOptions{})
@@ -67,6 +68,7 @@ func TestKMeansRecoversBlobs(t *testing.T) {
 }
 
 func TestKMeansValidation(t *testing.T) {
+	t.Parallel()
 	r := rng.New(2)
 	if _, err := KMeans(nil, 1, r, KMeansOptions{}); err == nil {
 		t.Fatal("expected error for empty points")
@@ -81,6 +83,7 @@ func TestKMeansValidation(t *testing.T) {
 }
 
 func TestKMeansK1(t *testing.T) {
+	t.Parallel()
 	r := rng.New(3)
 	points, _ := blobPoints(2, 20, 4, 5, 1, r)
 	res, err := KMeans(points, 1, r, KMeansOptions{})
@@ -99,6 +102,7 @@ func TestKMeansK1(t *testing.T) {
 }
 
 func TestKMeansAssignmentsNearest(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		k := 2 + r.Intn(4)
@@ -124,6 +128,7 @@ func TestKMeansAssignmentsNearest(t *testing.T) {
 }
 
 func TestKMeansDeterministic(t *testing.T) {
+	t.Parallel()
 	r := rng.New(5)
 	points, _ := blobPoints(3, 30, 6, 10, 1, r)
 	a, err := KMeans(points, 3, rng.New(77), KMeansOptions{})
@@ -145,6 +150,7 @@ func TestKMeansDeterministic(t *testing.T) {
 }
 
 func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	t.Parallel()
 	r := rng.New(6)
 	points, _ := blobPoints(5, 20, 4, 10, 1.5, r)
 	var prev float64 = math.Inf(1)
@@ -168,6 +174,7 @@ func TestKMeansInertiaDecreasesWithK(t *testing.T) {
 }
 
 func TestDaviesBouldinPrefersTrueK(t *testing.T) {
+	t.Parallel()
 	r := rng.New(7)
 	trueK := 5
 	points, _ := blobPoints(trueK, 40, 6, 25, 0.5, r)
@@ -192,6 +199,7 @@ func TestDaviesBouldinPrefersTrueK(t *testing.T) {
 }
 
 func TestDaviesBouldinDegenerate(t *testing.T) {
+	t.Parallel()
 	points := []tensor.Vec{{1, 1}, {2, 2}}
 	res, err := KMeans(points, 1, rng.New(1), KMeansOptions{})
 	if err != nil {
@@ -203,6 +211,7 @@ func TestDaviesBouldinDegenerate(t *testing.T) {
 }
 
 func TestElbowKFindsSharpDrop(t *testing.T) {
+	t.Parallel()
 	// Synthetic curve: big improvement up to k=6, flat afterwards.
 	curve := []float64{1.0, 0.9, 0.85, 0.8, 0.3, 0.29, 0.28, 0.28}
 	// curve[i] is k=i+2, so the sharp drop happens at k=6 (index 4).
@@ -212,6 +221,7 @@ func TestElbowKFindsSharpDrop(t *testing.T) {
 }
 
 func TestElbowKDegenerate(t *testing.T) {
+	t.Parallel()
 	if k := ElbowK(nil); k != 2 {
 		t.Fatalf("empty curve elbow %d", k)
 	}
@@ -221,6 +231,7 @@ func TestElbowKDegenerate(t *testing.T) {
 }
 
 func TestOptimalKOnBlobs(t *testing.T) {
+	t.Parallel()
 	r := rng.New(8)
 	trueK := 6
 	points, _ := blobPoints(trueK, 30, 5, 30, 0.3, r)
@@ -237,6 +248,7 @@ func TestOptimalKOnBlobs(t *testing.T) {
 }
 
 func TestAgglomerativeRecoversBlobs(t *testing.T) {
+	t.Parallel()
 	r := rng.New(9)
 	points, truth := blobPoints(3, 20, 5, 25, 0.5, r)
 	d := EuclideanDistanceMatrix(points)
@@ -263,6 +275,7 @@ func TestAgglomerativeRecoversBlobs(t *testing.T) {
 }
 
 func TestAgglomerativeValidation(t *testing.T) {
+	t.Parallel()
 	d := EuclideanDistanceMatrix([]tensor.Vec{{1}, {2}})
 	if _, err := Agglomerative(d, 0, AverageLinkage); err == nil {
 		t.Fatal("expected error for k=0")
@@ -280,6 +293,7 @@ func TestAgglomerativeValidation(t *testing.T) {
 }
 
 func TestAgglomerativeAssignmentsDense(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 4 + r.Intn(20)
@@ -307,6 +321,7 @@ func TestAgglomerativeAssignmentsDense(t *testing.T) {
 }
 
 func TestCosineDistanceMatrix(t *testing.T) {
+	t.Parallel()
 	pts := []tensor.Vec{{1, 0}, {0, 1}, {2, 0}}
 	d := CosineDistanceMatrix(pts)
 	if d.At(0, 2) > 1e-12 {
@@ -321,6 +336,7 @@ func TestCosineDistanceMatrix(t *testing.T) {
 }
 
 func TestKMeansInertiaNonIncreasingAcrossIterations(t *testing.T) {
+	t.Parallel()
 	// DESIGN.md invariant: Lloyd iterations never increase the objective.
 	// Run K-Means with increasing iteration caps on identical seeds; the
 	// final inertia must be non-increasing in the cap.

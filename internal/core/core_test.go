@@ -20,6 +20,7 @@ func mustSelector(t *testing.T, clusters [][]int) *Selector {
 }
 
 func TestNewSelectorValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSelector(nil); err == nil {
 		t.Fatal("expected error for no clusters")
 	}
@@ -32,6 +33,7 @@ func TestNewSelectorValidation(t *testing.T) {
 }
 
 func TestSelectorSkipsEmptyClusters(t *testing.T) {
+	t.Parallel()
 	s := mustSelector(t, [][]int{{0, 1}, {}, {2}})
 	if s.NumClusters() != 2 {
 		t.Fatalf("NumClusters = %d, want 2", s.NumClusters())
@@ -42,6 +44,7 @@ func TestSelectorSkipsEmptyClusters(t *testing.T) {
 }
 
 func TestSelectUniqueAndSized(t *testing.T) {
+	t.Parallel()
 	clusters := [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7, 8}, {9}}
 	s := mustSelector(t, clusters)
 	for round := 0; round < 20; round++ {
@@ -60,6 +63,7 @@ func TestSelectUniqueAndSized(t *testing.T) {
 }
 
 func TestSelectCoversAllClustersWhenTargetMultiple(t *testing.T) {
+	t.Parallel()
 	// Nr = |C| means exactly one party per cluster per round.
 	clusters := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
 	s := mustSelector(t, clusters)
@@ -84,6 +88,7 @@ func TestSelectCoversAllClustersWhenTargetMultiple(t *testing.T) {
 }
 
 func TestSelectEquitableWithinCluster(t *testing.T) {
+	t.Parallel()
 	// One cluster of 6 parties, 2 picks per round: over 30 rounds each party
 	// must be picked exactly 10 times.
 	s := mustSelector(t, [][]int{{0, 1, 2, 3, 4, 5}})
@@ -98,6 +103,7 @@ func TestSelectEquitableWithinCluster(t *testing.T) {
 }
 
 func TestFairnessPickCountsWithinOne(t *testing.T) {
+	t.Parallel()
 	// Property: after any number of rounds, pick counts of parties within
 	// the same cluster differ by at most 1.
 	check := func(seed uint64) bool {
@@ -144,6 +150,7 @@ func TestFairnessPickCountsWithinOne(t *testing.T) {
 }
 
 func TestClusterRotationWhenFewerPicksThanClusters(t *testing.T) {
+	t.Parallel()
 	// Nr=1 with 3 clusters: each cluster must be visited once every 3 rounds.
 	clusters := [][]int{{0}, {1}, {2}}
 	s := mustSelector(t, clusters)
@@ -160,6 +167,7 @@ func TestClusterRotationWhenFewerPicksThanClusters(t *testing.T) {
 }
 
 func TestSelectTargetLargerThanPopulation(t *testing.T) {
+	t.Parallel()
 	s := mustSelector(t, [][]int{{0, 1}, {2}})
 	sel := s.Select(0, 10)
 	if len(sel) != 3 {
@@ -168,6 +176,7 @@ func TestSelectTargetLargerThanPopulation(t *testing.T) {
 }
 
 func TestOverprovisionAfterStragglers(t *testing.T) {
+	t.Parallel()
 	clusters := [][]int{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}}
 	s := mustSelector(t, clusters)
 	sel := s.Select(0, 4)
@@ -208,6 +217,7 @@ func TestOverprovisionAfterStragglers(t *testing.T) {
 }
 
 func TestOverprovisionFallsBackWhenClusterExhausted(t *testing.T) {
+	t.Parallel()
 	// Straggler cluster 0 has only stragglers/selected members left, so the
 	// extra party must come from another cluster rather than being dropped.
 	s := mustSelector(t, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
@@ -238,6 +248,7 @@ func TestOverprovisionFallsBackWhenClusterExhausted(t *testing.T) {
 }
 
 func TestStragglerClearedOnCompletion(t *testing.T) {
+	t.Parallel()
 	s := mustSelector(t, [][]int{{0, 1, 2, 3}})
 	s.Observe(fl.RoundFeedback{
 		Round:      0,
@@ -259,6 +270,7 @@ func TestStragglerClearedOnCompletion(t *testing.T) {
 }
 
 func TestHeapOrdering(t *testing.T) {
+	t.Parallel()
 	h := newPickHeap(false)
 	items := []*pickItem{{id: 3, picks: 2}, {id: 1, picks: 0}, {id: 2, picks: 1}, {id: 0, picks: 0}}
 	for _, it := range items {
@@ -274,6 +286,7 @@ func TestHeapOrdering(t *testing.T) {
 }
 
 func TestMaxHeapOrdering(t *testing.T) {
+	t.Parallel()
 	h := newPickHeap(true)
 	for _, it := range []*pickItem{{id: 0, picks: 1}, {id: 1, picks: 5}, {id: 2, picks: 3}} {
 		h.push(it)
@@ -284,6 +297,7 @@ func TestMaxHeapOrdering(t *testing.T) {
 }
 
 func TestHeapPropertyMatchesSort(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 1 + r.Intn(50)
@@ -312,6 +326,7 @@ func TestHeapPropertyMatchesSort(t *testing.T) {
 }
 
 func TestClusterLabelDistributions(t *testing.T) {
+	t.Parallel()
 	// Three obvious groups of label distributions.
 	var lds []tensor.Vec
 	groups := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
@@ -353,6 +368,7 @@ func TestClusterLabelDistributions(t *testing.T) {
 }
 
 func TestClusterWithK(t *testing.T) {
+	t.Parallel()
 	lds := []tensor.Vec{{1, 0}, {1, 0.1}, {0, 1}, {0.1, 1}}
 	clusters, err := ClusterWithK(lds, 2, rng.New(3))
 	if err != nil {
@@ -364,6 +380,7 @@ func TestClusterWithK(t *testing.T) {
 }
 
 func TestSelectDeterministic(t *testing.T) {
+	t.Parallel()
 	build := func() *Selector {
 		s, _ := NewSelector([][]int{{0, 1, 2}, {3, 4}, {5, 6, 7}})
 		return s
@@ -383,6 +400,7 @@ func TestSelectDeterministic(t *testing.T) {
 }
 
 func TestRandomOverprovisionAblation(t *testing.T) {
+	t.Parallel()
 	s := mustSelector(t, [][]int{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}})
 	s.SetRandomOverprovision(true, rng.New(9))
 	sel := s.Select(0, 4)
@@ -406,6 +424,7 @@ func TestRandomOverprovisionAblation(t *testing.T) {
 }
 
 func TestClusterCoverageWindowProperty(t *testing.T) {
+	t.Parallel()
 	// DESIGN.md invariant: when Nr < |C|, every cluster is selected within
 	// any window of ceil(|C|/Nr) consecutive rounds.
 	check := func(seed uint64) bool {

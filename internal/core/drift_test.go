@@ -8,6 +8,7 @@ import (
 )
 
 func TestNewDriftDetectorValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewDriftDetector(nil, 0.1); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
@@ -24,6 +25,7 @@ func TestNewDriftDetectorValidation(t *testing.T) {
 }
 
 func TestDriftZeroForIdenticalDistributions(t *testing.T) {
+	t.Parallel()
 	lds := []tensor.Vec{{10, 0, 0}, {0, 5, 5}}
 	d, err := NewDriftDetector(lds, 0.1)
 	if err != nil {
@@ -43,6 +45,7 @@ func TestDriftZeroForIdenticalDistributions(t *testing.T) {
 }
 
 func TestDriftDetectsLabelSwap(t *testing.T) {
+	t.Parallel()
 	baseline := []tensor.Vec{{10, 0}, {0, 10}}
 	d, err := NewDriftDetector(baseline, 0.3)
 	if err != nil {
@@ -64,6 +67,7 @@ func TestDriftDetectsLabelSwap(t *testing.T) {
 }
 
 func TestDriftCountsPopulationChurn(t *testing.T) {
+	t.Parallel()
 	d, err := NewDriftDetector([]tensor.Vec{{1, 0}, {0, 1}}, 0.3)
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +85,7 @@ func TestDriftCountsPopulationChurn(t *testing.T) {
 }
 
 func TestRebaseline(t *testing.T) {
+	t.Parallel()
 	d, err := NewDriftDetector([]tensor.Vec{{1, 0}}, 0.2)
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 )
 
 func TestBuiltinSpecsValid(t *testing.T) {
+	t.Parallel()
 	for _, spec := range AllSpecs() {
 		if err := spec.Validate(); err != nil {
 			t.Errorf("spec %q invalid: %v", spec.Name, err)
@@ -17,6 +18,7 @@ func TestBuiltinSpecsValid(t *testing.T) {
 }
 
 func TestValidateRejections(t *testing.T) {
+	t.Parallel()
 	base := ECG()
 	cases := []struct {
 		name   string
@@ -45,6 +47,7 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	spec := ECG().WithSizes(500, 100)
 	a, _, err := Generate(spec, rng.New(42))
 	if err != nil {
@@ -70,6 +73,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateSizesAndLabels(t *testing.T) {
+	t.Parallel()
 	for _, spec := range AllSpecs() {
 		spec = spec.WithSizes(800, 300)
 		train, test, err := Generate(spec, rng.New(1))
@@ -91,6 +95,7 @@ func TestGenerateSizesAndLabels(t *testing.T) {
 }
 
 func TestECGSkew(t *testing.T) {
+	t.Parallel()
 	train, _, err := Generate(ECG().WithSizes(5000, 500), rng.New(2))
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +108,7 @@ func TestECGSkew(t *testing.T) {
 }
 
 func TestHAMNvDominates(t *testing.T) {
+	t.Parallel()
 	train, _, err := Generate(HAM10000().WithSizes(5000, 500), rng.New(3))
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +125,7 @@ func TestHAMNvDominates(t *testing.T) {
 }
 
 func TestTestSetIsBalanced(t *testing.T) {
+	t.Parallel()
 	// The test split uses uniform class priors so that the paper's balanced
 	// accuracy metric has support for every class.
 	_, test, err := Generate(ECG().WithSizes(1000, 5000), rng.New(4))
@@ -135,6 +142,7 @@ func TestTestSetIsBalanced(t *testing.T) {
 }
 
 func TestClassesAreSeparable(t *testing.T) {
+	t.Parallel()
 	// A nearest-prototype classifier on empirical class means must beat 90%
 	// on the balanced test set, otherwise learnability assumptions break.
 	spec := FEMNIST().WithSizes(3000, 1000)
@@ -186,6 +194,7 @@ func TestClassesAreSeparable(t *testing.T) {
 }
 
 func TestSubset(t *testing.T) {
+	t.Parallel()
 	train, _, err := Generate(FashionMNIST().WithSizes(100, 50), rng.New(6))
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +209,7 @@ func TestSubset(t *testing.T) {
 }
 
 func TestLabelCountsSumToLen(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		spec := HAM10000().WithSizes(200+r.Intn(300), 50)
@@ -219,6 +229,7 @@ func TestLabelCountsSumToLen(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	t.Parallel()
 	if _, ok := ByName("ham10000"); !ok {
 		t.Fatal("ham10000 not found")
 	}

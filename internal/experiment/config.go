@@ -11,6 +11,7 @@ import (
 	"flips/internal/dataset"
 	"flips/internal/fl"
 	"flips/internal/model"
+	"flips/internal/parallel"
 	"flips/internal/partition"
 	"flips/internal/rng"
 	"flips/internal/selection"
@@ -55,6 +56,13 @@ type Scale struct {
 	Repeats int
 	// EvalEvery controls evaluation cadence.
 	EvalEvery int
+	// Parallelism is the total concurrency budget for a run. It is spent at
+	// the coarsest level available — grid/figure cells when sweeping, else
+	// divided between repeat-seeds and each run's local-training workers —
+	// so nested fan-outs never multiply past the budget. Zero uses
+	// GOMAXPROCS; 1 forces the sequential path. Results are bit-identical
+	// at every width.
+	Parallelism int
 }
 
 // LaptopScale finishes a full table in seconds on a laptop while preserving
@@ -274,6 +282,7 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 		FedDynAlpha:     dynAlpha,
 		EvalEvery:       max(scale.EvalEvery, 1),
 		TargetAccuracy:  setting.TargetAccuracy,
+		Parallelism:     scale.Parallelism,
 		Seed:            setting.Seed,
 	}
 	return &BuildResult{
@@ -371,32 +380,44 @@ func buildAlgorithm(name string, sgd model.SGDConfig) (fl.ServerOptimizer, model
 // RunSetting builds and executes one cell, averaging scale.Repeats seeds.
 // The returned result is the first seed's run with PeakAccuracy and
 // RoundsToTarget replaced by across-seed means (the paper reports 6-run
-// averages).
+// averages). Repeats run concurrently, and scale.Parallelism is a total
+// budget divided between the repeat fan-out and each run's training workers
+// (repeat-width × training-width ≤ budget), so nested pools never multiply
+// past the requested concurrency. The across-seed reduction always folds in
+// repeat order, so the averages are bit-identical at every width.
 func RunSetting(setting Setting, scale Scale) (*fl.Result, error) {
 	repeats := max(scale.Repeats, 1)
-	var first *fl.Result
-	var peakSum float64
-	var rttSum, rttCount int
-	for rep := 0; rep < repeats; rep++ {
+	budget := parallel.New(scale.Parallelism).Width()
+	repWidth := min(budget, repeats)
+	innerScale := scale
+	innerScale.Parallelism = max(budget/repWidth, 1)
+	type repOut struct {
+		res *fl.Result
+		err error
+	}
+	outs := parallel.Map(parallel.New(repWidth), repeats, func(rep int) repOut {
 		s := setting
 		s.Seed = setting.Seed + uint64(rep)*0x9E37
-		built, err := Build(s, scale)
+		built, err := Build(s, innerScale)
 		if err != nil {
-			return nil, err
+			return repOut{err: err}
 		}
 		res, err := fl.Run(built.Config)
-		if err != nil {
-			return nil, err
+		return repOut{res: res, err: err}
+	})
+	var peakSum float64
+	var rttSum, rttCount int
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
 		}
-		if rep == 0 {
-			first = res
-		}
-		peakSum += res.PeakAccuracy
-		if res.RoundsToTarget > 0 {
-			rttSum += res.RoundsToTarget
+		peakSum += o.res.PeakAccuracy
+		if o.res.RoundsToTarget > 0 {
+			rttSum += o.res.RoundsToTarget
 			rttCount++
 		}
 	}
+	first := outs[0].res
 	first.PeakAccuracy = peakSum / float64(repeats)
 	if rttCount == repeats && rttCount > 0 {
 		first.RoundsToTarget = rttSum / rttCount

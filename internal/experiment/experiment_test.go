@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -14,6 +15,7 @@ func tinyScale() Scale {
 }
 
 func TestTableSpecsEnumerate24(t *testing.T) {
+	t.Parallel()
 	specs := TableSpecs()
 	if len(specs) != 24 {
 		t.Fatalf("enumerated %d tables", len(specs))
@@ -48,6 +50,7 @@ func TestTableSpecsEnumerate24(t *testing.T) {
 }
 
 func TestBuildValidation(t *testing.T) {
+	t.Parallel()
 	s := Setting{Spec: dataset.ECG(), Algorithm: AlgoFedAvg, Alpha: 0.3, PartyFraction: 0, Strategy: StrategyRandom, Seed: 1}
 	if _, err := Build(s, tinyScale()); err == nil {
 		t.Fatal("expected error for zero party fraction")
@@ -65,6 +68,7 @@ func TestBuildValidation(t *testing.T) {
 }
 
 func TestBuildAllStrategiesAndAlgorithms(t *testing.T) {
+	t.Parallel()
 	for _, strategy := range append(AllStrategies(), StrategyPowerOfChoice) {
 		for _, algo := range []string{AlgoFedAvg, AlgoFedProx, AlgoFedYogi, AlgoFedAdam, AlgoFedAdagrad, AlgoFedDyn, AlgoFedSGD} {
 			s := Setting{
@@ -86,6 +90,7 @@ func TestBuildAllStrategiesAndAlgorithms(t *testing.T) {
 }
 
 func TestRunSettingAveragesRepeats(t *testing.T) {
+	t.Parallel()
 	scale := tinyScale()
 	scale.Repeats = 2
 	res, err := RunSetting(Setting{
@@ -105,6 +110,7 @@ func TestRunSettingAveragesRepeats(t *testing.T) {
 }
 
 func TestRunGridShapeAndRender(t *testing.T) {
+	t.Parallel()
 	scale := tinyScale()
 	grid, err := RunGrid(dataset.FashionMNIST(), AlgoFedAvg, scale, 7, nil)
 	if err != nil {
@@ -144,6 +150,7 @@ func TestRunGridShapeAndRender(t *testing.T) {
 }
 
 func TestFigure2Elbow(t *testing.T) {
+	t.Parallel()
 	fig, err := RunFigure("fig2", tinyScale(), 11)
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +170,7 @@ func TestFigure2Elbow(t *testing.T) {
 }
 
 func TestConvergenceFigureStructure(t *testing.T) {
+	t.Parallel()
 	fig, err := RunFigure("fig11", tinyScale(), 13)
 	if err != nil {
 		t.Fatal(err)
@@ -178,6 +186,7 @@ func TestConvergenceFigureStructure(t *testing.T) {
 }
 
 func TestStragglerFigureStructure(t *testing.T) {
+	t.Parallel()
 	fig, err := RunFigure("fig12", tinyScale(), 13)
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +204,7 @@ func TestStragglerFigureStructure(t *testing.T) {
 }
 
 func TestFigure13Structure(t *testing.T) {
+	t.Parallel()
 	fig, err := RunFigure("fig13", tinyScale(), 17)
 	if err != nil {
 		t.Fatal(err)
@@ -211,12 +221,14 @@ func TestFigure13Structure(t *testing.T) {
 }
 
 func TestUnknownFigure(t *testing.T) {
+	t.Parallel()
 	if _, err := RunFigure("fig99", tinyScale(), 1); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestFigureRender(t *testing.T) {
+	t.Parallel()
 	fig, err := RunFigure("fig2", tinyScale(), 19)
 	if err != nil {
 		t.Fatal(err)
@@ -229,6 +241,7 @@ func TestFigureRender(t *testing.T) {
 }
 
 func TestTargetsAndRounds(t *testing.T) {
+	t.Parallel()
 	if TargetFor(dataset.ECG()) != 0.65 || TargetFor(dataset.FEMNIST()) != 0.80 {
 		t.Fatal("targets changed unexpectedly")
 	}
@@ -246,6 +259,7 @@ func TestTargetsAndRounds(t *testing.T) {
 // target in fewer rounds than Random selection and reach at least as high a
 // peak (paper Tables 1–2).
 func TestHeadlineShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("headline shape check is a multi-second FL run")
 	}
@@ -273,5 +287,37 @@ func TestHeadlineShape(t *testing.T) {
 	}
 	if flipsPeak < randomPeak-0.01 {
 		t.Fatalf("FLIPS peak %v below Random peak %v", flipsPeak, randomPeak)
+	}
+}
+
+// TestRunGridParallelismDeterminism pins the grid fan-out's index
+// bookkeeping: the same grid at cell-parallelism 1 and 8 must be
+// bit-identical, cell for cell.
+func TestRunGridParallelismDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(par int) *Grid {
+		scale := Scale{Parties: 16, Rounds: 6, TrainSize: 800, TestSize: 200, Repeats: 2, EvalEvery: 3, Parallelism: par}
+		grid, err := RunGrid(dataset.ECG(), AlgoFedAvg, scale, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grid
+	}
+	seq, par := run(1), run(8)
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row counts %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		if len(seq.Rows[i].Cells) != len(par.Rows[i].Cells) {
+			t.Fatalf("row %d cell counts differ", i)
+		}
+		for j := range seq.Rows[i].Cells {
+			a, b := seq.Rows[i].Cells[j], par.Rows[i].Cells[j]
+			if a.Strategy != b.Strategy || a.StragglerRate != b.StragglerRate ||
+				a.RoundsToTarget != b.RoundsToTarget ||
+				math.Float64bits(a.PeakAccuracy) != math.Float64bits(b.PeakAccuracy) {
+				t.Fatalf("row %d cell %d: %+v vs %+v", i, j, a, b)
+			}
+		}
 	}
 }

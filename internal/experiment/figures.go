@@ -8,9 +8,58 @@ import (
 
 	"flips/internal/cluster"
 	"flips/internal/dataset"
+	"flips/internal/parallel"
 	"flips/internal/partition"
 	"flips/internal/rng"
 )
+
+// figureJob is one independent (panel, series) cell of a figure; figure
+// runners fan jobs out over a pool and assemble series by index so figure
+// data is bit-identical at every pool width.
+type figureJob struct {
+	panel   int
+	label   string
+	setting Setting
+	scale   Scale
+	labels  []int // per-label recall subset; nil means balanced accuracy
+}
+
+// runFigureJobs executes jobs concurrently (bounded by parallelism) and
+// appends each resulting Series to its panel, preserving job order. The
+// concurrency budget is spent entirely at the job level — job interiors run
+// sequentially — so nested pools never multiply past the budget.
+func runFigureJobs(panels []Panel, jobs []figureJob, parallelism int) ([]Panel, error) {
+	type out struct {
+		series Series
+		err    error
+	}
+	outs := parallel.Map(parallel.New(parallelism), len(jobs), func(i int) out {
+		j := jobs[i]
+		jobScale := j.scale
+		jobScale.Parallelism = 1
+		res, err := RunSetting(j.setting, jobScale)
+		if err != nil {
+			return out{err: err}
+		}
+		s := Series{Label: j.label}
+		for _, h := range res.History {
+			s.Rounds = append(s.Rounds, h.Round)
+			if j.labels != nil {
+				s.Accuracy = append(s.Accuracy, meanRecall(h.PerLabel, j.labels))
+			} else {
+				s.Accuracy = append(s.Accuracy, h.Accuracy)
+			}
+		}
+		return out{series: s}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		panels[jobs[i].panel].Series = append(panels[jobs[i].panel].Series, o.series)
+	}
+	return panels, nil
+}
 
 // Series is one labeled convergence curve.
 type Series struct {
@@ -150,9 +199,11 @@ func runConvergenceFigure(id string, ds dataset.Spec, stragglers bool, scale Sca
 
 	runScale := scale
 	runScale.Rounds = RoundsFor(ds, scale)
+	var panels []Panel
+	var jobs []figureJob
 	for _, alpha := range []float64{0.3, 0.6} {
 		for _, frac := range []float64{0.15, 0.20} {
-			panel := Panel{Name: fmt.Sprintf("alpha=%.1f party=%.0f%%", alpha, frac*100)}
+			panels = append(panels, Panel{Name: fmt.Sprintf("alpha=%.1f party=%.0f%%", alpha, frac*100)})
 			type variant struct {
 				strategy string
 				rate     float64
@@ -168,33 +219,33 @@ func runConvergenceFigure(id string, ds dataset.Spec, stragglers bool, scale Sca
 				}
 			}
 			for _, v := range variants {
-				res, err := RunSetting(Setting{
-					Spec:           ds,
-					Algorithm:      AlgoFedYogi,
-					Alpha:          alpha,
-					PartyFraction:  frac,
-					StragglerRate:  v.rate,
-					Strategy:       v.strategy,
-					TargetAccuracy: TargetFor(ds),
-					Seed:           seed,
-				}, runScale)
-				if err != nil {
-					return nil, err
-				}
 				label := displayName(v.strategy)
 				if stragglers {
 					label = fmt.Sprintf("%s %.0f%% stragglers", label, v.rate*100)
 				}
-				s := Series{Label: label}
-				for _, h := range res.History {
-					s.Rounds = append(s.Rounds, h.Round)
-					s.Accuracy = append(s.Accuracy, h.Accuracy)
-				}
-				panel.Series = append(panel.Series, s)
+				jobs = append(jobs, figureJob{
+					panel: len(panels) - 1,
+					label: label,
+					setting: Setting{
+						Spec:           ds,
+						Algorithm:      AlgoFedYogi,
+						Alpha:          alpha,
+						PartyFraction:  frac,
+						StragglerRate:  v.rate,
+						Strategy:       v.strategy,
+						TargetAccuracy: TargetFor(ds),
+						Seed:           seed,
+					},
+					scale: runScale,
+				})
 			}
-			fig.Panels = append(fig.Panels, panel)
 		}
 	}
+	panels, err := runFigureJobs(panels, jobs, scale.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	fig.Panels = panels
 	return fig, nil
 }
 
@@ -220,32 +271,35 @@ func runFigure13(scale Scale, seed uint64) (*Figure, error) {
 		{name: "ecg-arrhythmia(S,V,F,Q)", ds: ecg, labels: []int{1, 2, 3, 4}},
 		{name: "ham10000-bcc", ds: ham, labels: []int{1}},
 	}
+	var figPanels []Panel
+	var jobs []figureJob
 	for _, ps := range panels {
 		runScale := scale
 		runScale.Rounds = RoundsFor(ps.ds, scale)
-		panel := Panel{Name: ps.name}
+		figPanels = append(figPanels, Panel{Name: ps.name})
 		for _, strategy := range AllStrategies() {
-			res, err := RunSetting(Setting{
-				Spec:           ps.ds,
-				Algorithm:      AlgoFedYogi,
-				Alpha:          0.3,
-				PartyFraction:  0.20,
-				Strategy:       strategy,
-				TargetAccuracy: TargetFor(ps.ds),
-				Seed:           seed,
-			}, runScale)
-			if err != nil {
-				return nil, err
-			}
-			s := Series{Label: displayName(strategy)}
-			for _, h := range res.History {
-				s.Rounds = append(s.Rounds, h.Round)
-				s.Accuracy = append(s.Accuracy, meanRecall(h.PerLabel, ps.labels))
-			}
-			panel.Series = append(panel.Series, s)
+			jobs = append(jobs, figureJob{
+				panel: len(figPanels) - 1,
+				label: displayName(strategy),
+				setting: Setting{
+					Spec:           ps.ds,
+					Algorithm:      AlgoFedYogi,
+					Alpha:          0.3,
+					PartyFraction:  0.20,
+					Strategy:       strategy,
+					TargetAccuracy: TargetFor(ps.ds),
+					Seed:           seed,
+				},
+				scale:  runScale,
+				labels: ps.labels,
+			})
 		}
-		fig.Panels = append(fig.Panels, panel)
 	}
+	figPanels, err := runFigureJobs(figPanels, jobs, scale.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	fig.Panels = figPanels
 	return fig, nil
 }
 

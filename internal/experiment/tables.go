@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"flips/internal/dataset"
+	"flips/internal/parallel"
 )
 
 // Metric selects which of the paper's two table metrics to report.
@@ -129,6 +131,15 @@ func stragglerColumns() []struct {
 // RunGrid executes the full evaluation grid for one (dataset, algorithm)
 // pair: (α ∈ {0.3, 0.6}) × (party% ∈ {20, 15}) × the paper's straggler
 // columns. progress (may be nil) receives one line per completed cell.
+//
+// Independent cells fan out over a pool bounded by scale.Parallelism, and
+// each cell's interior (repeats, local training, eval shards) runs
+// sequentially: the grid's 44 cells are the coarsest — and therefore
+// cheapest — level to spend the whole concurrency budget on, and claiming
+// it here keeps nested pools from multiplying past the budget. Cells are
+// assembled into rows by index, so the Grid is bit-identical at every pool
+// width; only the arrival order of progress lines varies (completion order
+// when parallel, grid order when sequential).
 func RunGrid(ds dataset.Spec, algorithm string, scale Scale, seed uint64, progress func(string)) (*Grid, error) {
 	grid := &Grid{
 		Dataset:   ds,
@@ -138,41 +149,70 @@ func RunGrid(ds dataset.Spec, algorithm string, scale Scale, seed uint64, progre
 	}
 	runScale := scale
 	runScale.Rounds = grid.Rounds
+
+	type job struct {
+		row     int
+		setting Setting
+	}
+	var jobs []job
+	var rows []Row
 	for _, alpha := range []float64{0.3, 0.6} {
 		for _, frac := range []float64{0.20, 0.15} {
-			row := Row{Alpha: alpha, PartyFraction: frac}
+			rows = append(rows, Row{Alpha: alpha, PartyFraction: frac})
 			for _, col := range stragglerColumns() {
 				for _, strategy := range col.strategies {
-					setting := Setting{
-						Spec:           ds,
-						Algorithm:      algorithm,
-						Alpha:          alpha,
-						PartyFraction:  frac,
-						StragglerRate:  col.rate,
-						Strategy:       strategy,
-						TargetAccuracy: grid.Target,
-						Seed:           seed,
-					}
-					res, err := RunSetting(setting, runScale)
-					if err != nil {
-						return nil, fmt.Errorf("run %s: %w", setting, err)
-					}
-					cell := Cell{
-						Strategy:       strategy,
-						StragglerRate:  col.rate,
-						RoundsToTarget: res.RoundsToTarget,
-						PeakAccuracy:   res.PeakAccuracy,
-					}
-					row.Cells = append(row.Cells, cell)
-					if progress != nil {
-						progress(fmt.Sprintf("%s -> rtt=%s peak=%.2f%%",
-							setting, formatRounds(cell.RoundsToTarget, grid.Rounds), 100*cell.PeakAccuracy))
-					}
+					jobs = append(jobs, job{
+						row: len(rows) - 1,
+						setting: Setting{
+							Spec:           ds,
+							Algorithm:      algorithm,
+							Alpha:          alpha,
+							PartyFraction:  frac,
+							StragglerRate:  col.rate,
+							Strategy:       strategy,
+							TargetAccuracy: grid.Target,
+							Seed:           seed,
+						},
+					})
 				}
 			}
-			grid.Rows = append(grid.Rows, row)
 		}
 	}
+
+	type cellOut struct {
+		cell Cell
+		err  error
+	}
+	cellScale := runScale
+	cellScale.Parallelism = 1
+	var progressMu sync.Mutex
+	outs := parallel.Map(parallel.New(scale.Parallelism), len(jobs), func(i int) cellOut {
+		setting := jobs[i].setting
+		res, err := RunSetting(setting, cellScale)
+		if err != nil {
+			return cellOut{err: fmt.Errorf("run %s: %w", setting, err)}
+		}
+		cell := Cell{
+			Strategy:       setting.Strategy,
+			StragglerRate:  setting.StragglerRate,
+			RoundsToTarget: res.RoundsToTarget,
+			PeakAccuracy:   res.PeakAccuracy,
+		}
+		if progress != nil {
+			progressMu.Lock()
+			progress(fmt.Sprintf("%s -> rtt=%s peak=%.2f%%",
+				setting, formatRounds(cell.RoundsToTarget, grid.Rounds), 100*cell.PeakAccuracy))
+			progressMu.Unlock()
+		}
+		return cellOut{cell: cell}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rows[jobs[i].row].Cells = append(rows[jobs[i].row].Cells, o.cell)
+	}
+	grid.Rows = rows
 	return grid, nil
 }
 

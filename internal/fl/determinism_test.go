@@ -1,0 +1,230 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"flips/internal/model"
+)
+
+// rotatingSelector deterministically rotates through the party pool as a
+// pure function of the round number, so two independently constructed
+// instances always produce the same selections — the property the
+// determinism regression suite needs from its selector.
+type rotatingSelector struct{ n int }
+
+func (s *rotatingSelector) Name() string { return "rotating" }
+
+func (s *rotatingSelector) Select(round, target int) []int {
+	out := make([]int, 0, target)
+	for i := 0; i < target && i < s.n; i++ {
+		out = append(out, (round*3+i*2)%s.n)
+	}
+	return out
+}
+
+func (s *rotatingSelector) Observe(RoundFeedback) {}
+
+// determinismConfig builds a fresh, fully independent FL job exercising the
+// engine's stochastic surface: MLP factory, adaptive server optimizer, LR
+// decay, biased straggler injection and per-party split RNG streams.
+func determinismConfig(t *testing.T, seed uint64, parallelism int) Config {
+	t.Helper()
+	parties, test, spec := buildTestJob(t, seed, 16, 0.3)
+	return Config{
+		Parties:         parties,
+		Test:            test.Samples,
+		NumClasses:      len(spec.LabelNames),
+		Factory:         model.MLPFactory(spec.Dim, 8, len(spec.LabelNames)),
+		Optimizer:       NewFedYogi(),
+		Selector:        &rotatingSelector{n: len(parties)},
+		Rounds:          6,
+		PartiesPerRound: 8,
+		SGD:             model.SGDConfig{LearningRate: 0.05, BatchSize: 16, LocalEpochs: 1},
+		LRDecayEvery:    2,
+		LRDecayFactor:   0.9,
+		StragglerRate:   0.2,
+		StragglerBias:   1.5,
+		EvalEvery:       2,
+		TargetAccuracy:  0.5,
+		Parallelism:     parallelism,
+		Seed:            seed,
+	}
+}
+
+// bitsEqual compares float64s bit-for-bit, so NaN == NaN and -0 != 0 — the
+// "byte-identical" standard the parallel engine is held to.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// requireIdenticalResults asserts two Results are byte-identical across the
+// full observable surface: accuracy trajectory, per-label recalls,
+// communication accounting, rounds-to-target and final parameters.
+func requireIdenticalResults(t *testing.T, want, got *Result) {
+	t.Helper()
+	if len(want.History) != len(got.History) {
+		t.Fatalf("history length %d vs %d", len(want.History), len(got.History))
+	}
+	for i := range want.History {
+		w, g := want.History[i], got.History[i]
+		if w.Round != g.Round || w.Invited != g.Invited || w.Completed != g.Completed || w.CommBytes != g.CommBytes {
+			t.Fatalf("round %d stats diverge: %+v vs %+v", w.Round, w, g)
+		}
+		if !bitsEqual(w.Accuracy, g.Accuracy) {
+			t.Fatalf("round %d accuracy %v vs %v", w.Round, w.Accuracy, g.Accuracy)
+		}
+		if !bitsEqual(w.MeanLoss, g.MeanLoss) {
+			t.Fatalf("round %d mean loss %v vs %v", w.Round, w.MeanLoss, g.MeanLoss)
+		}
+		if len(w.PerLabel) != len(g.PerLabel) {
+			t.Fatalf("round %d per-label lengths %d vs %d", w.Round, len(w.PerLabel), len(g.PerLabel))
+		}
+		for c := range w.PerLabel {
+			if !bitsEqual(w.PerLabel[c], g.PerLabel[c]) {
+				t.Fatalf("round %d label %d recall %v vs %v", w.Round, c, w.PerLabel[c], g.PerLabel[c])
+			}
+		}
+	}
+	if !bitsEqual(want.PeakAccuracy, got.PeakAccuracy) {
+		t.Fatalf("peak %v vs %v", want.PeakAccuracy, got.PeakAccuracy)
+	}
+	if want.RoundsToTarget != got.RoundsToTarget {
+		t.Fatalf("rounds-to-target %d vs %d", want.RoundsToTarget, got.RoundsToTarget)
+	}
+	if want.TotalCommBytes != got.TotalCommBytes {
+		t.Fatalf("comm bytes %d vs %d", want.TotalCommBytes, got.TotalCommBytes)
+	}
+	if len(want.FinalParams) != len(got.FinalParams) {
+		t.Fatalf("param lengths %d vs %d", len(want.FinalParams), len(got.FinalParams))
+	}
+	for i := range want.FinalParams {
+		if !bitsEqual(want.FinalParams[i], got.FinalParams[i]) {
+			t.Fatalf("param %d: %v vs %v", i, want.FinalParams[i], got.FinalParams[i])
+		}
+	}
+}
+
+// TestParallelRunMatchesSequential is the central determinism regression of
+// the parallel execution engine: for several seeds, a Parallelism: 8 run
+// must produce a Result byte-identical to the Parallelism: 1 run of the same
+// Config.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		sequential, err := Run(determinismConfig(t, seed, 1))
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		parallel8, err := Run(determinismConfig(t, seed, 8))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		requireIdenticalResults(t, sequential, parallel8)
+	}
+}
+
+// TestParallelRunMatchesSequentialFedDyn covers the one per-party state the
+// aggregation loop mutates (FedDyn's gradient-correction map), which must be
+// touched only on the sequential fold.
+func TestParallelRunMatchesSequentialFedDyn(t *testing.T) {
+	t.Parallel()
+	mk := func(par int) Config {
+		cfg := determinismConfig(t, 11, par)
+		cfg.Optimizer = &FedAvg{}
+		cfg.FedDynAlpha = 0.1
+		return cfg
+	}
+	sequential, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel8, err := Run(mk(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, sequential, parallel8)
+}
+
+// TestParallelRunMatchesDefaultParallelism checks the zero-value Config path
+// (Parallelism: 0 → GOMAXPROCS) is on the same determinism contract.
+func TestParallelRunMatchesDefaultParallelism(t *testing.T) {
+	t.Parallel()
+	sequential, err := Run(determinismConfig(t, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Run(determinismConfig(t, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, sequential, auto)
+}
+
+// TestParallelResumeMatchesSequential resumes a checkpointed job with
+// Parallelism: 8 and requires the continuation to be byte-identical to the
+// uninterrupted sequential run: same final parameters, same accounting, and
+// the same evaluation trajectory over the resumed rounds.
+func TestParallelResumeMatchesSequential(t *testing.T) {
+	t.Parallel()
+	const seed = 23
+	uninterrupted, err := Run(determinismConfig(t, seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cps []*Checkpoint
+	cfg := determinismConfig(t, seed, 8)
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointSink = func(cp *Checkpoint) { cps = append(cps, cp) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("captured %d checkpoints", len(cps))
+	}
+
+	// Round-trip the mid-job checkpoint through its serialized form, as a
+	// recovering aggregator would.
+	raw, err := cps[1].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumedCfg := determinismConfig(t, seed, 8)
+	resumedCfg.Resume = cp
+	resumed, err := Run(resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want, got := len(uninterrupted.FinalParams), len(resumed.FinalParams); want != got {
+		t.Fatalf("param lengths %d vs %d", want, got)
+	}
+	for i := range uninterrupted.FinalParams {
+		if !bitsEqual(uninterrupted.FinalParams[i], resumed.FinalParams[i]) {
+			t.Fatalf("resumed param %d: %v vs %v", i, resumed.FinalParams[i], uninterrupted.FinalParams[i])
+		}
+	}
+	if resumed.TotalCommBytes != uninterrupted.TotalCommBytes {
+		t.Fatalf("resumed comm %d vs %d", resumed.TotalCommBytes, uninterrupted.TotalCommBytes)
+	}
+	if !bitsEqual(resumed.PeakAccuracy, uninterrupted.PeakAccuracy) {
+		t.Fatalf("resumed peak %v vs %v", resumed.PeakAccuracy, uninterrupted.PeakAccuracy)
+	}
+	if resumed.RoundsToTarget != uninterrupted.RoundsToTarget {
+		t.Fatalf("resumed rtt %d vs %d", resumed.RoundsToTarget, uninterrupted.RoundsToTarget)
+	}
+	// The resumed history must be the tail of the uninterrupted history.
+	tail := uninterrupted.History[len(uninterrupted.History)-len(resumed.History):]
+	for i := range resumed.History {
+		if resumed.History[i].Round != tail[i].Round || !bitsEqual(resumed.History[i].Accuracy, tail[i].Accuracy) {
+			t.Fatalf("resumed history[%d] = %+v, want %+v", i, resumed.History[i], tail[i])
+		}
+	}
+}

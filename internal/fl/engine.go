@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"flips/internal/dataset"
+	"flips/internal/metrics"
 	"flips/internal/model"
+	"flips/internal/parallel"
 	"flips/internal/rng"
 	"flips/internal/tensor"
 )
@@ -67,6 +69,15 @@ type Config struct {
 	// TargetAccuracy records the first round whose balanced accuracy
 	// reaches this value (the paper's rounds-to-target metric).
 	TargetAccuracy float64
+	// Parallelism bounds the number of concurrent local-training workers and
+	// test-set evaluation shards. Zero (the default) uses GOMAXPROCS; 1
+	// forces the fully sequential path. Every width produces bit-identical
+	// Results: per-party RNG streams are pre-split on the caller's goroutine
+	// in the sequential order, training results are deposited into an
+	// index-addressed slice, aggregation folds them in that same order, and
+	// evaluation shards merge integer counts (see DESIGN.md, "Parallel
+	// execution model").
+	Parallelism int
 	// Seed makes the entire run reproducible.
 	Seed uint64
 }
@@ -149,6 +160,7 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{RoundsToTarget: -1}
 	sgd := cfg.SGD.WithDefaults()
+	pool := parallel.New(cfg.Parallelism)
 
 	startRound := 0
 	if cfg.Resume != nil {
@@ -220,16 +232,30 @@ func Run(cfg Config) (*Result, error) {
 			Update:     make(map[int]tensor.Vec, len(completed)),
 		}
 
+		// Local training of all completed parties runs concurrently. The
+		// determinism contract: Split mutates the parent source, so every
+		// party stream is pre-split here in the sequential order; each worker
+		// then touches only its own clone, its own pre-split stream and its
+		// own slice index, and the aggregation below folds results in the
+		// same completed order the sequential path uses.
+		partyRngs := make([]*rng.Source, len(completed))
+		for i, id := range completed {
+			partyRngs[i] = roundRng.Split(uint64(id) + 0x1000)
+		}
+		locals := make([]model.LocalResult, len(completed))
+		pool.ForEach(len(completed), func(i int) {
+			party := cfg.Parties[completed[i]]
+			local := global.Clone()
+			local.SetParams(globalParams.Clone())
+			locals[i] = model.TrainLocal(local, party.Data, sgd, globalParams, partyRngs[i])
+		})
+
 		updates := make([]tensor.Vec, 0, len(completed))
 		weights := make([]float64, 0, len(completed))
 		var lossSum float64
-		for _, id := range completed {
+		for i, id := range completed {
 			party := cfg.Parties[id]
-			local := global.Clone()
-			local.SetParams(globalParams.Clone())
-
-			partyRng := roundRng.Split(uint64(id) + 0x1000)
-			lr := model.TrainLocal(local, party.Data, sgd, globalParams, partyRng)
+			lr := locals[i]
 			params := lr.Params
 
 			if cfg.FedDynAlpha > 0 {
@@ -268,8 +294,9 @@ func Run(cfg Config) (*Result, error) {
 			if len(completed) > 0 {
 				stats.MeanLoss = lossSum / float64(len(completed))
 			}
-			stats.Accuracy = model.BalancedAccuracy(global, cfg.Test, cfg.NumClasses)
-			stats.PerLabel = model.PerLabelAccuracy(global, cfg.Test, cfg.NumClasses)
+			correct, total := metrics.ShardedClassCounts(global, cfg.Test, cfg.NumClasses, pool)
+			stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)
+			stats.PerLabel = metrics.PerLabelRecallFromCounts(correct, total)
 			res.History = append(res.History, stats)
 			if stats.Accuracy > res.PeakAccuracy {
 				res.PeakAccuracy = stats.Accuracy

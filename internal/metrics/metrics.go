@@ -1,8 +1,9 @@
 // Package metrics provides the evaluation statistics the FLIPS harness
 // reports beyond raw balanced accuracy: confusion matrices with per-class
 // precision/recall/F1 (used to analyse the under-represented labels of
-// Figure 13), and summary statistics over repeated runs (the paper averages
-// 6 seeds per cell).
+// Figure 13), summary statistics over repeated runs (the paper averages
+// 6 seeds per cell), and the sharded parallel evaluation path the FL engine
+// uses on the global test set.
 package metrics
 
 import (
@@ -12,7 +13,74 @@ import (
 
 	"flips/internal/dataset"
 	"flips/internal/model"
+	"flips/internal/parallel"
 )
+
+// ShardedClassCounts evaluates m over samples split into contiguous shards,
+// one per pool worker, and merges the per-shard integer class counts. The
+// merge is integer addition, so the result is bit-identical to
+// model.ClassCounts over the whole set at every pool width — this is the
+// determinism contract of the parallel evaluation path. m.Predict is called
+// concurrently and must not mutate the model (both built-in models qualify).
+func ShardedClassCounts(m model.Model, samples []dataset.Sample, numClasses int, pool *parallel.Pool) (correct, total []int) {
+	n := len(samples)
+	shards := pool.Width()
+	if shards > n {
+		shards = n
+	}
+	if n == 0 || shards <= 1 {
+		return model.ClassCounts(m, samples, numClasses)
+	}
+	type counts struct{ correct, total []int }
+	per := parallel.Map(pool, shards, func(s int) counts {
+		lo := s * n / shards
+		hi := (s + 1) * n / shards
+		c, t := model.ClassCounts(m, samples[lo:hi], numClasses)
+		return counts{c, t}
+	})
+	correct = make([]int, numClasses)
+	total = make([]int, numClasses)
+	for _, p := range per {
+		for c := 0; c < numClasses; c++ {
+			correct[c] += p.correct[c]
+			total[c] += p.total[c]
+		}
+	}
+	return correct, total
+}
+
+// BalancedAccuracyFromCounts computes the paper's §4.4 balanced accuracy
+// from class counts: the unweighted mean of per-label recalls over labels
+// present in the counts. It matches model.BalancedAccuracy exactly.
+func BalancedAccuracyFromCounts(correct, total []int) float64 {
+	var sum float64
+	present := 0
+	for c := range total {
+		if total[c] == 0 {
+			continue
+		}
+		sum += float64(correct[c]) / float64(total[c])
+		present++
+	}
+	if present == 0 {
+		return 0
+	}
+	return sum / float64(present)
+}
+
+// PerLabelRecallFromCounts computes per-label recall from class counts, NaN
+// for labels absent from the counts. It matches model.PerLabelAccuracy.
+func PerLabelRecallFromCounts(correct, total []int) []float64 {
+	out := make([]float64, len(total))
+	for c := range out {
+		if total[c] == 0 {
+			out[c] = math.NaN()
+			continue
+		}
+		out[c] = float64(correct[c]) / float64(total[c])
+	}
+	return out
+}
 
 // ConfusionMatrix counts predictions: Counts[true][predicted].
 type ConfusionMatrix struct {

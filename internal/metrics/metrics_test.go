@@ -8,6 +8,7 @@ import (
 
 	"flips/internal/dataset"
 	"flips/internal/model"
+	"flips/internal/parallel"
 	"flips/internal/rng"
 	"flips/internal/tensor"
 )
@@ -32,6 +33,7 @@ func samplesWithLabels(labels ...int) []dataset.Sample {
 }
 
 func TestConfusionMatrixConstantPredictor(t *testing.T) {
+	t.Parallel()
 	m := &constModel{class: 0, params: 1}
 	samples := samplesWithLabels(0, 0, 0, 1, 2)
 	cm := NewConfusionMatrix(m, samples, []string{"a", "b", "c"})
@@ -60,6 +62,7 @@ func TestConfusionMatrixConstantPredictor(t *testing.T) {
 }
 
 func TestConfusionMatrixMatchesModelBalancedAccuracy(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	train, test, err := dataset.Generate(dataset.ECG().WithSizes(1000, 400), r)
 	if err != nil {
@@ -75,6 +78,7 @@ func TestConfusionMatrixMatchesModelBalancedAccuracy(t *testing.T) {
 }
 
 func TestF1(t *testing.T) {
+	t.Parallel()
 	m := &constModel{class: 1, params: 1}
 	samples := samplesWithLabels(1, 1, 0, 0)
 	cm := NewConfusionMatrix(m, samples, []string{"a", "b"})
@@ -88,6 +92,7 @@ func TestF1(t *testing.T) {
 }
 
 func TestConfusionMatrixString(t *testing.T) {
+	t.Parallel()
 	m := &constModel{class: 0, params: 1}
 	cm := NewConfusionMatrix(m, samplesWithLabels(0, 1), []string{"normal", "arrhythmia"})
 	s := cm.String()
@@ -97,6 +102,7 @@ func TestConfusionMatrixString(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{1, 2, 3, 4})
 	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
 		t.Fatalf("summary %+v", s)
@@ -115,6 +121,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSummarizeProperties(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 1 + r.Intn(50)
@@ -130,5 +137,74 @@ func TestSummarizeProperties(t *testing.T) {
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// labelModel predicts y = round(x[0]) so shard evaluation has a non-trivial
+// mix of hits and misses (test double).
+type labelModel struct{ constModel }
+
+func (l *labelModel) Predict(x tensor.Vec) int { return int(x[0]) }
+
+func shardEvalSamples(n, numClasses int, seed uint64) []dataset.Sample {
+	r := rng.New(seed)
+	out := make([]dataset.Sample, n)
+	for i := range out {
+		y := r.Intn(numClasses)
+		pred := y
+		if r.Float64() < 0.4 { // misclassify 40%
+			pred = r.Intn(numClasses)
+		}
+		out[i] = dataset.Sample{X: tensor.Vec{float64(pred)}, Y: y}
+	}
+	return out
+}
+
+// TestShardedClassCountsMatchesSequential is the evaluation half of the
+// parallel determinism contract: at every pool width the merged shard counts
+// must be bit-identical to a single sequential pass, and the accuracy values
+// derived from them must match the model-package reference implementations.
+func TestShardedClassCountsMatchesSequential(t *testing.T) {
+	t.Parallel()
+	const classes = 5
+	m := &labelModel{}
+	for _, n := range []int{0, 1, 7, 1000} {
+		samples := shardEvalSamples(n, classes, uint64(n)+1)
+		wantC, wantT := model.ClassCounts(m, samples, classes)
+		for _, width := range []int{1, 2, 3, 8, 64} {
+			gotC, gotT := ShardedClassCounts(m, samples, classes, parallel.New(width))
+			for c := 0; c < classes; c++ {
+				if gotC[c] != wantC[c] || gotT[c] != wantT[c] {
+					t.Fatalf("n=%d width=%d class %d: counts (%d,%d) want (%d,%d)",
+						n, width, c, gotC[c], gotT[c], wantC[c], wantT[c])
+				}
+			}
+			if acc, want := BalancedAccuracyFromCounts(gotC, gotT), model.BalancedAccuracy(m, samples, classes); acc != want {
+				t.Fatalf("n=%d width=%d balanced accuracy %v want %v", n, width, acc, want)
+			}
+			gotPer := PerLabelRecallFromCounts(gotC, gotT)
+			wantPer := model.PerLabelAccuracy(m, samples, classes)
+			for c := range wantPer {
+				if math.Float64bits(gotPer[c]) != math.Float64bits(wantPer[c]) {
+					t.Fatalf("n=%d width=%d label %d recall %v want %v", n, width, c, gotPer[c], wantPer[c])
+				}
+			}
+		}
+	}
+}
+
+func TestFromCountsEdgeCases(t *testing.T) {
+	t.Parallel()
+	if acc := BalancedAccuracyFromCounts(nil, nil); acc != 0 {
+		t.Fatalf("empty counts accuracy %v", acc)
+	}
+	// One absent label: excluded from the mean, NaN in per-label recall.
+	correct, total := []int{2, 0, 3}, []int{4, 0, 3}
+	if acc := BalancedAccuracyFromCounts(correct, total); math.Abs(acc-0.75) > 1e-15 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	per := PerLabelRecallFromCounts(correct, total)
+	if per[0] != 0.5 || !math.IsNaN(per[1]) || per[2] != 1 {
+		t.Fatalf("per-label %v", per)
 	}
 }

@@ -51,6 +51,7 @@ func checkGradient(t *testing.T, m Model, batch []dataset.Sample, tol float64) {
 }
 
 func TestLogRegGradientMatchesFiniteDifference(t *testing.T) {
+	t.Parallel()
 	r := rng.New(1)
 	m := NewLogReg(6, 4)
 	// Move off the zero init so gradients are non-trivial.
@@ -63,12 +64,14 @@ func TestLogRegGradientMatchesFiniteDifference(t *testing.T) {
 }
 
 func TestMLPGradientMatchesFiniteDifference(t *testing.T) {
+	t.Parallel()
 	r := rng.New(2)
 	m := NewMLP(5, 7, 3, r)
 	checkGradient(t, m, randomBatch(r, 10, 5, 3), 1e-3)
 }
 
 func TestParamsRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := rng.New(3)
 	models := []Model{NewLogReg(4, 3), NewMLP(4, 6, 3, r)}
 	for _, m := range models {
@@ -90,6 +93,7 @@ func TestParamsRoundTrip(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	r := rng.New(4)
 	for _, m := range []Model{NewLogReg(4, 3), NewMLP(4, 5, 3, r)} {
 		c := m.Clone()
@@ -108,6 +112,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestSetParamsPanicsOnBadLength(t *testing.T) {
+	t.Parallel()
 	for _, m := range []Model{NewLogReg(4, 3), NewMLP(4, 5, 3, rng.New(1))} {
 		func() {
 			defer func() {
@@ -121,6 +126,7 @@ func TestSetParamsPanicsOnBadLength(t *testing.T) {
 }
 
 func TestLogRegLearnsSeparableData(t *testing.T) {
+	t.Parallel()
 	r := rng.New(5)
 	train, test, err := dataset.Generate(dataset.FEMNIST().WithSizes(2000, 500), r)
 	if err != nil {
@@ -135,6 +141,7 @@ func TestLogRegLearnsSeparableData(t *testing.T) {
 }
 
 func TestMLPLearnsSeparableData(t *testing.T) {
+	t.Parallel()
 	r := rng.New(6)
 	train, test, err := dataset.Generate(dataset.FEMNIST().WithSizes(2000, 500), r)
 	if err != nil {
@@ -151,6 +158,7 @@ func TestMLPLearnsSeparableData(t *testing.T) {
 }
 
 func TestTrainLocalReducesLoss(t *testing.T) {
+	t.Parallel()
 	r := rng.New(7)
 	train, _, err := dataset.Generate(dataset.ECG().WithSizes(1000, 100), r)
 	if err != nil {
@@ -166,6 +174,7 @@ func TestTrainLocalReducesLoss(t *testing.T) {
 }
 
 func TestTrainLocalEmptyData(t *testing.T) {
+	t.Parallel()
 	m := NewLogReg(4, 3)
 	res := TrainLocal(m, nil, SGDConfig{}, nil, rng.New(1))
 	if res.NumSamples != 0 || res.Steps != 0 {
@@ -177,6 +186,7 @@ func TestTrainLocalEmptyData(t *testing.T) {
 }
 
 func TestProxTermPullsTowardGlobal(t *testing.T) {
+	t.Parallel()
 	r := rng.New(8)
 	train, _, err := dataset.Generate(dataset.ECG().WithSizes(600, 100), r)
 	if err != nil {
@@ -197,6 +207,7 @@ func TestProxTermPullsTowardGlobal(t *testing.T) {
 }
 
 func TestGradientClipping(t *testing.T) {
+	t.Parallel()
 	r := rng.New(9)
 	train, _, err := dataset.Generate(dataset.ECG().WithSizes(300, 100), r)
 	if err != nil {
@@ -214,6 +225,7 @@ func TestGradientClipping(t *testing.T) {
 }
 
 func TestTrainLocalDeterministic(t *testing.T) {
+	t.Parallel()
 	r := rng.New(10)
 	train, _, err := dataset.Generate(dataset.HAM10000().WithSizes(500, 100), r)
 	if err != nil {
@@ -233,6 +245,7 @@ func TestTrainLocalDeterministic(t *testing.T) {
 }
 
 func TestBalancedAccuracyNeutralizesImbalance(t *testing.T) {
+	t.Parallel()
 	// A constant classifier predicting the majority class: plain accuracy is
 	// high on an imbalanced set, balanced accuracy is 1/numClasses... here
 	// exactly the recall structure: 100% on class 0, 0% elsewhere.
@@ -256,6 +269,7 @@ func TestBalancedAccuracyNeutralizesImbalance(t *testing.T) {
 }
 
 func TestBalancedAccuracySkipsAbsentLabels(t *testing.T) {
+	t.Parallel()
 	m := NewLogReg(2, 5)
 	samples := []dataset.Sample{{X: tensor.Vec{0, 0}, Y: 0}}
 	// Zero-init logreg ties all logits; ArgMax picks class 0 -> recall 1.
@@ -265,6 +279,7 @@ func TestBalancedAccuracySkipsAbsentLabels(t *testing.T) {
 }
 
 func TestPerLabelAccuracy(t *testing.T) {
+	t.Parallel()
 	m := NewLogReg(2, 3)
 	samples := []dataset.Sample{
 		{X: tensor.Vec{0, 0}, Y: 0},
@@ -283,6 +298,7 @@ func TestPerLabelAccuracy(t *testing.T) {
 }
 
 func TestGradientZeroAtOptimumProperty(t *testing.T) {
+	t.Parallel()
 	// Property: for logreg with a single sample, the gradient wrt the bias
 	// rows sums to zero across classes (softmax probabilities sum to one).
 	check := func(seed uint64) bool {

@@ -133,14 +133,7 @@ func BalancedAccuracy(m Model, samples []dataset.Sample, numClasses int) float64
 	if len(samples) == 0 || numClasses == 0 {
 		return 0
 	}
-	correct := make([]int, numClasses)
-	total := make([]int, numClasses)
-	for _, s := range samples {
-		total[s.Y]++
-		if m.Predict(s.X) == s.Y {
-			correct[s.Y]++
-		}
-	}
+	correct, total := ClassCounts(m, samples, numClasses)
 	var sum float64
 	present := 0
 	for c := 0; c < numClasses; c++ {
@@ -159,14 +152,7 @@ func BalancedAccuracy(m Model, samples []dataset.Sample, numClasses int) float64
 // PerLabelAccuracy returns per-label recall lA_i for each label, with NaN
 // for labels absent from the sample set.
 func PerLabelAccuracy(m Model, samples []dataset.Sample, numClasses int) []float64 {
-	correct := make([]int, numClasses)
-	total := make([]int, numClasses)
-	for _, s := range samples {
-		total[s.Y]++
-		if m.Predict(s.X) == s.Y {
-			correct[s.Y]++
-		}
-	}
+	correct, total := ClassCounts(m, samples, numClasses)
 	out := make([]float64, numClasses)
 	for c := range out {
 		if total[c] == 0 {
@@ -176,4 +162,23 @@ func PerLabelAccuracy(m Model, samples []dataset.Sample, numClasses int) []float
 		out[c] = float64(correct[c]) / float64(total[c])
 	}
 	return out
+}
+
+// ClassCounts tallies per-label prediction outcomes: correct[c] is the count
+// of label-c samples predicted correctly, total[c] the count of label-c
+// samples. Because the tallies are integers, counts taken over disjoint
+// shards of a sample set merge by addition into exactly the counts of the
+// whole set — the property the parallel evaluation path relies on. Predict
+// must not mutate the model; both built-in models satisfy this, so one model
+// may serve many ClassCounts calls concurrently.
+func ClassCounts(m Model, samples []dataset.Sample, numClasses int) (correct, total []int) {
+	correct = make([]int, numClasses)
+	total = make([]int, numClasses)
+	for _, s := range samples {
+		total[s.Y]++
+		if m.Predict(s.X) == s.Y {
+			correct[s.Y]++
+		}
+	}
+	return correct, total
 }

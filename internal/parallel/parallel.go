@@ -1,0 +1,142 @@
+// Package parallel provides the bounded worker pool the FLIPS simulator uses
+// to run independent units of work — per-party local training, test-set
+// evaluation shards, experiment grid cells — concurrently without giving up
+// determinism.
+//
+// The determinism contract every caller relies on: work items are identified
+// by index, results are deposited into index-addressed storage, and any
+// order-sensitive reduction happens sequentially after the pool drains. The
+// pool itself guarantees only that every index in [0, n) is processed exactly
+// once; it makes no ordering promise between workers, which is why callers
+// must never fold results in completion order.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable bounded worker pool. The zero value is equivalent to
+// New(0): a GOMAXPROCS-wide pool. A Pool is safe for concurrent use and
+// carries no per-run state, so one Pool can serve many ForEach/Map calls.
+type Pool struct {
+	width int
+}
+
+// New returns a pool running at most width workers concurrently. A width
+// of zero or less selects runtime.GOMAXPROCS(0), the "as fast as the
+// hardware allows" default.
+func New(width int) *Pool {
+	return &Pool{width: width}
+}
+
+// Width reports the pool's concurrency bound.
+func (p *Pool) Width() int {
+	if p.width <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.width
+}
+
+// panicError carries a worker panic (with its stack) to the caller's
+// goroutine so a failure inside the pool is not silently swallowed.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.value, e.stack)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), running at most Width()
+// invocations concurrently. It blocks until all invocations return. If any
+// invocation panics, ForEach re-panics in the caller's goroutine with a
+// *panicError wrapping the first observed panic value; remaining items may
+// be skipped once a panic is observed.
+//
+// When the pool width is 1 (or n <= 1), fn runs on the caller's goroutine in
+// index order — the exact sequential semantics, with no goroutine overhead.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.Width() == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, wrapped := r.(*panicError); wrapped {
+							panic(r)
+						}
+						buf := make([]byte, 64<<10)
+						buf = buf[:runtime.Stack(buf, false)]
+						panic(&panicError{value: r, stack: buf})
+					}
+				}()
+				fn(i)
+			}()
+		}
+		return
+	}
+
+	workers := p.Width()
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next    atomic.Int64
+		panicMu sync.Mutex
+		failure *panicError
+		wg      sync.WaitGroup
+	)
+	aborted := func() bool {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		return failure != nil
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || aborted() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 64<<10)
+							buf = buf[:runtime.Stack(buf, false)]
+							panicMu.Lock()
+							if failure == nil {
+								failure = &panicError{value: r, stack: buf}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if failure != nil {
+		panic(failure)
+	}
+}
+
+// Map runs fn over every index in [0, n) on pool p and returns the results
+// in index order, regardless of which worker finished first. fn must not
+// depend on invocation order.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	t.Parallel()
+	if w := New(0).Width(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default width %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := New(-3).Width(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative width gave %d", w)
+	}
+	if w := New(7).Width(); w != 7 {
+		t.Fatalf("explicit width gave %d", w)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	t.Parallel()
+	for _, width := range []int{1, 2, 4, 16} {
+		const n = 500
+		counts := make([]atomic.Int64, n)
+		New(width).ForEach(n, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("width %d: index %d visited %d times", width, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachRespectsWidthLimit(t *testing.T) {
+	t.Parallel()
+	const width = 3
+	var inFlight, peak atomic.Int64
+	gate := make(chan struct{})
+	go func() {
+		// Let workers pile up against the gate before releasing them, so the
+		// peak measurement actually exercises the bound.
+		close(gate)
+	}()
+	New(width).ForEach(64, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		<-gate
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > width {
+		t.Fatalf("observed %d concurrent workers, width %d", p, width)
+	}
+}
+
+func TestForEachWidthOneRunsInIndexOrder(t *testing.T) {
+	t.Parallel()
+	var order []int
+	New(1).ForEach(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("width-1 order %v", order)
+		}
+	}
+}
+
+func TestMapReturnsIndexOrderedResults(t *testing.T) {
+	t.Parallel()
+	for _, width := range []int{1, 4, 32} {
+		got := Map(New(width), 200, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("width %d: out[%d] = %d", width, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	t.Parallel()
+	for _, width := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("width %d: panic not propagated", width)
+				}
+				pe, ok := r.(*panicError)
+				if !ok {
+					t.Fatalf("width %d: recovered %T, want *panicError", width, r)
+				}
+				if pe.value != "boom" {
+					t.Fatalf("width %d: panic value %v", width, pe.value)
+				}
+				if len(pe.stack) == 0 {
+					t.Fatalf("width %d: no stack captured", width)
+				}
+			}()
+			New(width).ForEach(50, func(i int) {
+				if i == 17 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	t.Parallel()
+	called := false
+	New(4).ForEach(0, func(int) { called = true })
+	New(4).ForEach(-5, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestZeroValuePoolIsGOMAXPROCSWide(t *testing.T) {
+	t.Parallel()
+	var p Pool
+	if w := p.Width(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("zero-value width %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	got := Map(&p, 100, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("zero-value pool dropped work: out[%d] = %d", i, v)
+		}
+	}
+}

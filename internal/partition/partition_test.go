@@ -37,6 +37,7 @@ func assertExactCover(t *testing.T, ds *dataset.Dataset, p *Partition) {
 }
 
 func TestDirichletExactCover(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 2000, 1)
 	for _, alpha := range []float64{0.1, 0.3, 0.6, 1, 10} {
 		p, err := Dirichlet(ds, 40, alpha, rng.New(7))
@@ -51,6 +52,7 @@ func TestDirichletExactCover(t *testing.T) {
 }
 
 func TestDirichletNoEmptyParties(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 500, 2)
 	p, err := Dirichlet(ds, 100, 0.05, rng.New(3))
 	if err != nil {
@@ -64,6 +66,7 @@ func TestDirichletNoEmptyParties(t *testing.T) {
 }
 
 func TestDirichletSkewIncreasesAsAlphaDecreases(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 4000, 4)
 	entropyAt := func(alpha float64) float64 {
 		p, err := Dirichlet(ds, 50, alpha, rng.New(9))
@@ -90,6 +93,7 @@ func TestDirichletSkewIncreasesAsAlphaDecreases(t *testing.T) {
 }
 
 func TestDirichletValidation(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 100, 5)
 	if _, err := Dirichlet(ds, 0, 0.3, rng.New(1)); err == nil {
 		t.Fatal("expected error for 0 parties")
@@ -103,6 +107,7 @@ func TestDirichletValidation(t *testing.T) {
 }
 
 func TestIIDBalanced(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 1000, 6)
 	p, err := IID(ds, 10, rng.New(2))
 	if err != nil {
@@ -117,6 +122,7 @@ func TestIIDBalanced(t *testing.T) {
 }
 
 func TestLabelShardLimitsLabels(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 2000, 7)
 	shards := 2
 	p, err := LabelShard(ds, 20, shards, rng.New(3))
@@ -138,6 +144,7 @@ func TestLabelShardLimitsLabels(t *testing.T) {
 }
 
 func TestLabelShardValidation(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 100, 8)
 	if _, err := LabelShard(ds, 200, 1, rng.New(1)); err == nil {
 		t.Fatal("expected error when shards exceed samples")
@@ -148,6 +155,7 @@ func TestLabelShardValidation(t *testing.T) {
 }
 
 func TestLabelDistributionMatchesCounts(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 1000, 9)
 	p, err := Dirichlet(ds, 25, 0.3, rng.New(11))
 	if err != nil {
@@ -171,6 +179,7 @@ func TestLabelDistributionMatchesCounts(t *testing.T) {
 }
 
 func TestNormalizedLabelDistributionsSumToOne(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 800, 10)
 	p, err := Dirichlet(ds, 20, 0.6, rng.New(12))
 	if err != nil {
@@ -184,6 +193,7 @@ func TestNormalizedLabelDistributionsSumToOne(t *testing.T) {
 }
 
 func TestLargestRemainderApportion(t *testing.T) {
+	t.Parallel()
 	counts := largestRemainderApportion([]float64{0.5, 0.3, 0.2}, 10)
 	total := 0
 	for _, c := range counts {
@@ -198,6 +208,7 @@ func TestLargestRemainderApportion(t *testing.T) {
 }
 
 func TestApportionPropertyConservesN(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		dim := 1 + r.Intn(20)
@@ -219,6 +230,7 @@ func TestApportionPropertyConservesN(t *testing.T) {
 }
 
 func TestDirichletDeterministic(t *testing.T) {
+	t.Parallel()
 	ds := makeDataset(t, 600, 13)
 	a, err := Dirichlet(ds, 15, 0.3, rng.New(42))
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestNewDeterministic(t *testing.T) {
+	t.Parallel()
 	a, b := New(42), New(42)
 	for i := 0; i < 100; i++ {
 		if a.Uint64() != b.Uint64() {
@@ -16,6 +17,7 @@ func TestNewDeterministic(t *testing.T) {
 }
 
 func TestNewDistinctSeedsDiverge(t *testing.T) {
+	t.Parallel()
 	a, b := New(1), New(2)
 	same := 0
 	for i := 0; i < 100; i++ {
@@ -29,6 +31,7 @@ func TestNewDistinctSeedsDiverge(t *testing.T) {
 }
 
 func TestSplitIndependence(t *testing.T) {
+	t.Parallel()
 	parent := New(7)
 	c1 := parent.Split(1)
 	c2 := parent.Split(2)
@@ -38,6 +41,7 @@ func TestSplitIndependence(t *testing.T) {
 }
 
 func TestZeroSeedUsable(t *testing.T) {
+	t.Parallel()
 	r := New(0)
 	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
 		t.Fatal("zero seed produced a degenerate all-zero stream")
@@ -45,6 +49,7 @@ func TestZeroSeedUsable(t *testing.T) {
 }
 
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	r := New(3)
 	for i := 0; i < 10000; i++ {
 		f := r.Float64()
@@ -55,6 +60,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestFloat64Mean(t *testing.T) {
+	t.Parallel()
 	r := New(11)
 	const n = 200000
 	var sum float64
@@ -68,6 +74,7 @@ func TestFloat64Mean(t *testing.T) {
 }
 
 func TestIntnBounds(t *testing.T) {
+	t.Parallel()
 	r := New(5)
 	seen := make(map[int]bool)
 	for i := 0; i < 10000; i++ {
@@ -83,6 +90,7 @@ func TestIntnBounds(t *testing.T) {
 }
 
 func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Intn(0) did not panic")
@@ -92,6 +100,7 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 }
 
 func TestNormFloat64Moments(t *testing.T) {
+	t.Parallel()
 	r := New(9)
 	const n = 200000
 	var sum, sumSq float64
@@ -111,6 +120,7 @@ func TestNormFloat64Moments(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := New(seed)
 		n := 1 + r.Intn(50)
@@ -133,6 +143,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestDirichletSumsToOne(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := New(seed)
 		alpha := 0.05 + r.Float64()*2
@@ -156,6 +167,7 @@ func TestDirichletSumsToOne(t *testing.T) {
 }
 
 func TestDirichletSkewByAlpha(t *testing.T) {
+	t.Parallel()
 	// Small alpha should concentrate mass; large alpha should flatten it.
 	// Measure via the mean max-proportion over many draws.
 	avgMax := func(alpha float64) float64 {
@@ -187,6 +199,7 @@ func TestDirichletSkewByAlpha(t *testing.T) {
 }
 
 func TestGammaMean(t *testing.T) {
+	t.Parallel()
 	// E[Gamma(shape,1)] = shape.
 	for _, shape := range []float64{0.3, 1, 2.5, 7} {
 		r := New(13)
@@ -203,6 +216,7 @@ func TestGammaMean(t *testing.T) {
 }
 
 func TestCategoricalRespectsWeights(t *testing.T) {
+	t.Parallel()
 	r := New(21)
 	w := []float64{1, 0, 3}
 	counts := make([]int, 3)
@@ -220,6 +234,7 @@ func TestCategoricalRespectsWeights(t *testing.T) {
 }
 
 func TestMultinomialConservesTrials(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := New(seed)
 		n := r.Intn(500)
@@ -237,6 +252,7 @@ func TestMultinomialConservesTrials(t *testing.T) {
 }
 
 func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := New(seed)
 		n := 1 + r.Intn(100)
@@ -260,6 +276,7 @@ func TestSampleWithoutReplacementDistinct(t *testing.T) {
 }
 
 func TestSampleWithoutReplacementPanicsWhenKTooLarge(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for k > n")
@@ -269,6 +286,7 @@ func TestSampleWithoutReplacementPanicsWhenKTooLarge(t *testing.T) {
 }
 
 func TestShuffleUniformity(t *testing.T) {
+	t.Parallel()
 	// Chi-squared-ish sanity: position of element 0 after shuffling [0,1,2]
 	// should be near uniform over 3 positions.
 	r := New(31)

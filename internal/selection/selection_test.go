@@ -24,6 +24,7 @@ func assertUniqueInRange(t *testing.T, sel []int, n int) {
 }
 
 func TestRandomSelect(t *testing.T) {
+	t.Parallel()
 	s := NewRandom(50, rng.New(1))
 	for round := 0; round < 10; round++ {
 		sel := s.Select(round, 10)
@@ -38,6 +39,7 @@ func TestRandomSelect(t *testing.T) {
 }
 
 func TestRandomSelectClampsTarget(t *testing.T) {
+	t.Parallel()
 	s := NewRandom(5, rng.New(2))
 	if got := len(s.Select(0, 99)); got != 5 {
 		t.Fatalf("selected %d from 5 parties", got)
@@ -45,6 +47,7 @@ func TestRandomSelectClampsTarget(t *testing.T) {
 }
 
 func TestRandomEventualCoverage(t *testing.T) {
+	t.Parallel()
 	s := NewRandom(20, rng.New(3))
 	seen := map[int]bool{}
 	for round := 0; round < 50; round++ {
@@ -77,6 +80,7 @@ func feedbackWithLoss(round int, ids []int, loss func(int) float64) fl.RoundFeed
 }
 
 func TestOortPrefersHighLossParties(t *testing.T) {
+	t.Parallel()
 	const n = 40
 	s := NewOort(n, nil, OortConfig{ExplorationFraction: 0.2}, rng.New(4))
 	// Feed several rounds of feedback: parties 0-9 have 10x the loss.
@@ -108,6 +112,7 @@ func TestOortPrefersHighLossParties(t *testing.T) {
 }
 
 func TestOortExploresUntriedParties(t *testing.T) {
+	t.Parallel()
 	s := NewOort(30, nil, OortConfig{ExplorationFraction: 0.5}, rng.New(5))
 	// Before any feedback every party is untried: selection must still fill.
 	sel := s.Select(0, 10)
@@ -118,6 +123,7 @@ func TestOortExploresUntriedParties(t *testing.T) {
 }
 
 func TestOortOverprovisionsAfterStragglers(t *testing.T) {
+	t.Parallel()
 	s := NewOort(40, nil, OortConfig{}, rng.New(6))
 	all := make([]int, 40)
 	for i := range all {
@@ -135,6 +141,7 @@ func TestOortOverprovisionsAfterStragglers(t *testing.T) {
 }
 
 func TestOortStragglersLoseUtility(t *testing.T) {
+	t.Parallel()
 	s := NewOort(10, nil, OortConfig{}, rng.New(7))
 	fb := feedbackWithLoss(0, []int{0, 1}, func(int) float64 { return 2 })
 	fb.Stragglers = []int{2}
@@ -155,6 +162,7 @@ func TestOortStragglersLoseUtility(t *testing.T) {
 }
 
 func TestOortDataSizeWeighting(t *testing.T) {
+	t.Parallel()
 	sizes := make([]int, 10)
 	for i := range sizes {
 		sizes[i] = 10
@@ -170,6 +178,7 @@ func TestOortDataSizeWeighting(t *testing.T) {
 }
 
 func TestGradClusSelectsOnePerCluster(t *testing.T) {
+	t.Parallel()
 	const n, dim = 12, 6
 	s := NewGradClus(n, dim, rng.New(9))
 	// Plant three orthogonal gradient directions, four parties each.
@@ -194,6 +203,7 @@ func TestGradClusSelectsOnePerCluster(t *testing.T) {
 }
 
 func TestGradClusObserveUpdatesGradients(t *testing.T) {
+	t.Parallel()
 	s := NewGradClus(4, 3, rng.New(10))
 	update := tensor.Vec{7, 8, 9}
 	fb := fl.RoundFeedback{
@@ -217,6 +227,7 @@ func TestGradClusObserveUpdatesGradients(t *testing.T) {
 }
 
 func TestGradClusColdStartRandomGradients(t *testing.T) {
+	t.Parallel()
 	s := NewGradClus(10, 5, rng.New(11))
 	sel := s.Select(0, 4)
 	if len(sel) != 4 {
@@ -226,6 +237,7 @@ func TestGradClusColdStartRandomGradients(t *testing.T) {
 }
 
 func TestTiFLTiersByLatency(t *testing.T) {
+	t.Parallel()
 	latencies := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	s := NewTiFL(latencies, TiFLConfig{NumTiers: 5}, rng.New(12))
 	// Parties 0,1 are tier 0 (fastest); 8,9 tier 4 (slowest).
@@ -238,6 +250,7 @@ func TestTiFLTiersByLatency(t *testing.T) {
 }
 
 func TestTiFLSelectsWithinOneTier(t *testing.T) {
+	t.Parallel()
 	latencies := make([]float64, 20)
 	for i := range latencies {
 		latencies[i] = float64(i)
@@ -257,6 +270,7 @@ func TestTiFLSelectsWithinOneTier(t *testing.T) {
 }
 
 func TestTiFLTopsUpFromNeighbours(t *testing.T) {
+	t.Parallel()
 	latencies := make([]float64, 10)
 	for i := range latencies {
 		latencies[i] = float64(i)
@@ -270,6 +284,7 @@ func TestTiFLTopsUpFromNeighbours(t *testing.T) {
 }
 
 func TestTiFLAdaptsTowardHighLossTiers(t *testing.T) {
+	t.Parallel()
 	latencies := make([]float64, 20)
 	for i := range latencies {
 		latencies[i] = float64(i)
@@ -299,6 +314,7 @@ func TestTiFLAdaptsTowardHighLossTiers(t *testing.T) {
 }
 
 func TestPowerOfChoicePicksHighestLossCandidates(t *testing.T) {
+	t.Parallel()
 	s := NewPowerOfChoice(20, 2, rng.New(16))
 	all := make([]int, 20)
 	for i := range all {
@@ -320,6 +336,7 @@ func TestPowerOfChoicePicksHighestLossCandidates(t *testing.T) {
 }
 
 func TestAllSelectorsReturnValidSelections(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 10 + r.Intn(40)
@@ -359,6 +376,7 @@ func TestAllSelectorsReturnValidSelections(t *testing.T) {
 }
 
 func TestMedianHelper(t *testing.T) {
+	t.Parallel()
 	if m := median(nil); m != 0 {
 		t.Fatalf("median(nil) = %v", m)
 	}

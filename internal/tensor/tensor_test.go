@@ -11,6 +11,7 @@ import (
 func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
 
 func TestVecAddSub(t *testing.T) {
+	t.Parallel()
 	v := Vec{1, 2, 3}
 	w := Vec{4, 5, 6}
 	sum := v.Add(w)
@@ -29,6 +30,7 @@ func TestVecAddSub(t *testing.T) {
 }
 
 func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
 	v := Vec{1, 2, 3}
 	c := v.Clone()
 	c[0] = 99
@@ -38,6 +40,7 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestAxpy(t *testing.T) {
+	t.Parallel()
 	v := Vec{1, 1}
 	v.Axpy(2, Vec{3, 4})
 	if v[0] != 7 || v[1] != 9 {
@@ -46,6 +49,7 @@ func TestAxpy(t *testing.T) {
 }
 
 func TestDotAndNorm(t *testing.T) {
+	t.Parallel()
 	v := Vec{3, 4}
 	if v.Dot(v) != 25 {
 		t.Fatalf("Dot = %v", v.Dot(v))
@@ -56,6 +60,7 @@ func TestDotAndNorm(t *testing.T) {
 }
 
 func TestDistMatchesNormOfDiff(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 1 + r.Intn(20)
@@ -72,6 +77,7 @@ func TestDistMatchesNormOfDiff(t *testing.T) {
 }
 
 func TestCosineSim(t *testing.T) {
+	t.Parallel()
 	a := Vec{1, 0}
 	b := Vec{0, 1}
 	if got := a.CosineSim(b); got != 0 {
@@ -89,6 +95,7 @@ func TestCosineSim(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
+	t.Parallel()
 	v := Vec{2, 2, 4}
 	v.Normalize()
 	if !almostEqual(v.Sum(), 1, 1e-12) {
@@ -105,6 +112,7 @@ func TestNormalize(t *testing.T) {
 }
 
 func TestArgMax(t *testing.T) {
+	t.Parallel()
 	if (Vec{}).ArgMax() != -1 {
 		t.Fatal("empty ArgMax should be -1")
 	}
@@ -114,6 +122,7 @@ func TestArgMax(t *testing.T) {
 }
 
 func TestSoftmaxProperties(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 1 + r.Intn(10)
@@ -139,6 +148,7 @@ func TestSoftmaxProperties(t *testing.T) {
 }
 
 func TestLengthMismatchPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on length mismatch")
@@ -148,6 +158,7 @@ func TestLengthMismatchPanics(t *testing.T) {
 }
 
 func TestMatRowViewIsMutable(t *testing.T) {
+	t.Parallel()
 	m := NewMat(2, 3)
 	m.Row(1)[2] = 42
 	if m.At(1, 2) != 42 {
@@ -156,6 +167,7 @@ func TestMatRowViewIsMutable(t *testing.T) {
 }
 
 func TestFromRows(t *testing.T) {
+	t.Parallel()
 	m := FromRows([]Vec{{1, 2}, {3, 4}, {5, 6}})
 	if m.Rows != 3 || m.Cols != 2 {
 		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
@@ -170,6 +182,7 @@ func TestFromRows(t *testing.T) {
 }
 
 func TestMulVec(t *testing.T) {
+	t.Parallel()
 	m := FromRows([]Vec{{1, 2}, {3, 4}})
 	y := m.MulVec(Vec{1, 1})
 	if y[0] != 3 || y[1] != 7 {
@@ -178,6 +191,7 @@ func TestMulVec(t *testing.T) {
 }
 
 func TestMulVecTIsTranspose(t *testing.T) {
+	t.Parallel()
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
@@ -204,6 +218,7 @@ func TestMulVecTIsTranspose(t *testing.T) {
 }
 
 func TestAddOuterInPlace(t *testing.T) {
+	t.Parallel()
 	m := NewMat(2, 2)
 	m.AddOuterInPlace(2, Vec{1, 3}, Vec{5, 7})
 	// m = 2 * [1;3] [5 7] = [[10,14],[30,42]]
@@ -218,6 +233,7 @@ func TestAddOuterInPlace(t *testing.T) {
 }
 
 func TestMatClone(t *testing.T) {
+	t.Parallel()
 	m := FromRows([]Vec{{1, 2}})
 	c := m.Clone()
 	c.Set(0, 0, 9)
@@ -227,6 +243,7 @@ func TestMatClone(t *testing.T) {
 }
 
 func TestNewMatPanicsOnNegative(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

@@ -32,6 +32,10 @@ type SimulationConfig struct {
 	Rounds int
 	// Parties overrides the population size when positive.
 	Parties int
+	// Parallelism bounds concurrent local training, evaluation shards and
+	// repeat runs. Zero uses GOMAXPROCS; 1 forces the sequential path. The
+	// result is bit-identical at every setting (see DESIGN.md).
+	Parallelism int
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -75,6 +79,7 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 	if c.Parties > 0 {
 		scale.Parties = c.Parties
 	}
+	scale.Parallelism = c.Parallelism
 	setting := experiment.Setting{
 		Spec:           spec,
 		Algorithm:      orDefault(c.Algorithm, experiment.AlgoFedYogi),
