@@ -5,6 +5,7 @@
 //
 //	flipsbench -exp table1,table2          # specific tables
 //	flipsbench -exp fig5,fig13             # specific figures
+//	flipsbench -exp het                    # device-heterogeneity time-to-accuracy sweep
 //	flipsbench -exp tee                    # TEE clustering overhead
 //	flipsbench -exp all-tables             # every table (12 grids)
 //	flipsbench -exp all-figures            # every figure
@@ -36,7 +37,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flipsbench", flag.ContinueOnError)
-	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, tee, all-tables, all-figures, all")
+	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, tee, all-tables, all-figures, all")
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	par := fs.Int("parallel", 0, "worker-pool width for grid cells, repeats, local training and eval shards (0 = GOMAXPROCS, 1 = sequential; results are identical at every width)")
@@ -103,6 +104,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fig.Render(stdout)
 			fmt.Fprintln(stdout)
+		case id == "het":
+			fmt.Fprintln(stderr, "running device-heterogeneity sweep (9 scenarios x 3 strategies)...")
+			table, err := experiment.RunHeterogeneity(scale, *seed, progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
 		case id == "tee":
 			fmt.Fprintln(stderr, "running tee overhead...")
 			res, err := experiment.RunTEEOverhead(scale, 5, *seed)
@@ -138,6 +147,7 @@ func expandExperiments(spec string) ([]string, error) {
 			for _, f := range experiment.FigureIDs() {
 				add(f)
 			}
+			add("het")
 			add("tee")
 		case "all-tables":
 			for i := 1; i <= 24; i++ {
@@ -154,7 +164,7 @@ func expandExperiments(spec string) ([]string, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no experiments selected")
 	}
-	// Stable order: tables numerically, then figures, then tee.
+	// Stable order: tables numerically, then figures, then het, then tee.
 	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
 	return out, nil
 }
@@ -167,6 +177,9 @@ func expRank(id string) int {
 	if strings.HasPrefix(id, "fig") {
 		n, _ := strconv.Atoi(strings.TrimPrefix(id, "fig"))
 		return 100 + n
+	}
+	if id == "het" {
+		return 150
 	}
 	return 200
 }

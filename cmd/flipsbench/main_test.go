@@ -11,7 +11,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1 {
+	if len(ids) != 24+10+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -19,6 +19,9 @@ func TestExpandExperimentsAll(t *testing.T) {
 	}
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
+	}
+	if ids[len(ids)-2] != "het" {
+		t.Fatalf("het not before tee: %v", ids[len(ids)-2])
 	}
 	if ids[len(ids)-1] != "tee" {
 		t.Fatalf("tee not last: %v", ids[len(ids)-1])
@@ -57,6 +60,22 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "moon-landing"}, &out, &errBuf); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunHetExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("het sweep runs 27 FL jobs at laptop scale")
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "het", "-q"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "time to attain target accuracy") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "diurnal") {
+		t.Fatalf("missing diurnal row:\n%s", out.String())
 	}
 }
 

@@ -11,39 +11,59 @@
 // Usage:
 //
 //	flipsd -listen 127.0.0.1:7443 -maxk 20 -repeats 20 -parallel 4
+//	flipsd -selftest        # deployment smoke: run a short device-model FL
+//	                        # job and report (simulated) time-to-accuracy
 package main
 
 import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 
+	"flips"
+	"flips/internal/experiment"
 	"flips/internal/tee"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, make(chan os.Signal, 1)); err != nil {
 		fmt.Fprintln(os.Stderr, "flipsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	listen := flag.String("listen", "127.0.0.1:7443", "TCP listen address")
-	maxK := flag.Int("maxk", 20, "maximum cluster count for the Davies-Bouldin sweep")
-	repeats := flag.Int("repeats", 20, "K-Means restarts per k (the paper's T)")
-	version := flag.String("version", "flips-kmeans-v1", "clustering code version (part of the measurement)")
-	par := flag.Int("parallel", 0, "cap on CPU parallelism for the service (0 = all cores)")
-	flag.Parse()
+// run drives the service; stop makes the serve loop interruptible so tests
+// can shut the daemon down without process signals. Process signals are
+// registered on stop only once the serve loop is reached — -selftest and
+// flag errors keep the default signal disposition, so Ctrl+C still kills
+// them.
+func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
+	fs := flag.NewFlagSet("flipsd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7443", "TCP listen address")
+	maxK := fs.Int("maxk", 20, "maximum cluster count for the Davies-Bouldin sweep")
+	repeats := fs.Int("repeats", 20, "K-Means restarts per k (the paper's T)")
+	version := fs.String("version", "flips-kmeans-v1", "clustering code version (part of the measurement)")
+	par := fs.Int("parallel", 0, "cap on CPU parallelism for the service (0 = all cores)")
+	selftest := fs.Bool("selftest", false, "run a short device-model FL simulation (clustering + selection + training pipeline) instead of serving, report time-to-target accuracy, and exit")
+	seed := fs.Uint64("seed", 1, "random seed for -selftest")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *par > 0 {
 		// The service shares hosts with FL aggregators; a deployment can pin
 		// its CPU budget without cgroup plumbing.
 		runtime.GOMAXPROCS(*par)
+	}
+
+	if *selftest {
+		return runSelftest(stdout, *seed, *par)
 	}
 
 	code := tee.ClusteringCode{Version: *version, MaxK: *maxK, Repeats: *repeats}
@@ -62,15 +82,50 @@ func run() error {
 	}
 	defer server.Close()
 
-	fmt.Printf("flipsd: serving TEE clustering on %s\n", addr)
-	fmt.Printf("  enclave measurement:  %s\n", enclave.Measurement())
-	fmt.Printf("  hardware public key:  %s\n", hex.EncodeToString(hwPub))
-	fmt.Println("  parties must provision their attestation server with both values")
+	fmt.Fprintf(stdout, "flipsd: serving TEE clustering on %s\n", addr)
+	fmt.Fprintf(stdout, "  enclave measurement:  %s\n", enclave.Measurement())
+	fmt.Fprintf(stdout, "  hardware public key:  %s\n", hex.EncodeToString(hwPub))
+	fmt.Fprintln(stdout, "  parties must provision their attestation server with both values")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("flipsd: wiping enclave state and shutting down")
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	<-stop
+	fmt.Fprintln(stdout, "flipsd: wiping enclave state and shutting down")
 	enclave.Wipe()
 	return nil
+}
+
+// runSelftest exercises the full FLIPS pipeline the service host will carry
+// — clustering, FLIPS selection, FL rounds over a heterogeneous device fleet
+// — and reports rounds- and simulated time-to-target-accuracy.
+func runSelftest(stdout io.Writer, seed uint64, par int) error {
+	res, err := flips.RunSimulation(flips.SimulationConfig{
+		Dataset:       "mit-bih-ecg",
+		Strategy:      "flips",
+		DeviceProfile: "lognormal",
+		Availability:  "churn",
+		Deadline:      3,
+		Rounds:        20,
+		Parties:       24,
+		Parallelism:   par,
+		Seed:          seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, 3s deadline)")
+	fmt.Fprintf(stdout, "  clusters:            %d\n", res.NumClusters)
+	fmt.Fprintf(stdout, "  peak accuracy:       %.2f%%\n", 100*res.PeakAccuracy)
+	fmt.Fprintf(stdout, "  simulated job time:  %s\n", experiment.FormatSimDuration(res.SimTime))
+	fmt.Fprintf(stdout, "  rounds to %.0f%%:       %s\n", 100*res.TargetAccuracy, formatRounds(res.RoundsToTarget))
+	fmt.Fprintf(stdout, "  time to %.0f%%:         %s\n", 100*res.TargetAccuracy, experiment.FormatSimDuration(res.TimeToTarget))
+	fmt.Fprintln(stdout, "flipsd selftest: ok")
+	return nil
+}
+
+func formatRounds(rtt int) string {
+	if rtt < 0 {
+		return "not reached"
+	}
+	return fmt.Sprintf("%d", rtt)
 }

@@ -312,3 +312,74 @@ func TestRunSimulationParallelismKnob(t *testing.T) {
 		t.Fatalf("summaries diverge: %+v vs %+v", seq, par)
 	}
 }
+
+// TestRunSimulationDeviceModel drives the device heterogeneity simulator
+// through the public API: a lognormal fleet under churn with a deadline must
+// produce simulated time, and the same config must be bit-reproducible with
+// the simulated clock intact across parallelism widths.
+func TestRunSimulationDeviceModel(t *testing.T) {
+	t.Parallel()
+	run := func(par int) *SimulationResult {
+		res, err := RunSimulation(SimulationConfig{
+			Dataset:       "mit-bih-ecg",
+			DeviceProfile: "lognormal",
+			Availability:  "churn",
+			Deadline:      2,
+			Rounds:        6,
+			Parties:       20,
+			Parallelism:   par,
+			Seed:          17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(8)
+	if seq.SimTime <= 0 {
+		t.Fatalf("device simulation accumulated no time: %+v", seq)
+	}
+	if math.Float64bits(seq.SimTime) != math.Float64bits(par.SimTime) ||
+		math.Float64bits(seq.TimeToTarget) != math.Float64bits(par.TimeToTarget) {
+		t.Fatalf("simulated clock diverges across widths: %+v vs %+v", seq, par)
+	}
+	var prev float64
+	for _, h := range seq.History {
+		if h.SimTime < prev {
+			t.Fatalf("SimTime not monotone at round %d", h.Round)
+		}
+		prev = h.SimTime
+	}
+}
+
+func TestRunSimulationDeviceValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := RunSimulation(SimulationConfig{Dataset: "mit-bih-ecg", DeviceProfile: "quantum"}); err == nil {
+		t.Fatal("unknown device profile accepted")
+	}
+	if _, err := RunSimulation(SimulationConfig{Dataset: "mit-bih-ecg", Availability: "churn"}); err == nil {
+		t.Fatal("availability without device profile accepted")
+	}
+	if _, err := RunSimulation(SimulationConfig{Dataset: "mit-bih-ecg", Deadline: 5}); err == nil {
+		t.Fatal("deadline without device profile accepted")
+	}
+	if _, err := RunSimulation(SimulationConfig{Dataset: "mit-bih-ecg", DeviceProfile: "uniform", Availability: "sometimes"}); err == nil {
+		t.Fatal("unknown availability accepted")
+	}
+}
+
+// TestRunHeterogeneityWritesTable smoke-tests the public sweep entry point
+// at a reduced scale via the short-mode path of the underlying runner.
+func TestRunHeterogeneityWritesTable(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("het sweep is a multi-second run at laptop scale")
+	}
+	var buf bytes.Buffer
+	if err := RunHeterogeneity(&buf, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "time to attain target accuracy") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

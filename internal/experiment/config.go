@@ -9,6 +9,7 @@ import (
 
 	"flips/internal/core"
 	"flips/internal/dataset"
+	"flips/internal/device"
 	"flips/internal/fl"
 	"flips/internal/model"
 	"flips/internal/parallel"
@@ -90,8 +91,17 @@ type Setting struct {
 	// and 0.20).
 	PartyFraction float64
 	// StragglerRate drops this fraction of invited parties per round
-	// (paper: 0, 0.10, 0.20).
+	// (paper: 0, 0.10, 0.20). Legacy straggler model; ignored when Device
+	// is set.
 	StragglerRate float64
+	// Device, when non-nil, replaces the legacy straggler coin-flip with
+	// the simulated device heterogeneity model: per-party compute speed,
+	// bandwidth and availability drive which parties miss Deadline, and
+	// simulated time-to-target-accuracy becomes meaningful.
+	Device *device.Config
+	// Deadline is the per-round reporting deadline in simulated seconds
+	// (device model only; 0 waits for every online party).
+	Deadline float64
 	// Strategy is one of the Strategy* constants.
 	Strategy string
 	// TargetAccuracy defines the rounds-to-target metric for this dataset.
@@ -236,6 +246,14 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 	if profile.FeatureShiftSigma > 0 {
 		applyFeatureShift(parties, spec.Dim, profile.FeatureShiftSigma, root.Split(5))
 	}
+	if setting.Device != nil {
+		if err := setting.Device.Validate(); err != nil {
+			return nil, err
+		}
+		// Devices draw from a fresh root split not used by the legacy path,
+		// so Device == nil settings reproduce pre-device runs byte-exactly.
+		fl.AttachDevices(parties, *setting.Device, root.Split(7))
+	}
 
 	classes := len(spec.LabelNames)
 	var factory model.Factory
@@ -279,6 +297,7 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 		LRDecayFactor:   profile.LRDecayFactor,
 		StragglerRate:   setting.StragglerRate,
 		StragglerBias:   profile.StragglerBias,
+		Deadline:        setting.Deadline,
 		FedDynAlpha:     dynAlpha,
 		EvalEvery:       max(scale.EvalEvery, 1),
 		TargetAccuracy:  setting.TargetAccuracy,
@@ -342,9 +361,16 @@ func buildSelector(setting Setting, parties []*fl.Party, paramDim int, r *rng.So
 	case StrategyGradClus:
 		return selection.NewGradClus(n, paramDim, r), nil, nil
 	case StrategyTiFL:
+		// TiFL's offline profiling pass: with devices attached, tiers form
+		// over simulated round durations (the real systemic signal); the
+		// legacy path keeps the unitless latency multiplier.
 		latencies := make([]float64, n)
 		for i, p := range parties {
-			latencies[i] = p.Latency
+			if p.Device != nil {
+				latencies[i] = p.Device.RoundDuration(p.NumSamples(), 1, int64(paramDim)*8)
+			} else {
+				latencies[i] = p.Latency
+			}
 		}
 		return selection.NewTiFL(latencies, selection.TiFLConfig{}, r), nil, nil
 	case StrategyPowerOfChoice:
@@ -405,24 +431,30 @@ func RunSetting(setting Setting, scale Scale) (*fl.Result, error) {
 		res, err := fl.Run(built.Config)
 		return repOut{res: res, err: err}
 	})
-	var peakSum float64
+	var peakSum, simSum, tttSum float64
 	var rttSum, rttCount int
 	for _, o := range outs {
 		if o.err != nil {
 			return nil, o.err
 		}
 		peakSum += o.res.PeakAccuracy
+		simSum += o.res.SimTime
 		if o.res.RoundsToTarget > 0 {
 			rttSum += o.res.RoundsToTarget
+			tttSum += o.res.TimeToTarget
 			rttCount++
 		}
 	}
 	first := outs[0].res
 	first.PeakAccuracy = peakSum / float64(repeats)
+	first.SimTime = simSum / float64(repeats)
 	if rttCount == repeats && rttCount > 0 {
 		first.RoundsToTarget = rttSum / rttCount
+		first.TimeToTarget = tttSum / float64(rttCount)
 	} else {
-		first.RoundsToTarget = -1 // any failed seed reports ">R" like the paper
+		// Any failed seed reports ">R" like the paper, on both clocks.
+		first.RoundsToTarget = -1
+		first.TimeToTarget = -1
 	}
 	return first, nil
 }

@@ -8,7 +8,6 @@ import (
 
 	"flips/internal/cluster"
 	"flips/internal/dataset"
-	"flips/internal/parallel"
 	"flips/internal/partition"
 	"flips/internal/rng"
 )
@@ -24,22 +23,16 @@ type figureJob struct {
 	labels  []int // per-label recall subset; nil means balanced accuracy
 }
 
-// runFigureJobs executes jobs concurrently (bounded by parallelism) and
-// appends each resulting Series to its panel, preserving job order. The
-// concurrency budget is spent entirely at the job level — job interiors run
-// sequentially — so nested pools never multiply past the budget.
+// runFigureJobs executes jobs concurrently via the shared runJobs fan-out
+// and appends each resulting Series to its panel, preserving job order.
 func runFigureJobs(panels []Panel, jobs []figureJob, parallelism int) ([]Panel, error) {
-	type out struct {
-		series Series
-		err    error
-	}
-	outs := parallel.Map(parallel.New(parallelism), len(jobs), func(i int) out {
+	series, err := runJobs(parallelism, len(jobs), func(i int) (Series, error) {
 		j := jobs[i]
 		jobScale := j.scale
 		jobScale.Parallelism = 1
 		res, err := RunSetting(j.setting, jobScale)
 		if err != nil {
-			return out{err: err}
+			return Series{}, err
 		}
 		s := Series{Label: j.label}
 		for _, h := range res.History {
@@ -50,13 +43,13 @@ func runFigureJobs(panels []Panel, jobs []figureJob, parallelism int) ([]Panel, 
 				s.Accuracy = append(s.Accuracy, h.Accuracy)
 			}
 		}
-		return out{series: s}
+		return s, nil
 	})
-	for i, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
-		panels[jobs[i].panel].Series = append(panels[jobs[i].panel].Series, o.series)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range series {
+		panels[jobs[i].panel].Series = append(panels[jobs[i].panel].Series, s)
 	}
 	return panels, nil
 }

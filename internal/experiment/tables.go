@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 
 	"flips/internal/dataset"
-	"flips/internal/parallel"
 )
 
 // Metric selects which of the paper's two table metrics to report.
@@ -83,6 +81,11 @@ type Cell struct {
 	StragglerRate  float64
 	RoundsToTarget int // -1 encodes ">R"
 	PeakAccuracy   float64
+	// TimeToTarget is the simulated seconds to reach the target (-1 when
+	// unreached) and SimTime the cell's total simulated wall-clock — the
+	// time-to-accuracy axis the device model adds.
+	TimeToTarget float64
+	SimTime      float64
 }
 
 // Row is one evaluation setting (α, party fraction) with all its cells.
@@ -179,38 +182,34 @@ func RunGrid(ds dataset.Spec, algorithm string, scale Scale, seed uint64, progre
 		}
 	}
 
-	type cellOut struct {
-		cell Cell
-		err  error
-	}
 	cellScale := runScale
 	cellScale.Parallelism = 1
-	var progressMu sync.Mutex
-	outs := parallel.Map(parallel.New(scale.Parallelism), len(jobs), func(i int) cellOut {
+	progress = serialProgress(progress)
+	cells, err := runJobs(scale.Parallelism, len(jobs), func(i int) (Cell, error) {
 		setting := jobs[i].setting
 		res, err := RunSetting(setting, cellScale)
 		if err != nil {
-			return cellOut{err: fmt.Errorf("run %s: %w", setting, err)}
+			return Cell{}, fmt.Errorf("run %s: %w", setting, err)
 		}
 		cell := Cell{
 			Strategy:       setting.Strategy,
 			StragglerRate:  setting.StragglerRate,
 			RoundsToTarget: res.RoundsToTarget,
 			PeakAccuracy:   res.PeakAccuracy,
+			TimeToTarget:   res.TimeToTarget,
+			SimTime:        res.SimTime,
 		}
 		if progress != nil {
-			progressMu.Lock()
 			progress(fmt.Sprintf("%s -> rtt=%s peak=%.2f%%",
 				setting, formatRounds(cell.RoundsToTarget, grid.Rounds), 100*cell.PeakAccuracy))
-			progressMu.Unlock()
 		}
-		return cellOut{cell: cell}
+		return cell, nil
 	})
-	for i, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
-		rows[jobs[i].row].Cells = append(rows[jobs[i].row].Cells, o.cell)
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		rows[jobs[i].row].Cells = append(rows[jobs[i].row].Cells, cell)
 	}
 	grid.Rows = rows
 	return grid, nil

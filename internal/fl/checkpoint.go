@@ -35,6 +35,11 @@ type Checkpoint struct {
 	// PeakAccuracy / RoundsToTarget resume the result metrics.
 	PeakAccuracy   float64 `json:"peakAccuracy"`
 	RoundsToTarget int     `json:"roundsToTarget"`
+	// SimTime / TimeToTarget resume the simulated-clock metrics. Absent in
+	// pre-device checkpoints (decoding to 0); Run reconciles TimeToTarget
+	// against RoundsToTarget, which records the same event.
+	SimTime      float64 `json:"simTime,omitempty"`
+	TimeToTarget float64 `json:"timeToTarget,omitempty"`
 	// Seed must match the resuming Config's Seed for deterministic
 	// continuation.
 	Seed uint64 `json:"seed"`

@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"flips/internal/device"
 	"flips/internal/model"
+	"flips/internal/rng"
 )
 
 // rotatingSelector deterministically rotates through the party pool as a
@@ -77,6 +79,9 @@ func requireIdenticalResults(t *testing.T, want, got *Result) {
 		if !bitsEqual(w.MeanLoss, g.MeanLoss) {
 			t.Fatalf("round %d mean loss %v vs %v", w.Round, w.MeanLoss, g.MeanLoss)
 		}
+		if !bitsEqual(w.RoundTime, g.RoundTime) || !bitsEqual(w.SimTime, g.SimTime) {
+			t.Fatalf("round %d sim clock (%v, %v) vs (%v, %v)", w.Round, w.RoundTime, w.SimTime, g.RoundTime, g.SimTime)
+		}
 		if len(w.PerLabel) != len(g.PerLabel) {
 			t.Fatalf("round %d per-label lengths %d vs %d", w.Round, len(w.PerLabel), len(g.PerLabel))
 		}
@@ -91,6 +96,12 @@ func requireIdenticalResults(t *testing.T, want, got *Result) {
 	}
 	if want.RoundsToTarget != got.RoundsToTarget {
 		t.Fatalf("rounds-to-target %d vs %d", want.RoundsToTarget, got.RoundsToTarget)
+	}
+	if !bitsEqual(want.SimTime, got.SimTime) {
+		t.Fatalf("sim time %v vs %v", want.SimTime, got.SimTime)
+	}
+	if !bitsEqual(want.TimeToTarget, got.TimeToTarget) {
+		t.Fatalf("time-to-target %v vs %v", want.TimeToTarget, got.TimeToTarget)
 	}
 	if want.TotalCommBytes != got.TotalCommBytes {
 		t.Fatalf("comm bytes %d vs %d", want.TotalCommBytes, got.TotalCommBytes)
@@ -160,6 +171,111 @@ func TestParallelRunMatchesDefaultParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireIdenticalResults(t, sequential, auto)
+}
+
+// determinismDeviceConfig is determinismConfig with the device model active:
+// a heterogeneous (lognormal) fleet under the given availability process, a
+// deadline tight enough to produce stragglers, and the legacy straggler
+// knobs off. Two calls with the same arguments build byte-identical jobs.
+func determinismDeviceConfig(t *testing.T, seed uint64, parallelism int, avail device.Availability) Config {
+	t.Helper()
+	cfg := determinismConfig(t, seed, parallelism)
+	cfg.StragglerRate = 0
+	cfg.StragglerBias = 0
+	dev := device.Lognormal()
+	dev.Availability = avail
+	AttachDevices(cfg.Parties, dev, rng.New(seed^0xDE71CE))
+	cfg.Deadline = 0.3
+	return cfg
+}
+
+// TestParallelDeviceRunMatchesSequential extends the central determinism
+// regression to the device model: with deadlines and churn or diurnal
+// availability active, a Parallelism: 8 run must stay byte-identical to the
+// sequential run — including the simulated clock (RoundTime, SimTime,
+// TimeToTarget).
+func TestParallelDeviceRunMatchesSequential(t *testing.T) {
+	t.Parallel()
+	avails := []device.Availability{
+		{Kind: device.AlwaysOn},
+		{Kind: device.Churn, OnlineProb: 0.7},
+		{Kind: device.Diurnal, Period: 8, MinProb: 0.2, MaxProb: 1.0},
+	}
+	for _, avail := range avails {
+		for _, seed := range []uint64{5, 19} {
+			sequential, err := Run(determinismDeviceConfig(t, seed, 1, avail))
+			if err != nil {
+				t.Fatalf("%v seed %d sequential: %v", avail.Kind, seed, err)
+			}
+			parallel8, err := Run(determinismDeviceConfig(t, seed, 8, avail))
+			if err != nil {
+				t.Fatalf("%v seed %d parallel: %v", avail.Kind, seed, err)
+			}
+			requireIdenticalResults(t, sequential, parallel8)
+			if sequential.SimTime <= 0 {
+				t.Fatalf("%v seed %d: device run accumulated no simulated time", avail.Kind, seed)
+			}
+		}
+	}
+}
+
+// TestParallelDeviceResumeMatchesSequential runs the checkpoint-resume
+// determinism contract under the device model: a Parallelism: 8 continuation
+// from a mid-job checkpoint — churn, deadline and the simulated clock all
+// active — must be byte-identical to the uninterrupted sequential run.
+func TestParallelDeviceResumeMatchesSequential(t *testing.T) {
+	t.Parallel()
+	const seed = 31
+	avail := device.Availability{Kind: device.Churn, OnlineProb: 0.75}
+	uninterrupted, err := Run(determinismDeviceConfig(t, seed, 1, avail))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cps []*Checkpoint
+	cfg := determinismDeviceConfig(t, seed, 8, avail)
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointSink = func(cp *Checkpoint) { cps = append(cps, cp) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("captured %d checkpoints", len(cps))
+	}
+
+	raw, err := cps[1].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := UnmarshalCheckpoint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumedCfg := determinismDeviceConfig(t, seed, 8, avail)
+	resumedCfg.Resume = cp
+	resumed, err := Run(resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bitsEqual(resumed.SimTime, uninterrupted.SimTime) {
+		t.Fatalf("resumed sim time %v vs %v", resumed.SimTime, uninterrupted.SimTime)
+	}
+	if !bitsEqual(resumed.TimeToTarget, uninterrupted.TimeToTarget) {
+		t.Fatalf("resumed time-to-target %v vs %v", resumed.TimeToTarget, uninterrupted.TimeToTarget)
+	}
+	for i := range uninterrupted.FinalParams {
+		if !bitsEqual(uninterrupted.FinalParams[i], resumed.FinalParams[i]) {
+			t.Fatalf("resumed param %d: %v vs %v", i, resumed.FinalParams[i], uninterrupted.FinalParams[i])
+		}
+	}
+	tail := uninterrupted.History[len(uninterrupted.History)-len(resumed.History):]
+	for i := range resumed.History {
+		if resumed.History[i].Round != tail[i].Round || !bitsEqual(resumed.History[i].SimTime, tail[i].SimTime) {
+			t.Fatalf("resumed history[%d] = %+v, want %+v", i, resumed.History[i], tail[i])
+		}
+	}
 }
 
 // TestParallelResumeMatchesSequential resumes a checkpointed job with

@@ -39,12 +39,21 @@ type Config struct {
 	LRDecayFactor float64
 	// StragglerRate drops this fraction of each round's invited parties
 	// (paper §5: "We emulate stragglers by dropping 10% or 20% of
-	// participants involved in an FL round").
+	// participants involved in an FL round"). It is the legacy fallback
+	// device model: ignored when parties carry Devices.
 	StragglerRate float64
 	// StragglerBias biases straggler choice toward high-latency parties;
 	// 0 drops uniformly, larger values concentrate failures on slow
-	// parties (which gives TiFL's latency tiers their signal).
+	// parties (which gives TiFL's latency tiers their signal). Legacy
+	// model only.
 	StragglerBias float64
+	// Deadline is the per-round reporting deadline in simulated seconds.
+	// With the device model active (parties carry Devices), invited parties
+	// whose simulated round duration — local compute plus model transfer —
+	// exceeds the deadline become stragglers, and the round's simulated
+	// wall-clock is capped at the deadline. Zero means the server waits for
+	// every online party. Requires devices.
+	Deadline float64
 	// FedDynAlpha enables the (simplified) FedDyn dynamic-regularization
 	// local objective when positive.
 	FedDynAlpha float64
@@ -107,6 +116,21 @@ func (c *Config) validate() error {
 	if c.NumClasses <= 0 {
 		return fmt.Errorf("fl: non-positive class count %d", c.NumClasses)
 	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("fl: negative deadline %v", c.Deadline)
+	}
+	withDevice := 0
+	for _, p := range c.Parties {
+		if p.Device != nil {
+			withDevice++
+		}
+	}
+	if withDevice > 0 && withDevice < len(c.Parties) {
+		return fmt.Errorf("fl: %d of %d parties have devices; attach devices to all parties or none", withDevice, len(c.Parties))
+	}
+	if c.Deadline > 0 && withDevice == 0 {
+		return fmt.Errorf("fl: deadline %v set but no party has a device", c.Deadline)
+	}
 	return nil
 }
 
@@ -119,6 +143,12 @@ type RoundStats struct {
 	Completed int
 	CommBytes int64 // model download + update upload bytes this round
 	MeanLoss  float64
+	// RoundTime is this round's simulated wall-clock seconds: the slowest
+	// completing party, capped at Deadline when any invited party missed it.
+	RoundTime float64
+	// SimTime is the cumulative simulated seconds through this round,
+	// including unevaluated rounds since the previous entry.
+	SimTime float64
 }
 
 // Result summarizes a finished FL job.
@@ -130,6 +160,15 @@ type Result struct {
 	// RoundsToTarget is the 1-based round at which TargetAccuracy was first
 	// reached, or -1 if never (reported as ">R" in the paper's tables).
 	RoundsToTarget int
+	// SimTime is the job's total simulated wall-clock seconds: the sum of
+	// per-round times from the device model, or from the legacy
+	// latency-proxy durations when no devices are attached.
+	SimTime float64
+	// TimeToTarget is the simulated seconds at which TargetAccuracy was
+	// first reached, or -1 if never — the time-to-accuracy metric device
+	// heterogeneity makes meaningful (a strategy can win on rounds but lose
+	// on wall-clock when its rounds wait on slow parties).
+	TimeToTarget float64
 	// TotalCommBytes accumulates all model transfer volume.
 	TotalCommBytes int64
 	// FinalParams is the final global model parameter vector.
@@ -158,9 +197,10 @@ func Run(cfg Config) (*Result, error) {
 		dynState = make(map[int]tensor.Vec, len(cfg.Parties))
 	}
 
-	res := &Result{RoundsToTarget: -1}
+	res := &Result{RoundsToTarget: -1, TimeToTarget: -1}
 	sgd := cfg.SGD.WithDefaults()
 	pool := parallel.New(cfg.Parallelism)
+	useDevices := len(cfg.Parties) > 0 && cfg.Parties[0].Device != nil
 
 	startRound := 0
 	if cfg.Resume != nil {
@@ -176,6 +216,13 @@ func Run(cfg Config) (*Result, error) {
 		res.TotalCommBytes = cfg.Resume.TotalCommBytes
 		res.PeakAccuracy = cfg.Resume.PeakAccuracy
 		res.RoundsToTarget = cfg.Resume.RoundsToTarget
+		res.SimTime = cfg.Resume.SimTime
+		// Pre-device checkpoints omit TimeToTarget (decoding to 0); the
+		// target is reached in time iff it is reached in rounds, so the
+		// rounds counter is authoritative.
+		if res.RoundsToTarget >= 0 {
+			res.TimeToTarget = cfg.Resume.TimeToTarget
+		}
 		startRound = cfg.Resume.Round
 		// Fast-forward the root RNG so per-round streams match an
 		// uninterrupted run of the same seed.
@@ -209,15 +256,22 @@ func Run(cfg Config) (*Result, error) {
 					cfg.Selector.Name(), id, round)
 			}
 		}
-		stragglers := pickStragglers(cfg, invited, roundRng.Split(0x5A))
-		completed := make([]int, 0, len(invited))
-		isStraggler := make(map[int]bool, len(stragglers))
-		for _, id := range stragglers {
-			isStraggler[id] = true
-		}
-		for _, id := range invited {
-			if !isStraggler[id] {
-				completed = append(completed, id)
+		var completed, stragglers []int
+		var durations map[int]float64
+		downloads := len(invited)
+		if useDevices {
+			completed, stragglers, durations, downloads = simulateDeviceRound(&cfg, invited, sgd, paramBytes, round, roundRng.Split(0x5A))
+		} else {
+			stragglers = pickStragglers(cfg, invited, roundRng.Split(0x5A))
+			completed = make([]int, 0, len(invited))
+			isStraggler := make(map[int]bool, len(stragglers))
+			for _, id := range stragglers {
+				isStraggler[id] = true
+			}
+			for _, id := range invited {
+				if !isStraggler[id] {
+					completed = append(completed, id)
+				}
 			}
 		}
 
@@ -266,10 +320,28 @@ func Run(cfg Config) (*Result, error) {
 			weights = append(weights, float64(lr.NumSamples))
 			fb.MeanLoss[id] = lr.MeanLoss
 			fb.SqLoss[id] = lr.SqLossMean
-			fb.Duration[id] = party.Latency * float64(lr.Steps)
+			if useDevices {
+				fb.Duration[id] = durations[id]
+			} else {
+				fb.Duration[id] = party.Latency * float64(lr.Steps)
+			}
 			fb.Update[id] = params.Sub(globalParams)
 			lossSum += lr.MeanLoss
 		}
+
+		// Round wall-clock: the server waits for its slowest completing
+		// party; when a deadline is configured and anyone missed it, the
+		// full deadline elapsed.
+		var roundTime float64
+		for _, id := range completed {
+			if d := fb.Duration[id]; d > roundTime {
+				roundTime = d
+			}
+		}
+		if useDevices && cfg.Deadline > 0 && len(stragglers) > 0 {
+			roundTime = cfg.Deadline
+		}
+		res.SimTime += roundTime
 
 		if len(updates) > 0 {
 			delta := WeightedAverageDelta(globalParams, updates, weights)
@@ -277,9 +349,11 @@ func Run(cfg Config) (*Result, error) {
 			global.SetParams(globalParams)
 		}
 
-		// Communication: every invited party downloads the model; every
-		// completed party uploads an update.
-		roundBytes := paramBytes * int64(len(invited)+len(completed))
+		// Communication: every reachable invited party downloads the model
+		// (deadline-missers downloaded before timing out; offline parties
+		// never contacted the server); every completed party uploads an
+		// update.
+		roundBytes := paramBytes * int64(downloads+len(completed))
 		res.TotalCommBytes += roundBytes
 
 		cfg.Selector.Observe(fb)
@@ -290,6 +364,8 @@ func Run(cfg Config) (*Result, error) {
 				Invited:   len(invited),
 				Completed: len(completed),
 				CommBytes: roundBytes,
+				RoundTime: roundTime,
+				SimTime:   res.SimTime,
 			}
 			if len(completed) > 0 {
 				stats.MeanLoss = lossSum / float64(len(completed))
@@ -303,6 +379,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && stats.Accuracy >= cfg.TargetAccuracy {
 				res.RoundsToTarget = round + 1
+				res.TimeToTarget = res.SimTime
 			}
 		}
 
@@ -315,6 +392,8 @@ func Run(cfg Config) (*Result, error) {
 				TotalCommBytes: res.TotalCommBytes,
 				PeakAccuracy:   res.PeakAccuracy,
 				RoundsToTarget: res.RoundsToTarget,
+				SimTime:        res.SimTime,
+				TimeToTarget:   res.TimeToTarget,
 				Seed:           cfg.Seed,
 			}
 			if adaptive, ok := cfg.Optimizer.(*Adaptive); ok {
@@ -326,6 +405,38 @@ func Run(cfg Config) (*Result, error) {
 
 	res.FinalParams = globalParams
 	return res, nil
+}
+
+// simulateDeviceRound decides each invited party's fate from its device: a
+// party completes iff it is online this round and its simulated duration —
+// local compute over its dataset plus model download and upload — meets the
+// deadline (when one is set). Returned durations cover completed parties;
+// downloads counts the online invited parties, who all fetched the model
+// even if they then missed the deadline.
+//
+// Determinism: parties are visited in invited order on the caller's
+// goroutine, and each availability draw comes from a per-party stream split
+// from r, so the outcome is independent of engine parallelism and of how
+// many draws any other party consumed.
+func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramBytes int64, round int, r *rng.Source) (completed, stragglers []int, durations map[int]float64, downloads int) {
+	completed = make([]int, 0, len(invited))
+	durations = make(map[int]float64, len(invited))
+	for _, id := range invited {
+		party := cfg.Parties[id]
+		if !party.Device.Online(round, r.Split(uint64(id)+1)) {
+			stragglers = append(stragglers, id)
+			continue
+		}
+		downloads++
+		d := party.Device.RoundDuration(party.NumSamples(), sgd.LocalEpochs, paramBytes)
+		if cfg.Deadline > 0 && d > cfg.Deadline {
+			stragglers = append(stragglers, id)
+			continue
+		}
+		durations[id] = d
+		completed = append(completed, id)
+	}
+	return completed, stragglers, durations, downloads
 }
 
 // pickStragglers drops StragglerRate of the invited parties, biased toward

@@ -609,14 +609,18 @@ func TestPersonalizeImprovesLocalAccuracy(t *testing.T) {
 	global := model.NewLogReg(spec.Dim, len(spec.LabelNames))
 	global.SetParams(res.FinalParams)
 
-	// Group parties by dominant label as a cheap clustering.
+	// Group parties by dominant label as a cheap clustering. Build the
+	// cluster list in label order: map iteration order would randomize the
+	// per-cluster RNG streams inside Personalize and make the test flaky.
 	byLabel := map[int][]int{}
 	for _, p := range parties {
 		byLabel[p.LabelDist.ArgMax()] = append(byLabel[p.LabelDist.ArgMax()], p.ID)
 	}
 	var clusters [][]int
-	for _, members := range byLabel {
-		clusters = append(clusters, members)
+	for label := 0; label < len(spec.LabelNames); label++ {
+		if members := byLabel[label]; len(members) > 0 {
+			clusters = append(clusters, members)
+		}
 	}
 
 	pres, err := Personalize(global, parties, clusters,

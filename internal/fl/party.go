@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"flips/internal/dataset"
+	"flips/internal/device"
 	"flips/internal/partition"
 	"flips/internal/rng"
 	"flips/internal/tensor"
@@ -26,8 +27,15 @@ type Party struct {
 	LabelDist tensor.Vec
 	// Latency is a unitless per-round training-time multiplier drawn from a
 	// lognormal platform profile. Slow parties straggle more often and land
-	// in slow TiFL tiers.
+	// in slow TiFL tiers. It drives the legacy straggler model only; when
+	// Device is set the engine simulates durations from the device instead.
 	Latency float64
+	// Device, when non-nil, is the party's simulated platform (compute
+	// speed, bandwidth, availability). Attaching devices to a pool switches
+	// the engine from the legacy StragglerRate coin-flip to simulated round
+	// wall-clock: parties that are offline or miss Config.Deadline straggle.
+	// Devices must be attached to all parties of a pool or none.
+	Device *device.Device
 }
 
 // NumSamples returns the size of the party's local dataset (the FedAvg
@@ -57,6 +65,18 @@ func BuildParties(ds *dataset.Dataset, part *partition.Partition, latencySigma f
 		}
 	}
 	return parties
+}
+
+// AttachDevices draws one device per party from cfg and attaches it,
+// switching the engine's straggler emulation to the simulated device model.
+// Each party's device comes from its own pre-split child stream
+// (r.Split(ID+1)), so the fleet is bit-reproducible and independent of
+// construction order — the same contract the engine's per-party training
+// streams follow.
+func AttachDevices(parties []*Party, cfg device.Config, r *rng.Source) {
+	for _, p := range parties {
+		p.Device = device.New(cfg, r.Split(uint64(p.ID)+1))
+	}
 }
 
 // NormalizedLabelDists returns per-party label proportion vectors — the

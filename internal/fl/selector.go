@@ -32,8 +32,10 @@ type RoundFeedback struct {
 	MeanLoss map[int]float64
 	// SqLoss maps completed party ID -> mean squared per-batch loss.
 	SqLoss map[int]float64
-	// Duration maps completed party ID -> simulated training duration
-	// (latency x local work), the TiFL tiering signal.
+	// Duration maps completed party ID -> simulated round duration: device
+	// wall-clock (compute + model transfer) when the device model is
+	// active, else the legacy latency × local-work proxy. This is TiFL's
+	// tiering signal and Oort's systemic-utility signal.
 	Duration map[int]float64
 	// Update maps completed party ID -> parameter delta x_i - m
 	// (GradClus's clustering signal). Shared storage: treat as read-only.

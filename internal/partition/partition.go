@@ -10,6 +10,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 
 	"flips/internal/dataset"
 	"flips/internal/rng"
@@ -42,8 +43,10 @@ func Dirichlet(ds *dataset.Dataset, parties int, alpha float64, r *rng.Source) (
 	if parties <= 0 {
 		return nil, fmt.Errorf("partition: non-positive party count %d", parties)
 	}
-	if alpha <= 0 {
-		return nil, fmt.Errorf("partition: non-positive alpha %v", alpha)
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		// NaN slips through a plain sign test and then hangs the Gamma
+		// sampler; Inf degenerates the proportion vector. Reject both.
+		return nil, fmt.Errorf("partition: alpha %v not a positive finite number", alpha)
 	}
 	if ds.Len() < parties {
 		return nil, fmt.Errorf("partition: %d samples cannot cover %d parties", ds.Len(), parties)

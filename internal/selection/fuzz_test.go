@@ -1,0 +1,103 @@
+package selection
+
+import (
+	"testing"
+
+	"flips/internal/fl"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// FuzzSelectorFeedback drives every baseline selector through arbitrary
+// Select/Observe sequences — byte-derived losses, durations, straggler
+// splits and round targets — and asserts the Selector contract: returned IDs
+// are unique and in range, and no feedback sequence panics a selector.
+func FuzzSelectorFeedback(f *testing.F) {
+	f.Add(uint64(1), 8, 3, 5, []byte{0x01, 0x80, 0xFF})
+	f.Add(uint64(7), 1, 1, 1, []byte{})
+	f.Add(uint64(42), 64, 20, 10, []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F})
+	f.Add(uint64(3), 16, 6, 40, []byte{0xAA, 0x55, 0xAA, 0x55})
+
+	f.Fuzz(func(t *testing.T, seed uint64, n, target, rounds int, data []byte) {
+		if n < 1 || n > 128 || rounds < 1 || rounds > 32 || target < 1 {
+			t.Skip()
+		}
+		if target > n {
+			target = n
+		}
+		const paramDim = 4
+		sizes := make([]int, n)
+		latencies := make([]float64, n)
+		lr := rng.New(seed)
+		for i := range sizes {
+			sizes[i] = 1 + lr.Intn(50)
+			latencies[i] = 0.1 + lr.Float64()*5
+		}
+		selectors := []fl.Selector{
+			NewRandom(n, rng.New(seed)),
+			NewOort(n, sizes, OortConfig{}, rng.New(seed+1)),
+			NewGradClus(n, paramDim, rng.New(seed+2)),
+			NewTiFL(latencies, TiFLConfig{}, rng.New(seed+3)),
+			NewPowerOfChoice(n, 2, rng.New(seed+4)),
+		}
+
+		// byte(i) cycles through data to perturb the synthesized feedback.
+		byteAt := func(i int) byte {
+			if len(data) == 0 {
+				return 0x5A
+			}
+			return data[i%len(data)]
+		}
+
+		for _, sel := range selectors {
+			if sel.Name() == "" {
+				t.Fatal("selector with empty name")
+			}
+			for round := 0; round < rounds; round++ {
+				ids := sel.Select(round, target)
+				if len(ids) == 0 {
+					t.Fatalf("%s: empty selection at round %d (target %d of %d)", sel.Name(), round, target, n)
+				}
+				seen := map[int]bool{}
+				for _, id := range ids {
+					if id < 0 || id >= n {
+						t.Fatalf("%s: out-of-range id %d (n=%d)", sel.Name(), id, n)
+					}
+					if seen[id] {
+						t.Fatalf("%s: duplicate id %d at round %d", sel.Name(), id, round)
+					}
+					seen[id] = true
+				}
+
+				// Split invited into completed/stragglers by data bytes and
+				// synthesize per-party feedback values from the same bytes.
+				fb := fl.RoundFeedback{
+					Round:    round,
+					Selected: ids,
+					MeanLoss: map[int]float64{},
+					SqLoss:   map[int]float64{},
+					Duration: map[int]float64{},
+					Update:   map[int]tensor.Vec{},
+				}
+				for i, id := range ids {
+					b := byteAt(round*7 + i)
+					if b%4 == 0 {
+						fb.Stragglers = append(fb.Stragglers, id)
+						continue
+					}
+					fb.Completed = append(fb.Completed, id)
+					loss := float64(b) / 16
+					fb.MeanLoss[id] = loss
+					fb.SqLoss[id] = loss * loss
+					fb.Duration[id] = latencies[id] * float64(1+b%8)
+					up := tensor.NewVec(paramDim)
+					for j := range up {
+						up[j] = float64(int(b)-128) / 64
+					}
+					fb.Update[id] = up
+				}
+				sel.Observe(fb)
+			}
+		}
+	})
+}

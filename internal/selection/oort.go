@@ -140,15 +140,21 @@ func (s *Oort) Select(round, target int) []int {
 		// Oort samples probabilistically among the high-utility candidates
 		// (its priority queue is randomized within a utility band) rather
 		// than deterministically taking the top-k, which avoids collapsing
-		// onto a few pathological high-loss parties.
-		scores := make([]float64, len(tried))
-		for j, id := range tried {
+		// onto a few pathological high-loss parties. Picked candidates are
+		// swap-removed rather than zero-weighted: once every remaining
+		// score is zero, Categorical falls back to uniform sampling over
+		// the whole vector and a zeroed entry could be picked twice.
+		cand := append([]int(nil), tried...)
+		scores := make([]float64, len(cand))
+		for j, id := range cand {
 			scores[j] = s.score(id, round)
 		}
-		for i := 0; i < nExploit; i++ {
+		for i := 0; i < nExploit && len(cand) > 0; i++ {
 			j := s.r.Categorical(scores)
-			selected = append(selected, tried[j])
-			scores[j] = 0
+			selected = append(selected, cand[j])
+			last := len(cand) - 1
+			cand[j], scores[j] = cand[last], scores[last]
+			cand, scores = cand[:last], scores[:last]
 		}
 	}
 	return selected

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"flips/internal/dataset"
+	"flips/internal/device"
 	"flips/internal/experiment"
 )
 
@@ -24,7 +25,21 @@ type SimulationConfig struct {
 	// PartyFraction is per-round participation (default 0.2).
 	PartyFraction float64
 	// StragglerRate drops this fraction of invited parties (default 0).
+	// Legacy straggler model; ignored when DeviceProfile is set.
 	StragglerRate float64
+	// DeviceProfile enables the device heterogeneity simulator: "" keeps
+	// the legacy flat straggler drop, "uniform" gives a homogeneous
+	// always-on fleet, "lognormal" a heavy-tailed compute/bandwidth fleet.
+	// With a profile set, stragglers arise from simulated round wall-clock
+	// (offline parties and Deadline misses) and the result reports
+	// simulated time-to-target-accuracy.
+	DeviceProfile string
+	// Availability selects the fleet's availability process (device model
+	// only): "always-on" (default), "churn", "diurnal".
+	Availability string
+	// Deadline is the per-round reporting deadline in simulated seconds
+	// (device model only; 0 waits for every online party).
+	Deadline float64
 	// PaperScale runs the full 200-party/400-round configuration instead of
 	// the laptop default.
 	PaperScale bool
@@ -46,6 +61,9 @@ type RoundPoint struct {
 	Accuracy  float64 // balanced accuracy on the held-out global test set
 	PerLabel  []float64
 	CommBytes int64
+	// SimTime is the cumulative simulated wall-clock seconds through this
+	// round (device-model durations, or the legacy latency proxy).
+	SimTime float64
 }
 
 // SimulationResult summarizes a finished FL simulation.
@@ -53,6 +71,11 @@ type SimulationResult struct {
 	History        []RoundPoint
 	PeakAccuracy   float64
 	RoundsToTarget int // -1 if the target was not reached
+	// TimeToTarget is the simulated seconds at which the target accuracy
+	// was first reached (-1 if never) and SimTime the run's total simulated
+	// wall-clock — the time-to-accuracy axis of the device model.
+	TimeToTarget   float64
+	SimTime        float64
 	TargetAccuracy float64
 	TotalCommBytes int64
 	NumClusters    int // FLIPS strategy only; 0 otherwise
@@ -87,10 +110,45 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 		Alpha:          orDefaultF(c.Alpha, 0.3),
 		PartyFraction:  orDefaultF(c.PartyFraction, 0.2),
 		StragglerRate:  c.StragglerRate,
+		Deadline:       c.Deadline,
 		TargetAccuracy: experiment.TargetFor(spec),
 		Seed:           c.Seed,
 	}
+	devCfg, err := c.resolveDevice()
+	if err != nil {
+		return experiment.Setting{}, experiment.Scale{}, err
+	}
+	setting.Device = devCfg
 	return setting, scale, nil
+}
+
+// resolveDevice maps the string-typed device knobs to a device.Config, or
+// nil for the legacy straggler model.
+func (c SimulationConfig) resolveDevice() (*device.Config, error) {
+	if c.DeviceProfile == "" {
+		if c.Availability != "" {
+			return nil, fmt.Errorf("flips: availability %q requires a device profile", c.Availability)
+		}
+		if c.Deadline != 0 {
+			return nil, fmt.Errorf("flips: deadline requires a device profile")
+		}
+		return nil, nil
+	}
+	var cfg device.Config
+	switch c.DeviceProfile {
+	case "uniform":
+		cfg = device.Uniform()
+	case "lognormal":
+		cfg = device.Lognormal()
+	default:
+		return nil, fmt.Errorf("flips: unknown device profile %q (valid: uniform, lognormal)", c.DeviceProfile)
+	}
+	kind, err := device.KindByName(c.Availability)
+	if err != nil {
+		return nil, fmt.Errorf("flips: %w", err)
+	}
+	cfg.Availability.Kind = kind
+	return &cfg, nil
 }
 
 // RunSimulation executes one FL job and returns its convergence history.
@@ -110,6 +168,8 @@ func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
 	out := &SimulationResult{
 		PeakAccuracy:   res.PeakAccuracy,
 		RoundsToTarget: res.RoundsToTarget,
+		TimeToTarget:   res.TimeToTarget,
+		SimTime:        res.SimTime,
 		TargetAccuracy: setting.TargetAccuracy,
 		TotalCommBytes: res.TotalCommBytes,
 		NumClusters:    len(built.Clusters),
@@ -120,6 +180,7 @@ func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
 			Accuracy:  h.Accuracy,
 			PerLabel:  h.PerLabel,
 			CommBytes: h.CommBytes,
+			SimTime:   h.SimTime,
 		})
 	}
 	return out, nil
@@ -141,6 +202,23 @@ func RunTable(w io.Writer, tableID int, paperScale bool, seed uint64) error {
 		return err
 	}
 	grid.RenderTable(w, spec)
+	return nil
+}
+
+// RunHeterogeneity runs the device-heterogeneity sweep — FLIPS vs Oort vs
+// Random over a lognormal fleet under always-on/churn/diurnal availability ×
+// round deadlines — and writes its time-to-target-accuracy table to w. This
+// is the scenario family the paper's flat straggler drop cannot express.
+func RunHeterogeneity(w io.Writer, paperScale bool, seed uint64) error {
+	scale := experiment.LaptopScale()
+	if paperScale {
+		scale = experiment.PaperScale()
+	}
+	table, err := experiment.RunHeterogeneity(scale, seed, nil)
+	if err != nil {
+		return err
+	}
+	table.Render(w)
 	return nil
 }
 
