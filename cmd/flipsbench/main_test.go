@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -86,5 +88,24 @@ func TestRunTeeExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "TEE clustering overhead") {
 		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "tee", "-q", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

@@ -199,8 +199,31 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{RoundsToTarget: -1, TimeToTarget: -1}
 	sgd := cfg.SGD.WithDefaults()
-	pool := parallel.New(cfg.Parallelism)
+	// Pin the worker width for the whole run: Pool.Width() re-reads
+	// GOMAXPROCS per call, and the per-worker replica table below must not
+	// be outgrown if the process's CPU budget changes mid-job.
+	pool := parallel.New(parallel.New(cfg.Parallelism).Width())
 	useDevices := len(cfg.Parties) > 0 && cfg.Parties[0].Device != nil
+
+	// Per-round scratch, hoisted out of the round loop and reused: worker
+	// model replicas (one clone per pool worker instead of one per party per
+	// round), index-addressed device state (party IDs are dense [0,N)), and
+	// the feedback maps handed to the selector, which owns them only for the
+	// duration of Observe (see RoundFeedback).
+	replicas := make([]model.Model, pool.Width())
+	durations := make([]float64, len(cfg.Parties))
+	isStraggler := make([]bool, len(cfg.Parties))
+	completed := make([]int, 0, cfg.PartiesPerRound)
+	stragglers := make([]int, 0, cfg.PartiesPerRound)
+	fb := RoundFeedback{
+		MeanLoss: make(map[int]float64, cfg.PartiesPerRound),
+		SqLoss:   make(map[int]float64, cfg.PartiesPerRound),
+		Duration: make(map[int]float64, cfg.PartiesPerRound),
+	}
+	var partyRngs []*rng.Source
+	var locals []model.LocalResult
+	var updates []tensor.Vec
+	var weights []float64
 
 	startRound := 0
 	if cfg.Resume != nil {
@@ -256,15 +279,12 @@ func Run(cfg Config) (*Result, error) {
 					cfg.Selector.Name(), id, round)
 			}
 		}
-		var completed, stragglers []int
-		var durations map[int]float64
+		completed, stragglers = completed[:0], stragglers[:0]
 		downloads := len(invited)
 		if useDevices {
-			completed, stragglers, durations, downloads = simulateDeviceRound(&cfg, invited, sgd, paramBytes, round, roundRng.Split(0x5A))
+			completed, stragglers, downloads = simulateDeviceRound(&cfg, invited, sgd, paramBytes, round, roundRng.Split(0x5A), completed, stragglers, durations)
 		} else {
-			stragglers = pickStragglers(cfg, invited, roundRng.Split(0x5A))
-			completed = make([]int, 0, len(invited))
-			isStraggler := make(map[int]bool, len(stragglers))
+			stragglers = pickStragglers(cfg, invited, roundRng.Split(0x5A), stragglers)
 			for _, id := range stragglers {
 				isStraggler[id] = true
 			}
@@ -273,39 +293,62 @@ func Run(cfg Config) (*Result, error) {
 					completed = append(completed, id)
 				}
 			}
+			for _, id := range stragglers {
+				isStraggler[id] = false
+			}
 		}
 
-		fb := RoundFeedback{
-			Round:      round,
-			Selected:   invited,
-			Completed:  completed,
-			Stragglers: stragglers,
-			MeanLoss:   make(map[int]float64, len(completed)),
-			SqLoss:     make(map[int]float64, len(completed)),
-			Duration:   make(map[int]float64, len(completed)),
-			Update:     make(map[int]tensor.Vec, len(completed)),
+		fb.Round = round
+		fb.Selected = invited
+		fb.Completed = completed
+		fb.Stragglers = stragglers
+		clear(fb.MeanLoss)
+		clear(fb.SqLoss)
+		clear(fb.Duration)
+		// Update delta vectors cost O(parties × params) allocations per
+		// round; materialize them only for selectors that declare they read
+		// them. Re-checked every round so a Swappable swap takes effect.
+		needsUpdates := false
+		if uc, ok := cfg.Selector.(UpdateConsumer); ok {
+			needsUpdates = uc.NeedsUpdates()
+		}
+		if !needsUpdates {
+			fb.Update = nil
+		} else if fb.Update == nil {
+			fb.Update = make(map[int]tensor.Vec, len(completed))
+		} else {
+			clear(fb.Update)
 		}
 
 		// Local training of all completed parties runs concurrently. The
 		// determinism contract: Split mutates the parent source, so every
 		// party stream is pre-split here in the sequential order; each worker
-		// then touches only its own clone, its own pre-split stream and its
+		// then touches only its own replica, its own pre-split stream and its
 		// own slice index, and the aggregation below folds results in the
-		// same completed order the sequential path uses.
-		partyRngs := make([]*rng.Source, len(completed))
-		for i, id := range completed {
-			partyRngs[i] = roundRng.Split(uint64(id) + 0x1000)
+		// same completed order the sequential path uses. Worker replicas are
+		// lazily cloned once and re-seeded from the global parameters each
+		// use — TrainLocal trains the replica's flat backing vector directly.
+		partyRngs = partyRngs[:0]
+		for _, id := range completed {
+			partyRngs = append(partyRngs, roundRng.Split(uint64(id)+0x1000))
 		}
-		locals := make([]model.LocalResult, len(completed))
-		pool.ForEach(len(completed), func(i int) {
+		if cap(locals) < len(completed) {
+			locals = make([]model.LocalResult, len(completed))
+		}
+		locals = locals[:len(completed)]
+		pool.ForEachWorker(len(completed), func(w, i int) {
 			party := cfg.Parties[completed[i]]
-			local := global.Clone()
-			local.SetParams(globalParams.Clone())
+			local := replicas[w]
+			if local == nil {
+				local = global.Clone()
+				replicas[w] = local
+			}
+			local.SetParams(globalParams)
 			locals[i] = model.TrainLocal(local, party.Data, sgd, globalParams, partyRngs[i])
 		})
 
-		updates := make([]tensor.Vec, 0, len(completed))
-		weights := make([]float64, 0, len(completed))
+		updates = updates[:0]
+		weights = weights[:0]
 		var lossSum float64
 		for i, id := range completed {
 			party := cfg.Parties[id]
@@ -325,7 +368,9 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				fb.Duration[id] = party.Latency * float64(lr.Steps)
 			}
-			fb.Update[id] = params.Sub(globalParams)
+			if needsUpdates {
+				fb.Update[id] = params.Sub(globalParams)
+			}
 			lossSum += lr.MeanLoss
 		}
 
@@ -410,17 +455,18 @@ func Run(cfg Config) (*Result, error) {
 // simulateDeviceRound decides each invited party's fate from its device: a
 // party completes iff it is online this round and its simulated duration —
 // local compute over its dataset plus model download and upload — meets the
-// deadline (when one is set). Returned durations cover completed parties;
-// downloads counts the online invited parties, who all fetched the model
-// even if they then missed the deadline.
+// deadline (when one is set). completed and stragglers are caller-provided
+// buffers appended to and returned; durations is indexed by party ID and
+// only entries for this round's completed parties are written (party IDs are
+// dense [0, N), so a flat slice replaces the old per-round map). downloads
+// counts the online invited parties, who all fetched the model even if they
+// then missed the deadline.
 //
 // Determinism: parties are visited in invited order on the caller's
 // goroutine, and each availability draw comes from a per-party stream split
 // from r, so the outcome is independent of engine parallelism and of how
 // many draws any other party consumed.
-func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramBytes int64, round int, r *rng.Source) (completed, stragglers []int, durations map[int]float64, downloads int) {
-	completed = make([]int, 0, len(invited))
-	durations = make(map[int]float64, len(invited))
+func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramBytes int64, round int, r *rng.Source, completed, stragglers []int, durations []float64) (completedOut, stragglersOut []int, downloads int) {
 	for _, id := range invited {
 		party := cfg.Parties[id]
 		if !party.Device.Online(round, r.Split(uint64(id)+1)) {
@@ -436,36 +482,75 @@ func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramB
 		durations[id] = d
 		completed = append(completed, id)
 	}
-	return completed, stragglers, durations, downloads
+	return completed, stragglers, downloads
 }
 
 // pickStragglers drops StragglerRate of the invited parties, biased toward
-// high-latency parties when StragglerBias > 0.
-func pickStragglers(cfg Config, invited []int, r *rng.Source) []int {
+// high-latency parties when StragglerBias > 0, appending into the
+// caller-provided buffer. When the remaining weight mass is zero (for
+// example an all-zero-latency pool, where latency^bias vanishes everywhere),
+// the weighted path falls back to a uniform draw over the not-yet-dropped
+// parties instead of leaning on Categorical's zero-mass behavior, which
+// samples with replacement and would return duplicate stragglers.
+func pickStragglers(cfg Config, invited []int, r *rng.Source, out []int) []int {
 	k := int(math.Round(cfg.StragglerRate * float64(len(invited))))
 	if k <= 0 {
-		return nil
+		return out
 	}
 	if k >= len(invited) {
 		k = len(invited) - 1 // never drop everyone
 	}
 	if cfg.StragglerBias <= 0 {
 		idx := r.SampleWithoutReplacement(len(invited), k)
-		out := make([]int, k)
-		for i, j := range idx {
-			out[i] = invited[j]
+		for _, j := range idx {
+			out = append(out, invited[j])
 		}
 		return out
 	}
-	// Weighted sampling without replacement by latency^bias.
+	// Weighted sampling without replacement by latency^bias. Drawn parties
+	// have their weight zeroed, so the remaining mass shrinks each pick. The
+	// mass test below mirrors Categorical's internal positive-weight sum
+	// exactly, so the weighted path consumes the same RNG stream it always
+	// has; only the degenerate zero-mass case takes the uniform branch.
 	weights := make([]float64, len(invited))
+	chosen := make([]bool, len(invited))
 	for i, id := range invited {
 		weights[i] = math.Pow(cfg.Parties[id].Latency, cfg.StragglerBias)
 	}
-	out := make([]int, 0, k)
-	for len(out) < k {
-		j := r.Categorical(weights)
+	for picks := 0; picks < k; picks++ {
+		var mass float64
+		for _, w := range weights {
+			if w > 0 {
+				mass += w
+			}
+		}
+		var j int
+		if mass > 0 {
+			j = r.Categorical(weights)
+			if chosen[j] {
+				// Categorical's floating-point fallback (u rounding up to
+				// exactly the total mass) returns the last index regardless
+				// of weight, which can be an already-drawn slot. Probability
+				// ~2^-53 per draw, but the without-replacement invariant
+				// must hold unconditionally: reroute to the first undrawn
+				// party.
+				for j = 0; chosen[j]; j++ {
+				}
+			}
+		} else {
+			// Zero mass left: draw uniformly among undrawn parties.
+			nth := r.Intn(len(invited) - picks)
+			for j = 0; ; j++ {
+				if !chosen[j] {
+					if nth == 0 {
+						break
+					}
+					nth--
+				}
+			}
+		}
 		out = append(out, invited[j])
+		chosen[j] = true
 		weights[j] = 0
 	}
 	return out

@@ -1,0 +1,41 @@
+package fl
+
+import (
+	"testing"
+
+	"flips/internal/model"
+)
+
+// BenchmarkEngineRounds measures the FL engine's round loop at bench scale:
+// 24 parties, 8 rounds, 8 parties/round, LogReg, sequential workers (so the
+// number is raw single-core round throughput, not parallel speedup). The
+// rounds/sec metric is the engine-level line in BENCH_3.json.
+func BenchmarkEngineRounds(b *testing.B) {
+	parties, test, spec := buildTestJob(b, 42, 24, 0.4)
+	cfg := Config{
+		Parties:         parties,
+		Test:            test.Samples,
+		NumClasses:      len(spec.LabelNames),
+		Factory:         model.LogRegFactory(spec.Dim, len(spec.LabelNames)),
+		Optimizer:       NewFedYogi(),
+		Selector:        &rotatingSelector{n: len(parties)},
+		Rounds:          8,
+		PartiesPerRound: 8,
+		SGD:             model.SGDConfig{LearningRate: 0.05, BatchSize: 16, LocalEpochs: 1},
+		EvalEvery:       4,
+		Parallelism:     1,
+		Seed:            42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.History) == 0 {
+			b.Fatal("no history")
+		}
+	}
+	b.ReportMetric(float64(cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+}

@@ -11,10 +11,14 @@ import (
 	"flips/internal/tensor"
 )
 
-// fixedSelector always returns the same parties (test double).
+// fixedSelector always returns the same parties (test double). It retains
+// every observed feedback, so it snapshots the engine-owned maps/slices per
+// the RoundFeedback ownership contract. Setting needUpdates exercises the
+// UpdateConsumer capability.
 type fixedSelector struct {
-	ids      []int
-	observed []RoundFeedback
+	ids         []int
+	needUpdates bool
+	observed    []RoundFeedback
 }
 
 func (f *fixedSelector) Name() string { return "fixed" }
@@ -26,9 +30,43 @@ func (f *fixedSelector) Select(_, target int) []int {
 	return f.ids[:target]
 }
 
-func (f *fixedSelector) Observe(fb RoundFeedback) { f.observed = append(f.observed, fb) }
+func (f *fixedSelector) NeedsUpdates() bool { return f.needUpdates }
 
-func buildTestJob(t *testing.T, seed uint64, parties int, alpha float64) ([]*Party, *dataset.Dataset, dataset.Spec) {
+func (f *fixedSelector) Observe(fb RoundFeedback) {
+	f.observed = append(f.observed, cloneFeedback(fb))
+}
+
+// cloneFeedback deep-copies a RoundFeedback: the engine reuses the feedback
+// storage across rounds, so anything retained past Observe must be copied.
+func cloneFeedback(fb RoundFeedback) RoundFeedback {
+	out := fb
+	out.Selected = append([]int(nil), fb.Selected...)
+	out.Completed = append([]int(nil), fb.Completed...)
+	out.Stragglers = append([]int(nil), fb.Stragglers...)
+	out.MeanLoss = cloneFloatMap(fb.MeanLoss)
+	out.SqLoss = cloneFloatMap(fb.SqLoss)
+	out.Duration = cloneFloatMap(fb.Duration)
+	if fb.Update != nil {
+		out.Update = make(map[int]tensor.Vec, len(fb.Update))
+		for id, u := range fb.Update {
+			out.Update[id] = u.Clone()
+		}
+	}
+	return out
+}
+
+func cloneFloatMap(m map[int]float64) map[int]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func buildTestJob(t testing.TB, seed uint64, parties int, alpha float64) ([]*Party, *dataset.Dataset, dataset.Spec) {
 	t.Helper()
 	r := rng.New(seed)
 	spec := dataset.ECG().WithSizes(parties*30, 500)
@@ -183,7 +221,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestStragglersDropped(t *testing.T) {
 	parties, test, spec := buildTestJob(t, 6, 20, 0.5)
-	sel := &fixedSelector{ids: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	sel := &fixedSelector{ids: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, needUpdates: true}
 	_, err := Run(Config{
 		Parties:         parties,
 		Test:            test.Samples,
@@ -654,4 +692,105 @@ func TestPersonalizeValidation(t *testing.T) {
 	if _, err := Personalize(global, parties, [][]int{{99}}, model.SGDConfig{}, 0.3, 5, rng.New(1)); err == nil {
 		t.Fatal("unknown party accepted")
 	}
+}
+
+// TestUpdateFeedbackGatedByCapability: the engine materializes
+// RoundFeedback.Update only for selectors declaring the UpdateConsumer
+// capability; everyone else sees a nil map and pays nothing for it.
+func TestUpdateFeedbackGatedByCapability(t *testing.T) {
+	parties, test, spec := buildTestJob(t, 21, 8, 0.5)
+	run := func(needUpdates bool) *fixedSelector {
+		sel := &fixedSelector{ids: []int{0, 1, 2, 3}, needUpdates: needUpdates}
+		_, err := Run(Config{
+			Parties:         parties,
+			Test:            test.Samples,
+			NumClasses:      len(spec.LabelNames),
+			Factory:         model.LogRegFactory(spec.Dim, len(spec.LabelNames)),
+			Optimizer:       &FedAvg{},
+			Selector:        sel,
+			Rounds:          3,
+			PartiesPerRound: 4,
+			Seed:            21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	for _, fb := range run(false).observed {
+		if fb.Update != nil {
+			t.Fatalf("round %d: selector without NeedsUpdates received Update map", fb.Round)
+		}
+	}
+	for _, fb := range run(true).observed {
+		if len(fb.Update) != len(fb.Completed) {
+			t.Fatalf("round %d: %d updates for %d completed parties", fb.Round, len(fb.Update), len(fb.Completed))
+		}
+		for id, u := range fb.Update {
+			if len(u) == 0 {
+				t.Fatalf("round %d: empty update for party %d", fb.Round, id)
+			}
+		}
+	}
+}
+
+// TestPickStragglersZeroLatencyFallback: with an all-zero-latency pool the
+// latency^bias weight mass is zero; the weighted path must fall back to a
+// uniform draw without replacement rather than relying on Categorical's
+// zero-mass with-replacement behavior, which produced duplicate stragglers.
+func TestPickStragglersZeroLatencyFallback(t *testing.T) {
+	t.Parallel()
+	mkParties := func(latencies ...float64) []*Party {
+		out := make([]*Party, len(latencies))
+		for i, l := range latencies {
+			out[i] = &Party{ID: i, Latency: l}
+		}
+		return out
+	}
+	check := func(t *testing.T, cfg Config, invited []int, wantK int) {
+		t.Helper()
+		for seed := uint64(1); seed <= 50; seed++ {
+			got := pickStragglers(cfg, invited, rng.New(seed), nil)
+			if len(got) != wantK {
+				t.Fatalf("seed %d: %d stragglers, want %d", seed, len(got), wantK)
+			}
+			seen := map[int]bool{}
+			valid := map[int]bool{}
+			for _, id := range invited {
+				valid[id] = true
+			}
+			for _, id := range got {
+				if seen[id] {
+					t.Fatalf("seed %d: duplicate straggler %d in %v", seed, id, got)
+				}
+				if !valid[id] {
+					t.Fatalf("seed %d: straggler %d not invited", seed, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	invited := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+
+	t.Run("all-zero-latency", func(t *testing.T) {
+		t.Parallel()
+		cfg := Config{
+			Parties:       mkParties(0, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+			StragglerRate: 0.5,
+			StragglerBias: 2,
+		}
+		check(t, cfg, invited, 5)
+	})
+
+	t.Run("mass-exhausted-mid-draw", func(t *testing.T) {
+		t.Parallel()
+		// Only two parties carry weight; k=5 picks must drain them and then
+		// fall back to uniform draws over the remaining zero-weight pool.
+		cfg := Config{
+			Parties:       mkParties(3, 0, 0, 0, 7, 0, 0, 0, 0, 0),
+			StragglerRate: 0.5,
+			StragglerBias: 2,
+		}
+		check(t, cfg, invited, 5)
+	})
 }

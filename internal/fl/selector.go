@@ -17,7 +17,21 @@ type Selector interface {
 	Observe(fb RoundFeedback)
 }
 
+// UpdateConsumer is an optional Selector capability. The engine materializes
+// RoundFeedback.Update delta vectors — an O(parties × params) allocation per
+// round — only for selectors that implement it and return true (gradient
+// clustering does; the loss/latency-driven strategies never read Update).
+// Selectors without the method receive a nil Update map.
+type UpdateConsumer interface {
+	NeedsUpdates() bool
+}
+
 // RoundFeedback summarizes one completed round for adaptive selectors.
+//
+// Ownership: the feedback's maps and slices are engine-owned scratch, reused
+// across rounds — they are valid only for the duration of the Observe call.
+// A selector that retains any of them past Observe must copy them (every
+// in-repo selector copies the scalar values or clones the vectors it keeps).
 type RoundFeedback struct {
 	// Round is the 0-based round index.
 	Round int
@@ -38,6 +52,8 @@ type RoundFeedback struct {
 	// tiering signal and Oort's systemic-utility signal.
 	Duration map[int]float64
 	// Update maps completed party ID -> parameter delta x_i - m
-	// (GradClus's clustering signal). Shared storage: treat as read-only.
+	// (GradClus's clustering signal). It is nil unless the selector
+	// declares the UpdateConsumer capability. Shared storage: treat as
+	// read-only and clone anything retained past Observe.
 	Update map[int]tensor.Vec
 }

@@ -13,6 +13,7 @@ type Swappable struct {
 }
 
 var _ Selector = (*Swappable)(nil)
+var _ UpdateConsumer = (*Swappable)(nil)
 
 // NewSwappable wraps an initial selector.
 func NewSwappable(inner Selector) *Swappable {
@@ -47,4 +48,14 @@ func (s *Swappable) Observe(fb RoundFeedback) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.inner.Observe(fb)
+}
+
+// NeedsUpdates implements UpdateConsumer by forwarding to the wrapped
+// selector. The engine re-checks the capability every round, so a swap to or
+// from an update-consuming strategy takes effect at the next round boundary.
+func (s *Swappable) NeedsUpdates() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uc, ok := s.inner.(UpdateConsumer)
+	return ok && uc.NeedsUpdates()
 }

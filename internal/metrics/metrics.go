@@ -20,8 +20,9 @@ import (
 // one per pool worker, and merges the per-shard integer class counts. The
 // merge is integer addition, so the result is bit-identical to
 // model.ClassCounts over the whole set at every pool width — this is the
-// determinism contract of the parallel evaluation path. m.Predict is called
-// concurrently and must not mutate the model (both built-in models qualify).
+// determinism contract of the parallel evaluation path. Models keep reusable
+// forward-pass scratch, so each concurrent shard evaluates its own Clone of
+// m (a parameter copy; Predict itself then allocates nothing).
 func ShardedClassCounts(m model.Model, samples []dataset.Sample, numClasses int, pool *parallel.Pool) (correct, total []int) {
 	n := len(samples)
 	shards := pool.Width()
@@ -32,10 +33,14 @@ func ShardedClassCounts(m model.Model, samples []dataset.Sample, numClasses int,
 		return model.ClassCounts(m, samples, numClasses)
 	}
 	type counts struct{ correct, total []int }
+	replicas := make([]model.Model, shards)
+	for s := range replicas {
+		replicas[s] = m.Clone()
+	}
 	per := parallel.Map(pool, shards, func(s int) counts {
 		lo := s * n / shards
 		hi := (s + 1) * n / shards
-		c, t := model.ClassCounts(m, samples[lo:hi], numClasses)
+		c, t := model.ClassCounts(replicas[s], samples[lo:hi], numClasses)
 		return counts{c, t}
 	})
 	correct = make([]int, numClasses)

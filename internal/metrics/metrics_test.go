@@ -16,13 +16,14 @@ import (
 // constModel predicts a fixed class (test double).
 type constModel struct{ class, params int }
 
-func (c *constModel) Clone() model.Model                    { cc := *c; return &cc }
-func (c *constModel) NumParams() int                        { return c.params }
-func (c *constModel) Params() tensor.Vec                    { return tensor.NewVec(c.params) }
-func (c *constModel) SetParams(tensor.Vec)                  {}
-func (c *constModel) Loss([]dataset.Sample) float64         { return 0 }
-func (c *constModel) Gradient([]dataset.Sample, tensor.Vec) {}
-func (c *constModel) Predict(tensor.Vec) int                { return c.class }
+func (c *constModel) Clone() model.Model                                { cc := *c; return &cc }
+func (c *constModel) NumParams() int                                    { return c.params }
+func (c *constModel) Params() tensor.Vec                                { return tensor.NewVec(c.params) }
+func (c *constModel) SetParams(tensor.Vec)                              {}
+func (c *constModel) Loss([]dataset.Sample) float64                     { return 0 }
+func (c *constModel) Gradient([]dataset.Sample, tensor.Vec)             {}
+func (c *constModel) LossGradient([]dataset.Sample, tensor.Vec) float64 { return 0 }
+func (c *constModel) Predict(tensor.Vec) int                            { return c.class }
 
 func samplesWithLabels(labels ...int) []dataset.Sample {
 	out := make([]dataset.Sample, len(labels))
@@ -144,6 +145,7 @@ func TestSummarizeProperties(t *testing.T) {
 // mix of hits and misses (test double).
 type labelModel struct{ constModel }
 
+func (l *labelModel) Clone() model.Model       { ll := *l; return &ll }
 func (l *labelModel) Predict(x tensor.Vec) int { return int(x[0]) }
 
 func shardEvalSamples(n, numClasses int, seed uint64) []dataset.Sample {

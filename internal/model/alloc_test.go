@@ -1,0 +1,105 @@
+package model
+
+import (
+	"testing"
+
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// The zero-allocation contract of the training hot path (ISSUE 3): one SGD
+// step — fused loss+gradient, FedProx term, clipping, parameter update — must
+// not touch the heap at steady state. These tests pin that with
+// testing.AllocsPerRun so any regression (a lost scratch buffer, an
+// interface box, a per-batch gather) fails loudly rather than shifting
+// benchmark numbers quietly.
+
+func steadyStateModels(t *testing.T) map[string]Model {
+	t.Helper()
+	r := rng.New(5)
+	lr := NewLogReg(16, 5)
+	p := lr.Params()
+	for i := range p {
+		p[i] = 0.2 * r.NormFloat64()
+	}
+	lr.SetParams(p)
+	return map[string]Model{
+		"logreg": lr,
+		"mlp":    NewMLP(16, 12, 5, r.Split(1)),
+	}
+}
+
+// TestSGDStepZeroAllocs measures exactly one steady-state SGD step: the
+// fused LossGradient pass plus the in-place parameter update.
+func TestSGDStepZeroAllocs(t *testing.T) {
+	batch := randomBatch(rng.New(9), 24, 16, 5)
+	for name, m := range steadyStateModels(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			fm, ok := m.(flatModel)
+			if !ok {
+				t.Fatalf("%T does not expose a flat parameter backing", m)
+			}
+			params := fm.paramsRef()
+			grad := tensor.NewVec(m.NumParams())
+			global := m.Params()
+			allocs := testing.AllocsPerRun(50, func() {
+				loss := m.LossGradient(batch, grad)
+				_ = loss
+				for i := range grad {
+					grad[i] += 0.01 * (params[i] - global[i]) // FedProx term
+				}
+				if norm := grad.Norm2(); norm > 1e6 {
+					grad.ScaleInPlace(1e6 / norm)
+				}
+				params.Axpy(-0.01, grad)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state SGD step allocated %v times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTrainLocalStepsAddNoAllocs pins the full TrainLocal loop: extra epochs
+// multiply the step count but must not change the call's allocation count,
+// i.e. every per-step allocation is gone and only the fixed per-call setup
+// (gradient buffer, permutation, result clone) remains.
+func TestTrainLocalStepsAddNoAllocs(t *testing.T) {
+	data := randomBatch(rng.New(10), 96, 16, 5)
+	for name, m := range steadyStateModels(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			measure := func(epochs int) float64 {
+				cfg := SGDConfig{LearningRate: 0.01, BatchSize: 16, LocalEpochs: epochs}
+				return testing.AllocsPerRun(20, func() {
+					TrainLocal(m, data, cfg, nil, rng.New(77))
+				})
+			}
+			one, eight := measure(1), measure(8)
+			if eight > one {
+				t.Fatalf("8-epoch TrainLocal allocated %v times vs %v for 1 epoch; steps are leaking allocations", eight, one)
+			}
+		})
+	}
+}
+
+// TestPredictZeroAllocs pins the evaluation path: Predict reuses the model's
+// forward scratch, so sharded evaluation costs one clone per shard and then
+// nothing per sample.
+func TestPredictZeroAllocs(t *testing.T) {
+	batch := randomBatch(rng.New(12), 8, 16, 5)
+	for name, m := range steadyStateModels(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(50, func() {
+				for _, s := range batch {
+					m.Predict(s.X)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("Predict allocated %v times per 8 samples, want 0", allocs)
+			}
+		})
+	}
+}

@@ -10,24 +10,40 @@ import (
 
 // LogReg is multinomial logistic regression (a softmax linear classifier):
 // logits = W x + b with W in R^{classes x dim}.
+//
+// Parameters live in a single flat backing vector; w and b are views sliced
+// into it, so Params/SetParams are single-copy and TrainLocal can update the
+// backing vector directly with no per-step copies (see DESIGN.md,
+// "Performance model"). The logits scratch buffer makes the forward pass
+// allocation-free, which means one LogReg must not be shared across
+// goroutines — clone per worker, as the FL engine and the sharded evaluator
+// do.
 type LogReg struct {
 	dim, classes int
-	w            *tensor.Mat // classes x dim
-	b            tensor.Vec  // classes
+	params       tensor.Vec  // flat backing: [W row-major..., b...]
+	w            *tensor.Mat // classes x dim, view into params
+	b            tensor.Vec  // classes, view into params
+	logitsBuf    tensor.Vec  // scratch, len classes
 }
 
 var _ Model = (*LogReg)(nil)
+var _ flatModel = (*LogReg)(nil)
 
 // NewLogReg returns a zero-initialized logistic regression model. Zero
 // initialization is exactly optimal-symmetric for the convex softmax loss,
 // so no randomness is needed.
 func NewLogReg(dim, classes int) *LogReg {
-	return &LogReg{
-		dim:     dim,
-		classes: classes,
-		w:       tensor.NewMat(classes, dim),
-		b:       tensor.NewVec(classes),
-	}
+	m := &LogReg{dim: dim, classes: classes}
+	m.bind(tensor.NewVec(classes*dim + classes))
+	return m
+}
+
+// bind installs backing as the parameter vector and re-slices the views.
+func (m *LogReg) bind(backing tensor.Vec) {
+	m.params = backing
+	m.w = &tensor.Mat{Rows: m.classes, Cols: m.dim, Data: backing[:m.classes*m.dim]}
+	m.b = backing[m.classes*m.dim:]
+	m.logitsBuf = tensor.NewVec(m.classes)
 }
 
 // LogRegFactory adapts NewLogReg to the Factory signature.
@@ -35,34 +51,34 @@ func LogRegFactory(dim, classes int) Factory {
 	return func(*rng.Source) Model { return NewLogReg(dim, classes) }
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with its own backing vector and scratch.
 func (m *LogReg) Clone() Model {
-	return &LogReg{dim: m.dim, classes: m.classes, w: m.w.Clone(), b: m.b.Clone()}
+	c := &LogReg{dim: m.dim, classes: m.classes}
+	c.bind(m.params.Clone())
+	return c
 }
 
 // NumParams returns classes*dim + classes.
 func (m *LogReg) NumParams() int { return m.classes*m.dim + m.classes }
 
-// Params returns [W row-major..., b...].
-func (m *LogReg) Params() tensor.Vec {
-	out := tensor.NewVec(m.NumParams())
-	copy(out, m.w.Data)
-	copy(out[len(m.w.Data):], m.b)
-	return out
-}
+// Params returns a copy of [W row-major..., b...].
+func (m *LogReg) Params() tensor.Vec { return m.params.Clone() }
 
 // SetParams overwrites W and b from a flat vector.
 func (m *LogReg) SetParams(p tensor.Vec) {
 	if len(p) != m.NumParams() {
 		panic("model: LogReg.SetParams length mismatch")
 	}
-	copy(m.w.Data, p[:len(m.w.Data)])
-	copy(m.b, p[len(m.w.Data):])
+	copy(m.params, p)
 }
 
-// logits computes W x + b.
+// paramsRef implements flatModel: the live backing vector.
+func (m *LogReg) paramsRef() tensor.Vec { return m.params }
+
+// logits computes W x + b into the scratch buffer and returns it.
 func (m *LogReg) logits(x tensor.Vec) tensor.Vec {
-	z := m.w.MulVec(x)
+	z := m.logitsBuf
+	m.w.MulVecInto(z, x)
 	z.AddInPlace(m.b)
 	return z
 }
@@ -88,23 +104,35 @@ func (m *LogReg) Loss(batch []dataset.Sample) float64 {
 
 // Gradient writes the mean cross-entropy gradient into out.
 func (m *LogReg) Gradient(batch []dataset.Sample, out tensor.Vec) {
+	m.LossGradient(batch, out)
+}
+
+// LossGradient fuses Loss and Gradient over one shared forward pass: out
+// receives the mean cross-entropy gradient (zeroed first) and the mean loss
+// is returned. Per-sample softmax values, the loss accumulation order and
+// the gradient accumulation order are exactly those of Loss-then-Gradient,
+// so both results are bit-identical to the unfused pair.
+func (m *LogReg) LossGradient(batch []dataset.Sample, out tensor.Vec) float64 {
 	if len(out) != m.NumParams() {
-		panic("model: LogReg.Gradient length mismatch")
+		panic("model: LogReg.LossGradient length mismatch")
 	}
 	for i := range out {
 		out[i] = 0
 	}
 	if len(batch) == 0 {
-		return
+		return 0
 	}
 	wGrad := tensor.Mat{Rows: m.classes, Cols: m.dim, Data: out[:m.classes*m.dim]}
 	bGrad := out[m.classes*m.dim:]
 	inv := 1 / float64(len(batch))
+	var total float64
 	for _, s := range batch {
 		p := m.logits(s.X)
 		p.SoftmaxInPlace()
+		total += -math.Log(math.Max(p[s.Y], 1e-12))
 		p[s.Y] -= 1 // dL/dz = softmax - onehot
 		wGrad.AddOuterInPlace(inv, p, s.X)
 		bGrad.Axpy(inv, p)
 	}
+	return total / float64(len(batch))
 }

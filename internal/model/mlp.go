@@ -11,27 +11,28 @@ import (
 // MLP is a one-hidden-layer perceptron with ReLU activation:
 // logits = W2 · relu(W1 x + b1) + b2. It stands in for the paper's small
 // CNNs (LeNet-5, 1-D CNN) on our synthetic feature vectors.
+//
+// Like LogReg, all layers live in one flat backing vector with matrix/vector
+// views sliced into it, and the forward/backward scratch buffers (hidden
+// activations, logits, hidden-gradient) are reused across calls. One MLP must
+// therefore not be shared across goroutines — clone per worker.
 type MLP struct {
 	dim, hidden, classes int
-	w1                   *tensor.Mat // hidden x dim
-	b1                   tensor.Vec  // hidden
-	w2                   *tensor.Mat // classes x hidden
-	b2                   tensor.Vec  // classes
+	params               tensor.Vec  // flat backing: [W1..., b1..., W2..., b2...]
+	w1                   *tensor.Mat // hidden x dim, view into params
+	b1                   tensor.Vec  // hidden, view
+	w2                   *tensor.Mat // classes x hidden, view
+	b2                   tensor.Vec  // classes, view
+	hBuf, zBuf, dhBuf    tensor.Vec  // scratch: hidden, logits, dL/dh
 }
 
 var _ Model = (*MLP)(nil)
+var _ flatModel = (*MLP)(nil)
 
 // NewMLP returns an MLP with He-style Gaussian initialization drawn from r.
 func NewMLP(dim, hidden, classes int, r *rng.Source) *MLP {
-	m := &MLP{
-		dim:     dim,
-		hidden:  hidden,
-		classes: classes,
-		w1:      tensor.NewMat(hidden, dim),
-		b1:      tensor.NewVec(hidden),
-		w2:      tensor.NewMat(classes, hidden),
-		b2:      tensor.NewVec(classes),
-	}
+	m := &MLP{dim: dim, hidden: hidden, classes: classes}
+	m.bind(tensor.NewVec(hidden*dim + hidden + classes*hidden + classes))
 	scale1 := math.Sqrt(2 / float64(dim))
 	for i := range m.w1.Data {
 		m.w1.Data[i] = scale1 * r.NormFloat64()
@@ -43,18 +44,32 @@ func NewMLP(dim, hidden, classes int, r *rng.Source) *MLP {
 	return m
 }
 
+// bind installs backing as the parameter vector and re-slices the views.
+func (m *MLP) bind(backing tensor.Vec) {
+	m.params = backing
+	pos := 0
+	m.w1 = &tensor.Mat{Rows: m.hidden, Cols: m.dim, Data: backing[pos : pos+m.hidden*m.dim]}
+	pos += m.hidden * m.dim
+	m.b1 = backing[pos : pos+m.hidden]
+	pos += m.hidden
+	m.w2 = &tensor.Mat{Rows: m.classes, Cols: m.hidden, Data: backing[pos : pos+m.classes*m.hidden]}
+	pos += m.classes * m.hidden
+	m.b2 = backing[pos:]
+	m.hBuf = tensor.NewVec(m.hidden)
+	m.zBuf = tensor.NewVec(m.classes)
+	m.dhBuf = tensor.NewVec(m.hidden)
+}
+
 // MLPFactory adapts NewMLP to the Factory signature.
 func MLPFactory(dim, hidden, classes int) Factory {
 	return func(r *rng.Source) Model { return NewMLP(dim, hidden, classes, r) }
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with its own backing vector and scratch.
 func (m *MLP) Clone() Model {
-	return &MLP{
-		dim: m.dim, hidden: m.hidden, classes: m.classes,
-		w1: m.w1.Clone(), b1: m.b1.Clone(),
-		w2: m.w2.Clone(), b2: m.b2.Clone(),
-	}
+	c := &MLP{dim: m.dim, hidden: m.hidden, classes: m.classes}
+	c.bind(m.params.Clone())
+	return c
 }
 
 // NumParams returns the total parameter count.
@@ -62,39 +77,32 @@ func (m *MLP) NumParams() int {
 	return m.hidden*m.dim + m.hidden + m.classes*m.hidden + m.classes
 }
 
-// Params returns [W1..., b1..., W2..., b2...].
-func (m *MLP) Params() tensor.Vec {
-	out := tensor.NewVec(m.NumParams())
-	pos := 0
-	pos += copy(out[pos:], m.w1.Data)
-	pos += copy(out[pos:], m.b1)
-	pos += copy(out[pos:], m.w2.Data)
-	copy(out[pos:], m.b2)
-	return out
-}
+// Params returns a copy of [W1..., b1..., W2..., b2...].
+func (m *MLP) Params() tensor.Vec { return m.params.Clone() }
 
 // SetParams overwrites all layers from a flat vector.
 func (m *MLP) SetParams(p tensor.Vec) {
 	if len(p) != m.NumParams() {
 		panic("model: MLP.SetParams length mismatch")
 	}
-	pos := 0
-	pos += copy(m.w1.Data, p[pos:pos+len(m.w1.Data)])
-	pos += copy(m.b1, p[pos:pos+len(m.b1)])
-	pos += copy(m.w2.Data, p[pos:pos+len(m.w2.Data)])
-	copy(m.b2, p[pos:])
+	copy(m.params, p)
 }
 
-// forward computes hidden activations and logits.
+// paramsRef implements flatModel: the live backing vector.
+func (m *MLP) paramsRef() tensor.Vec { return m.params }
+
+// forward computes hidden activations and logits into the scratch buffers.
 func (m *MLP) forward(x tensor.Vec) (h, z tensor.Vec) {
-	h = m.w1.MulVec(x)
+	h = m.hBuf
+	m.w1.MulVecInto(h, x)
 	h.AddInPlace(m.b1)
 	for i := range h {
 		if h[i] < 0 {
 			h[i] = 0
 		}
 	}
-	z = m.w2.MulVec(h)
+	z = m.zBuf
+	m.w2.MulVecInto(z, h)
 	z.AddInPlace(m.b2)
 	return h, z
 }
@@ -121,14 +129,23 @@ func (m *MLP) Loss(batch []dataset.Sample) float64 {
 
 // Gradient writes the mean cross-entropy gradient (backprop) into out.
 func (m *MLP) Gradient(batch []dataset.Sample, out tensor.Vec) {
+	m.LossGradient(batch, out)
+}
+
+// LossGradient fuses Loss and Gradient over one shared forward pass per
+// sample: out receives the mean cross-entropy gradient (zeroed first) and
+// the mean loss is returned. The forward pass, softmax, loss accumulation
+// and backprop accumulation orders match Loss-then-Gradient exactly, so
+// both results are bit-identical to the unfused pair.
+func (m *MLP) LossGradient(batch []dataset.Sample, out tensor.Vec) float64 {
 	if len(out) != m.NumParams() {
-		panic("model: MLP.Gradient length mismatch")
+		panic("model: MLP.LossGradient length mismatch")
 	}
 	for i := range out {
 		out[i] = 0
 	}
 	if len(batch) == 0 {
-		return
+		return 0
 	}
 	pos := 0
 	w1g := tensor.Mat{Rows: m.hidden, Cols: m.dim, Data: out[pos : pos+len(m.w1.Data)]}
@@ -140,9 +157,11 @@ func (m *MLP) Gradient(batch []dataset.Sample, out tensor.Vec) {
 	b2g := out[pos:]
 
 	inv := 1 / float64(len(batch))
+	var total float64
 	for _, s := range batch {
 		h, z := m.forward(s.X)
 		z.SoftmaxInPlace()
+		total += -math.Log(math.Max(z[s.Y], 1e-12))
 		z[s.Y] -= 1 // dL/dlogits
 
 		// Output layer.
@@ -150,7 +169,8 @@ func (m *MLP) Gradient(batch []dataset.Sample, out tensor.Vec) {
 		b2g.Axpy(inv, z)
 
 		// Backprop through ReLU.
-		dh := m.w2.MulVecT(z)
+		dh := m.dhBuf
+		m.w2.MulVecTInto(dh, z)
 		for i := range dh {
 			if h[i] <= 0 {
 				dh[i] = 0
@@ -159,4 +179,5 @@ func (m *MLP) Gradient(batch []dataset.Sample, out tensor.Vec) {
 		w1g.AddOuterInPlace(inv, dh, s.X)
 		b1g.Axpy(inv, dh)
 	}
+	return total / float64(len(batch))
 }

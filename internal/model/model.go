@@ -32,8 +32,23 @@ type Model interface {
 	// Gradient accumulates the mean cross-entropy gradient over the batch
 	// into out (length NumParams). out is zeroed first.
 	Gradient(batch []dataset.Sample, out tensor.Vec)
+	// LossGradient computes Loss and Gradient in one shared forward pass:
+	// out (length NumParams, zeroed first) receives the mean gradient and
+	// the mean loss is returned. Implementations must be bit-identical to
+	// calling Loss then Gradient — TrainLocal's hot loop relies on that
+	// equivalence.
+	LossGradient(batch []dataset.Sample, out tensor.Vec) float64
 	// Predict returns the argmax class for x.
 	Predict(x tensor.Vec) int
+}
+
+// flatModel is the optional capability of models that store their parameters
+// in a single flat backing vector: paramsRef exposes that live vector so
+// TrainLocal can apply SGD steps directly to it, with no per-step
+// Params/SetParams round-trips. Mutating the returned vector mutates the
+// model. Both built-in models implement it.
+type flatModel interface {
+	paramsRef() tensor.Vec
 }
 
 // Factory constructs a fresh model with deterministic initialization. FL

@@ -60,7 +60,16 @@ type LocalResult struct {
 // from the model's current parameters and returns the resulting parameters.
 // globalParams (may be nil when ProxMu is 0) anchors the FedProx proximal
 // term. The model's parameters are mutated in place; callers pass a clone
-// seeded with the round's global model.
+// (or per-worker replica) seeded with the round's global model.
+//
+// The loop is the simulator's hottest kernel and is zero-allocation at
+// steady state: all per-call buffers (gradient, permutation) are allocated
+// once up front, each step runs one fused LossGradient forward/backward
+// pass, and for models backed by a flat parameter vector the SGD step is
+// applied directly to that backing — no per-step Params/SetParams copies.
+// Every float operation happens in the same order as the historical
+// Loss+Gradient/SetParams formulation, so results are bit-identical (the
+// golden suite in internal/fl/testdata pins this).
 func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tensor.Vec, r *rng.Source) LocalResult {
 	cfg = cfg.WithDefaults()
 	n := len(data)
@@ -74,33 +83,42 @@ func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tens
 		batch = n
 	}
 
-	params := m.Params()
+	// Flat-backed models train directly on their live parameter vector;
+	// other implementations fall back to the copy-in/copy-out protocol.
+	var params tensor.Vec
+	fm, direct := m.(flatModel)
+	if direct {
+		params = fm.paramsRef()
+	} else {
+		params = m.Params()
+	}
 	grad := tensor.NewVec(len(params))
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	minibatch := make([]dataset.Sample, 0, batch)
+	swap := func(i, j int) { order[i], order[j] = order[j], order[i] }
+	// Pre-permuted sample walk: one gather per epoch instead of one per
+	// minibatch; batches are then plain subslices of perm.
+	perm := make([]dataset.Sample, n)
 
 	var lossSum, sqLossSum float64
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
-		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		r.Shuffle(n, swap)
+		for i, idx := range order {
+			perm[i] = data[idx]
+		}
 		for start := 0; start < n; start += batch {
 			end := start + batch
 			if end > n {
 				end = n
 			}
-			minibatch = minibatch[:0]
-			for _, idx := range order[start:end] {
-				minibatch = append(minibatch, data[idx])
-			}
 
-			loss := m.Loss(minibatch)
+			loss := m.LossGradient(perm[start:end], grad)
 			lossSum += loss
 			sqLossSum += loss * loss
 			res.Steps++
 
-			m.Gradient(minibatch, grad)
 			if cfg.ProxMu > 0 && globalParams != nil {
 				// ∇[(µ/2)||x−m||²] = µ(x−m)
 				for i := range grad {
@@ -113,7 +131,9 @@ func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tens
 				}
 			}
 			params.Axpy(-cfg.LearningRate, grad)
-			m.SetParams(params)
+			if !direct {
+				m.SetParams(params)
+			}
 		}
 	}
 
@@ -169,8 +189,9 @@ func PerLabelAccuracy(m Model, samples []dataset.Sample, numClasses int) []float
 // samples. Because the tallies are integers, counts taken over disjoint
 // shards of a sample set merge by addition into exactly the counts of the
 // whole set — the property the parallel evaluation path relies on. Predict
-// must not mutate the model; both built-in models satisfy this, so one model
-// may serve many ClassCounts calls concurrently.
+// leaves the parameters untouched but writes the model's scratch buffers,
+// so concurrent shards must each run on their own Clone (as
+// metrics.ShardedClassCounts does).
 func ClassCounts(m Model, samples []dataset.Sample, numClasses int) (correct, total []int) {
 	correct = make([]int, numClasses)
 	total = make([]int, numClasses)

@@ -60,6 +60,18 @@ func (e *panicError) Error() string {
 // When the pool width is 1 (or n <= 1), fn runs on the caller's goroutine in
 // index order — the exact sequential semantics, with no goroutine overhead.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.ForEachWorker(n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn(worker, i) where worker
+// in [0, min(Width(), n)) names the goroutine executing the item. Two items
+// given the same worker id never run concurrently, so callers can key
+// reusable scratch state (model replicas, buffers) by worker id instead of
+// allocating per item. Work distribution across workers is unspecified —
+// results must not depend on which worker processed which item. The
+// sequential path (width 1 or n <= 1) runs everything as worker 0; panic
+// semantics match ForEach.
+func (p *Pool) ForEachWorker(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -76,7 +88,7 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 						panic(&panicError{value: r, stack: buf})
 					}
 				}()
-				fn(i)
+				fn(0, i)
 			}()
 		}
 		return
@@ -100,7 +112,7 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -119,10 +131,10 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 							panicMu.Unlock()
 						}
 					}()
-					fn(i)
+					fn(worker, i)
 				}()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if failure != nil {

@@ -136,3 +136,57 @@ func TestZeroValuePoolIsGOMAXPROCSWide(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachWorkerPartitionsItems: every index is processed exactly once,
+// worker ids stay in [0, min(width, n)), and — because items sharing a
+// worker id never run concurrently — per-worker state needs no locking.
+func TestForEachWorkerPartitionsItems(t *testing.T) {
+	t.Parallel()
+	const n = 500
+	for _, width := range []int{1, 3, 8} {
+		p := New(width)
+		perWorker := make([][]int, width)
+		p.ForEachWorker(n, func(w, i int) {
+			if w < 0 || w >= width {
+				t.Errorf("worker id %d out of range [0,%d)", w, width)
+				return
+			}
+			// Unsynchronized append: safe iff the same worker id is never
+			// used concurrently (the race detector enforces this in -race
+			// CI runs).
+			perWorker[w] = append(perWorker[w], i)
+		})
+		seen := make([]bool, n)
+		for _, items := range perWorker {
+			for _, i := range items {
+				if seen[i] {
+					t.Fatalf("width %d: index %d processed twice", width, i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("width %d: index %d never processed", width, i)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerSequentialUsesWorkerZero: the width-1 fast path runs
+// everything as worker 0 in index order.
+func TestForEachWorkerSequentialUsesWorkerZero(t *testing.T) {
+	t.Parallel()
+	var got []int
+	New(1).ForEachWorker(5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential path used worker %d", w)
+		}
+		got = append(got, i)
+	})
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type GradClus struct {
 }
 
 var _ fl.Selector = (*GradClus)(nil)
+var _ fl.UpdateConsumer = (*GradClus)(nil)
 
 // NewGradClus builds a GradClus selector. gradDim is the model parameter
 // count (placeholder-gradient dimensionality).
@@ -44,6 +45,10 @@ func NewGradClus(numParties, gradDim int, r *rng.Source) *GradClus {
 
 // Name implements fl.Selector.
 func (s *GradClus) Name() string { return "gradclus" }
+
+// NeedsUpdates implements fl.UpdateConsumer: clustering runs on the parties'
+// last-known model deltas, so the engine must materialize them.
+func (s *GradClus) NeedsUpdates() bool { return true }
 
 // Select implements fl.Selector: hierarchical clustering into target groups,
 // one uniformly random party from each.

@@ -48,22 +48,42 @@ func (m *Mat) Clone() *Mat {
 
 // MulVec computes y = m * x for a column vector x of length Cols.
 func (m *Mat) MulVec(x Vec) Vec {
-	assertSameLen(len(x), m.Cols)
 	y := NewVec(m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		y[i] = m.Row(i).Dot(x)
-	}
+	m.MulVecInto(y, x)
 	return y
+}
+
+// MulVecInto computes dst = m * x into the caller-provided dst of length
+// Rows, allocating nothing. Each dst element is overwritten with a row dot
+// product in the same accumulation order MulVec uses, so results are
+// bit-identical to MulVec.
+func (m *Mat) MulVecInto(dst, x Vec) {
+	assertSameLen(len(x), m.Cols)
+	assertSameLen(len(dst), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Row(i).Dot(x)
+	}
 }
 
 // MulVecT computes y = mᵀ * x for a column vector x of length Rows.
 func (m *Mat) MulVecT(x Vec) Vec {
-	assertSameLen(len(x), m.Rows)
 	y := NewVec(m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		y.Axpy(x[i], m.Row(i))
-	}
+	m.MulVecTInto(y, x)
 	return y
+}
+
+// MulVecTInto computes dst = mᵀ * x into the caller-provided dst of length
+// Cols, allocating nothing. dst is zeroed first; the row-axpy accumulation
+// order matches MulVecT exactly, so results are bit-identical to MulVecT.
+func (m *Mat) MulVecTInto(dst, x Vec) {
+	assertSameLen(len(x), m.Rows)
+	assertSameLen(len(dst), m.Cols)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst.Axpy(x[i], m.Row(i))
+	}
 }
 
 // AddOuterInPlace performs m += scale * a ⊗ b (rank-1 update), where a has
