@@ -6,6 +6,8 @@
 //	flipsbench -exp table1,table2          # specific tables
 //	flipsbench -exp fig5,fig13             # specific figures
 //	flipsbench -exp het                    # device-heterogeneity time-to-accuracy sweep
+//	flipsbench -exp async                  # aggregation-mode (sync/buffered/semisync) sweep
+//	flipsbench -exp async -trace t.csv     # ... replaying a real-world availability trace
 //	flipsbench -exp tee                    # TEE clustering overhead
 //	flipsbench -exp all-tables             # every table (12 grids)
 //	flipsbench -exp all-figures            # every figure
@@ -27,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"flips/internal/device"
 	"flips/internal/experiment"
 )
 
@@ -39,7 +42,8 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flipsbench", flag.ContinueOnError)
-	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, tee, all-tables, all-figures, all")
+	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, tee, all-tables, all-figures, all")
+	tracePath := fs.String("trace", "", "CSV/JSON device availability trace replayed by the async sweep (one row of 0/1 slots per device, mapped onto parties by ID)")
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	par := fs.Int("parallel", 0, "worker-pool width for grid cells, repeats, local training and eval shards (0 = GOMAXPROCS, 1 = sequential; results are identical at every width)")
@@ -93,6 +97,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	var trace *device.TraceSet
+	if *tracePath != "" {
+		trace, err = device.LoadTraceFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		hasAsync := false
+		for _, id := range ids {
+			hasAsync = hasAsync || id == "async"
+		}
+		if !hasAsync {
+			return fmt.Errorf("-trace applies to the async sweep; add async to -exp")
+		}
+	}
+
 	progress := func(msg string) {
 		if !*quiet {
 			fmt.Fprintln(stderr, "  "+msg)
@@ -142,6 +161,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			table.Render(stdout)
 			fmt.Fprintln(stdout)
+		case id == "async":
+			fmt.Fprintln(stderr, "running aggregation-mode sweep (5 arms x 3 strategies)...")
+			table, err := experiment.RunAsync(scale, *seed, trace, progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
 		case id == "tee":
 			fmt.Fprintln(stderr, "running tee overhead...")
 			res, err := experiment.RunTEEOverhead(scale, 5, *seed)
@@ -178,6 +205,7 @@ func expandExperiments(spec string) ([]string, error) {
 				add(f)
 			}
 			add("het")
+			add("async")
 			add("tee")
 		case "all-tables":
 			for i := 1; i <= 24; i++ {
@@ -194,7 +222,7 @@ func expandExperiments(spec string) ([]string, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no experiments selected")
 	}
-	// Stable order: tables numerically, then figures, then het, then tee.
+	// Stable order: tables numerically, then figures, then het, async, tee.
 	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
 	return out, nil
 }
@@ -210,6 +238,9 @@ func expRank(id string) int {
 	}
 	if id == "het" {
 		return 150
+	}
+	if id == "async" {
+		return 160
 	}
 	return 200
 }

@@ -13,7 +13,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1+1 {
+	if len(ids) != 24+10+1+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -22,8 +22,11 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
 	}
-	if ids[len(ids)-2] != "het" {
-		t.Fatalf("het not before tee: %v", ids[len(ids)-2])
+	if ids[len(ids)-3] != "het" {
+		t.Fatalf("het not before async: %v", ids[len(ids)-3])
+	}
+	if ids[len(ids)-2] != "async" {
+		t.Fatalf("async not before tee: %v", ids[len(ids)-2])
 	}
 	if ids[len(ids)-1] != "tee" {
 		t.Fatalf("tee not last: %v", ids[len(ids)-1])

@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	par := fs.Int("parallel", 0, "cap on CPU parallelism for the service (0 = all cores)")
 	selftest := fs.Bool("selftest", false, "run a short device-model FL simulation (clustering + selection + training pipeline) instead of serving, report time-to-target accuracy, and exit")
 	seed := fs.Uint64("seed", 1, "random seed for -selftest")
+	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	}
 
 	if *selftest {
-		return runSelftest(stdout, *seed, *par)
+		return runSelftest(stdout, *seed, *par, *aggregation)
 	}
 
 	code := tee.ClusteringCode{Version: *version, MaxK: *maxK, Repeats: *repeats}
@@ -97,23 +98,31 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 
 // runSelftest exercises the full FLIPS pipeline the service host will carry
 // — clustering, FLIPS selection, FL rounds over a heterogeneous device fleet
-// — and reports rounds- and simulated time-to-target-accuracy.
-func runSelftest(stdout io.Writer, seed uint64, par int) error {
-	res, err := flips.RunSimulation(flips.SimulationConfig{
+// — and reports rounds- and simulated time-to-target-accuracy. aggregation
+// picks the execution model ("sync" rounds with a 3s deadline, "buffered"
+// FedBuff-style async, or "semisync" 3s windows), so a deployment can smoke
+// whichever mode it will run.
+func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string) error {
+	cfg := flips.SimulationConfig{
 		Dataset:       "mit-bih-ecg",
 		Strategy:      "flips",
 		DeviceProfile: "lognormal",
 		Availability:  "churn",
 		Deadline:      3,
+		Aggregation:   aggregation,
 		Rounds:        20,
 		Parties:       24,
 		Parallelism:   par,
 		Seed:          seed,
-	})
+	}
+	if aggregation == "buffered" {
+		cfg.Deadline = 0 // buffered aggregation has no deadline concept
+	}
+	res, err := flips.RunSimulation(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, 3s deadline)")
+	fmt.Fprintf(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, %s aggregation)\n", aggregation)
 	fmt.Fprintf(stdout, "  clusters:            %d\n", res.NumClusters)
 	fmt.Fprintf(stdout, "  peak accuracy:       %.2f%%\n", 100*res.PeakAccuracy)
 	fmt.Fprintf(stdout, "  simulated job time:  %s\n", experiment.FormatSimDuration(res.SimTime))

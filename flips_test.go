@@ -368,6 +368,87 @@ func TestRunSimulationDeviceValidation(t *testing.T) {
 	}
 }
 
+// TestRunSimulationAggregationModes runs the public API through all three
+// execution models and pins the cross-width determinism of the event clock.
+func TestRunSimulationAggregationModes(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		aggregation string
+		deadline    float64
+	}{
+		{"sync", 0},
+		{"buffered", 0},
+		{"semisync", 1},
+	} {
+		run := func(par int) *SimulationResult {
+			res, err := RunSimulation(SimulationConfig{
+				Dataset:       "mit-bih-ecg",
+				DeviceProfile: "lognormal",
+				Availability:  "churn",
+				Aggregation:   tc.aggregation,
+				Deadline:      tc.deadline,
+				Rounds:        6,
+				Parties:       20,
+				Parallelism:   par,
+				Seed:          23,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.aggregation, err)
+			}
+			return res
+		}
+		seq, par := run(1), run(8)
+		if seq.SimTime <= 0 {
+			t.Fatalf("%s accumulated no simulated time", tc.aggregation)
+		}
+		if math.Float64bits(seq.SimTime) != math.Float64bits(par.SimTime) ||
+			math.Float64bits(seq.PeakAccuracy) != math.Float64bits(par.PeakAccuracy) {
+			t.Fatalf("%s diverges across widths: %+v vs %+v", tc.aggregation, seq, par)
+		}
+	}
+}
+
+// TestRunSimulationAggregationValidation pins the public-surface rejections
+// of inconsistent async configurations.
+func TestRunSimulationAggregationValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := RunSimulation(SimulationConfig{Dataset: "mit-bih-ecg", Aggregation: "bogus"}); err == nil {
+		t.Fatal("unknown aggregation accepted")
+	}
+	if _, err := RunSimulation(SimulationConfig{Dataset: "mit-bih-ecg", Aggregation: "semisync"}); err == nil {
+		t.Fatal("semisync without deadline accepted")
+	}
+	if _, err := RunSimulation(SimulationConfig{
+		Dataset: "mit-bih-ecg", DeviceProfile: "lognormal", Aggregation: "buffered", Deadline: 2,
+	}); err == nil {
+		t.Fatal("buffered with deadline accepted")
+	}
+	// Semi-sync windows are legal on the legacy (device-less) clock.
+	if _, err := RunSimulation(SimulationConfig{
+		Dataset: "mit-bih-ecg", Aggregation: "semisync", Deadline: 4, Rounds: 4, Parties: 12,
+	}); err != nil {
+		t.Fatalf("legacy-clock semisync rejected: %v", err)
+	}
+}
+
+// TestRunAsyncWritesTable smoke-tests the public aggregation-mode sweep
+// entry point.
+func TestRunAsyncWritesTable(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("async sweep is a multi-second run at laptop scale")
+	}
+	var buf bytes.Buffer
+	if err := RunAsync(&buf, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Aggregation-mode sweep", "buffered H=1", "semisync H=4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 // TestRunHeterogeneityWritesTable smoke-tests the public sweep entry point
 // at a reduced scale via the short-mode path of the underlying runner.
 func TestRunHeterogeneityWritesTable(t *testing.T) {

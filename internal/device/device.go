@@ -41,6 +41,10 @@ const (
 	// with a per-party phase offset, emulating day/night charging-and-idle
 	// cycles across time zones.
 	Diurnal
+	// Trace parties replay a recorded real-world availability trace
+	// (Availability.Trace), mapped onto parties deterministically by party
+	// ID (party p replays trace row p mod devices).
+	Trace
 )
 
 // String names the availability kind.
@@ -52,13 +56,16 @@ func (k Kind) String() string {
 		return "churn"
 	case Diurnal:
 		return "diurnal"
+	case Trace:
+		return "trace"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
 // KindByName parses an availability kind name ("always-on", "churn",
-// "diurnal"); the empty string means AlwaysOn.
+// "diurnal", "trace"); the empty string means AlwaysOn. A Trace kind
+// additionally needs Availability.Trace set to a loaded TraceSet.
 func KindByName(name string) (Kind, error) {
 	switch name {
 	case "", "always-on":
@@ -67,8 +74,10 @@ func KindByName(name string) (Kind, error) {
 		return Churn, nil
 	case "diurnal":
 		return Diurnal, nil
+	case "trace":
+		return Trace, nil
 	default:
-		return AlwaysOn, fmt.Errorf("device: unknown availability %q (valid: always-on, churn, diurnal)", name)
+		return AlwaysOn, fmt.Errorf("device: unknown availability %q (valid: always-on, churn, diurnal, trace)", name)
 	}
 }
 
@@ -84,6 +93,10 @@ type Availability struct {
 	// MinProb / MaxProb bound the diurnal online probability
 	// (defaults 0.15 and 1.0).
 	MinProb, MaxProb float64
+	// Trace is the replayed availability trace under the Trace kind: party
+	// p replays row p mod Trace.NumDevices(), round r reads slot r mod the
+	// row length. Trace lookups consume no RNG.
+	Trace *TraceSet
 }
 
 // WithDefaults fills zero fields with the package defaults.
@@ -160,6 +173,9 @@ func (c Config) Validate() error {
 	if a.Period <= 0 {
 		return fmt.Errorf("device: non-positive diurnal period %v", a.Period)
 	}
+	if a.Kind == Trace && a.Trace == nil {
+		return fmt.Errorf("device: trace availability configured without a loaded trace")
+	}
 	return nil
 }
 
@@ -189,17 +205,32 @@ type Device struct {
 	Avail Availability
 	// Phase is this device's diurnal phase offset in [0,1) cycles.
 	Phase float64
+	// TraceRow is the availability-trace row this device replays under the
+	// Trace kind — the owning party's ID, wrapped by the TraceSet at lookup
+	// time. Assigned structurally (no RNG) by NewForParty.
+	TraceRow int
 }
 
 // New draws one device from cfg using r. The draw order (compute, down, up,
-// phase) is fixed — part of the determinism contract.
+// phase) is fixed — part of the determinism contract. Trace-kind fleets
+// should use NewForParty so the device knows which trace row to replay; New
+// binds row 0.
 func New(cfg Config, r *rng.Source) *Device {
+	return NewForParty(cfg, 0, r)
+}
+
+// NewForParty draws one device from cfg for the party with the given ID.
+// The ID binds trace-kind devices to their availability-trace row; the
+// stochastic draws consume r exactly as New does, so trace and non-trace
+// fleets built from the same streams share compute/bandwidth profiles.
+func NewForParty(cfg Config, id int, r *rng.Source) *Device {
 	cfg = cfg.WithDefaults()
 	d := &Device{
 		ComputeSpeed: lognormal(cfg.ComputeMedian, cfg.ComputeSigma, r),
 		DownBps:      lognormal(cfg.DownMedian, cfg.DownSigma, r),
 		UpBps:        lognormal(cfg.UpMedian, cfg.UpSigma, r),
 		Avail:        cfg.Availability,
+		TraceRow:     id,
 	}
 	if cfg.Availability.Kind == Diurnal {
 		d.Phase = r.Float64()
@@ -213,7 +244,7 @@ func New(cfg Config, r *rng.Source) *Device {
 func Fleet(n int, cfg Config, r *rng.Source) []*Device {
 	out := make([]*Device, n)
 	for i := range out {
-		out[i] = New(cfg, r.Split(uint64(i)+1))
+		out[i] = NewForParty(cfg, i, r.Split(uint64(i)+1))
 	}
 	return out
 }
@@ -235,6 +266,11 @@ func (d *Device) OnlineProb(round int) float64 {
 		mid := (d.Avail.MinProb + d.Avail.MaxProb) / 2
 		amp := (d.Avail.MaxProb - d.Avail.MinProb) / 2
 		return mid + amp*math.Sin(2*math.Pi*(float64(round)/d.Avail.Period+d.Phase))
+	case Trace:
+		if d.Avail.Trace.Online(d.TraceRow, round) {
+			return 1
+		}
+		return 0
 	default:
 		return 1
 	}

@@ -1,0 +1,135 @@
+package device
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// TraceSet is a replayed real-world availability trace: one row of binary
+// online/offline slots per traced device (e.g. exported from the FLASH/Oort
+// user-behavior traces). Traces replace the synthetic churn/diurnal
+// processes with measured behavior: a fleet larger than the trace wraps
+// rows (party ID modulo trace size), and a job longer than a row wraps
+// slots, so any (parties, rounds) shape replays deterministically.
+//
+// Mapping is by party ID alone — no RNG is consumed — so a traced fleet's
+// availability is a pure function of the trace file and the party IDs,
+// independent of seed, engine parallelism and aggregation policy.
+type TraceSet struct {
+	rows [][]bool
+}
+
+// ParseTrace parses a trace from its serialized form, auto-detecting the
+// format: JSON ({"devices": [[1,0,1], ...]}, one inner array per device,
+// slots 0/1) when the first non-space byte is '{', otherwise CSV (one line
+// per device, comma-separated 0/1 slots; blank lines and #-comments
+// skipped). Rows may have different lengths; each wraps independently.
+func ParseTrace(data []byte) (*TraceSet, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return parseTraceJSON(trimmed)
+	}
+	return parseTraceCSV(data)
+}
+
+// LoadTraceFile reads and parses a trace file.
+func LoadTraceFile(path string) (*TraceSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("device: trace: %w", err)
+	}
+	ts, err := ParseTrace(data)
+	if err != nil {
+		return nil, fmt.Errorf("device: trace %s: %w", path, err)
+	}
+	return ts, nil
+}
+
+func parseTraceJSON(data []byte) (*TraceSet, error) {
+	var doc struct {
+		Devices [][]int `json:"devices"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("device: trace JSON: %w", err)
+	}
+	rows := make([][]bool, 0, len(doc.Devices))
+	for i, dev := range doc.Devices {
+		row, err := toRow(i, dev)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return newTraceSet(rows)
+}
+
+func parseTraceCSV(data []byte) (*TraceSet, error) {
+	var rows [][]bool
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]bool, 0, len(fields))
+		for _, f := range fields {
+			switch strings.TrimSpace(f) {
+			case "0":
+				row = append(row, false)
+			case "1":
+				row = append(row, true)
+			default:
+				return nil, fmt.Errorf("device: trace CSV line %d: slot %q is not 0 or 1", lineNo+1, strings.TrimSpace(f))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return newTraceSet(rows)
+}
+
+func toRow(i int, slots []int) ([]bool, error) {
+	row := make([]bool, len(slots))
+	for j, v := range slots {
+		switch v {
+		case 0:
+		case 1:
+			row[j] = true
+		default:
+			return nil, fmt.Errorf("device: trace device %d slot %d: %d is not 0 or 1", i, j, v)
+		}
+	}
+	return row, nil
+}
+
+func newTraceSet(rows [][]bool) (*TraceSet, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("device: trace has no devices")
+	}
+	for i, row := range rows {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("device: trace device %d has no slots", i)
+		}
+	}
+	return &TraceSet{rows: rows}, nil
+}
+
+// NumDevices returns the number of traced devices.
+func (t *TraceSet) NumDevices() int { return len(t.rows) }
+
+// Online reports whether trace row `row` (wrapped modulo the trace size) is
+// online at slot `slot` (wrapped modulo the row length).
+func (t *TraceSet) Online(row, slot int) bool {
+	r := t.rows[mod(row, len(t.rows))]
+	return r[mod(slot, len(r))]
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

@@ -1,0 +1,142 @@
+package device
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flips/internal/rng"
+)
+
+func TestParseTraceCSV(t *testing.T) {
+	t.Parallel()
+	ts, err := ParseTrace([]byte("# two devices, three slots\n1,0,1\n0, 1, 1\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumDevices() != 2 {
+		t.Fatalf("parsed %d devices", ts.NumDevices())
+	}
+	want := [][]bool{{true, false, true}, {false, true, true}}
+	for row := range want {
+		for slot := range want[row] {
+			if got := ts.Online(row, slot); got != want[row][slot] {
+				t.Fatalf("row %d slot %d = %v", row, slot, got)
+			}
+		}
+	}
+}
+
+func TestParseTraceJSON(t *testing.T) {
+	t.Parallel()
+	ts, err := ParseTrace([]byte(`{"devices": [[1,1,0],[0,0,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumDevices() != 2 {
+		t.Fatalf("parsed %d devices", ts.NumDevices())
+	}
+	if !ts.Online(0, 0) || ts.Online(1, 1) || !ts.Online(1, 2) {
+		t.Fatal("trace slots misparsed")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []string{
+		"",                       // no devices
+		"1,2,0",                  // non-binary slot
+		`{"devices": []}`,        // no devices
+		`{"devices": [[1],[2]]}`, // non-binary slot
+		`{"devices": [[1],[]]}`,  // empty row
+		`{"devices": [[1]`,       // malformed JSON
+	} {
+		if _, err := ParseTrace([]byte(bad)); err == nil {
+			t.Fatalf("trace %q accepted", bad)
+		}
+	}
+}
+
+// TestTraceWrapping pins the deterministic mapping contract: parties wrap
+// rows modulo the trace size and rounds wrap slots modulo the row length,
+// so any fleet/budget shape replays the same trace.
+func TestTraceWrapping(t *testing.T) {
+	t.Parallel()
+	ts, err := ParseTrace([]byte("1,0\n0,1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Online(2, 0) { // row 2 wraps to row 0
+		t.Fatal("row wrapping broken")
+	}
+	if !ts.Online(0, 2) { // slot 2 wraps to slot 0 on the 2-slot row
+		t.Fatal("slot wrapping broken")
+	}
+	if ts.Online(1, 3) { // row 1 has 3 slots; slot 3 wraps to slot 0 (offline)
+		t.Fatal("per-row slot wrapping broken")
+	}
+}
+
+// TestTraceDeviceOnline checks the Device integration: trace availability is
+// a pure lookup (probability 0 or 1, no RNG consumed) keyed on the party ID
+// the device was built for.
+func TestTraceDeviceOnline(t *testing.T) {
+	t.Parallel()
+	ts, err := ParseTrace([]byte("1,0\n0,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Uniform()
+	cfg.Availability = Availability{Kind: Trace, Trace: ts}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	d0 := NewForParty(cfg, 0, r.Split(1))
+	d1 := NewForParty(cfg, 1, r.Split(2))
+	d2 := NewForParty(cfg, 2, r.Split(3)) // wraps onto trace row 0
+
+	for round := 0; round < 4; round++ {
+		// Exhausted source: Online must not draw when probability is 0 or 1.
+		if got, want := d0.Online(round, rng.New(0)), round%2 == 0; got != want {
+			t.Fatalf("d0 round %d online=%v want %v", round, got, want)
+		}
+		if got, want := d1.Online(round, rng.New(0)), round%2 == 1; got != want {
+			t.Fatalf("d1 round %d online=%v want %v", round, got, want)
+		}
+		if got, want := d2.Online(round, rng.New(0)), round%2 == 0; got != want {
+			t.Fatalf("d2 round %d online=%v want %v", round, got, want)
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	t.Parallel()
+	cfg := Uniform()
+	cfg.Availability = Availability{Kind: Trace}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("trace kind without a trace accepted")
+	}
+	if k, err := KindByName("trace"); err != nil || k != Trace {
+		t.Fatalf("KindByName(trace) = %v, %v", k, err)
+	}
+}
+
+func TestLoadTraceFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(path, []byte("1,1,0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumDevices() != 1 || !ts.Online(0, 1) || ts.Online(0, 2) {
+		t.Fatal("loaded trace misparsed")
+	}
+	if _, err := LoadTraceFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"flips/internal/dataset"
+	"flips/internal/device"
+)
+
+// The async sweep compares the engine's three aggregation policies — the
+// paper's synchronous rounds, FedBuff-style buffered aggregation, and
+// semi-synchronous deadline windows — on **time-to-target-accuracy** over
+// the same heterogeneous fleet, crossing the async modes with two staleness
+// half-lives. Rounds count aggregation steps in every mode and the event
+// clock is shared, so the table answers the question the synchronous-only
+// evaluation cannot: how much simulated wall-clock does decoupling the
+// server from its slowest devices actually buy each selection strategy?
+
+// asyncArm is one aggregation-mode arm of the sweep.
+type asyncArm struct {
+	name        string
+	aggregation string  // fl policy name
+	halfLife    float64 // 0 for sync
+	deadline    float64 // semisync window length in simulated seconds
+}
+
+// asyncArms enumerates the sweep's mode × staleness arms. The medians of
+// device.Lognormal() put a ~100-sample party near 0.55s/round, so the 1s
+// semi-sync window admits the median but forces the slow tail to carry
+// over; buffered uses the engine's default K (half the cohort). Half-life 1
+// discounts a one-version-stale update to 50% weight (aggressive), 4 to
+// ~84% (lenient).
+func asyncArms() []asyncArm {
+	return []asyncArm{
+		{name: "sync", aggregation: "sync"},
+		{name: "buffered H=1", aggregation: "buffered", halfLife: 1},
+		{name: "buffered H=4", aggregation: "buffered", halfLife: 4},
+		{name: "semisync H=1", aggregation: "semisync", halfLife: 1, deadline: 1},
+		{name: "semisync H=4", aggregation: "semisync", halfLife: 4, deadline: 1},
+	}
+}
+
+// AsyncCell is one (arm, strategy) measurement.
+type AsyncCell struct {
+	Strategy       string
+	TimeToTarget   float64 // simulated seconds, -1 when unreached
+	RoundsToTarget int     // aggregation steps, -1 when unreached
+	PeakAccuracy   float64
+	SimTime        float64 // total simulated seconds of the run
+}
+
+// AsyncRow is one aggregation-mode arm with all strategy cells.
+type AsyncRow struct {
+	Arm   string
+	Cells []AsyncCell
+}
+
+// AsyncTable is the full async × staleness sweep result.
+type AsyncTable struct {
+	Dataset      string
+	Availability string
+	Rounds       int
+	Target       float64
+	Rows         []AsyncRow
+}
+
+// RunAsync executes the aggregation-mode × staleness sweep on the ECG
+// workload with FedYogi over a lognormal device fleet, comparing the FLIPS,
+// Oort and Random selectors. trace, when non-nil, replays a real-world
+// availability trace instead of the default 80% churn (the flipsbench
+// -trace flag). Cells fan out over a pool bounded by scale.Parallelism with
+// sequential interiors, assembled by index — the bit-identical-at-every-
+// width contract all sweep runners share. progress (may be nil) receives
+// one line per completed cell.
+func RunAsync(scale Scale, seed uint64, trace *device.TraceSet, progress func(string)) (*AsyncTable, error) {
+	ds := dataset.ECG()
+	avail := device.Availability{Kind: device.Churn, OnlineProb: 0.8}
+	availName := "churn-80%"
+	if trace != nil {
+		avail = device.Availability{Kind: device.Trace, Trace: trace}
+		availName = fmt.Sprintf("trace (%d devices)", trace.NumDevices())
+	}
+	fleet := device.Lognormal()
+	fleet.Availability = avail
+
+	table := &AsyncTable{
+		Dataset:      ds.Name,
+		Availability: availName,
+		Rounds:       RoundsFor(ds, scale),
+		Target:       TargetFor(ds),
+	}
+
+	type job struct {
+		row     int
+		setting Setting
+	}
+	var jobs []job
+	var rows []AsyncRow
+	for _, arm := range asyncArms() {
+		rows = append(rows, AsyncRow{Arm: arm.name})
+		for _, strategy := range HetStrategies() {
+			jobs = append(jobs, job{
+				row: len(rows) - 1,
+				setting: Setting{
+					Spec:              ds,
+					Algorithm:         AlgoFedYogi,
+					Alpha:             0.3,
+					PartyFraction:     0.20,
+					Device:            &fleet,
+					Deadline:          arm.deadline,
+					Strategy:          strategy,
+					Aggregation:       arm.aggregation,
+					StalenessHalfLife: arm.halfLife,
+					TargetAccuracy:    table.Target,
+					Seed:              seed,
+				},
+			})
+		}
+	}
+
+	cellScale := scale
+	cellScale.Rounds = table.Rounds
+	cellScale.Parallelism = 1
+	progress = serialProgress(progress)
+	cells, err := runJobs(scale.Parallelism, len(jobs), func(i int) (AsyncCell, error) {
+		setting := jobs[i].setting
+		res, err := RunSetting(setting, cellScale)
+		if err != nil {
+			return AsyncCell{}, fmt.Errorf("run %s/%s: %w", rows[jobs[i].row].Arm, setting.Strategy, err)
+		}
+		cell := AsyncCell{
+			Strategy:       setting.Strategy,
+			TimeToTarget:   res.TimeToTarget,
+			RoundsToTarget: res.RoundsToTarget,
+			PeakAccuracy:   res.PeakAccuracy,
+			SimTime:        res.SimTime,
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%s %s -> tta=%s rtt=%s peak=%.2f%%",
+				rows[jobs[i].row].Arm, setting.Strategy,
+				FormatSimDuration(cell.TimeToTarget), formatRounds(cell.RoundsToTarget, table.Rounds),
+				100*cell.PeakAccuracy))
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		rows[jobs[i].row].Cells = append(rows[jobs[i].row].Cells, cell)
+	}
+	table.Rows = rows
+	return table, nil
+}
+
+// Render writes the sweep as a text table: one row per aggregation arm,
+// per-strategy time-to-target and rounds-to-target columns.
+func (t *AsyncTable) Render(w io.Writer) {
+	fmt.Fprintf(w, "Aggregation-mode sweep: %s — time to attain target accuracy, FL algorithm: fedyogi\n", t.Dataset)
+	fmt.Fprintf(w, "Target balanced accuracy: %.0f%%, aggregation steps: %d, fleet: lognormal compute+bandwidth, availability: %s\n",
+		100*t.Target, t.Rounds, t.Availability)
+	header := []string{"aggregation"}
+	for _, s := range HetStrategies() {
+		header = append(header, displayName(s)+" tta", displayName(s)+" rtt")
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, row := range t.Rows {
+		fields := []string{row.Arm}
+		for _, c := range row.Cells {
+			fields = append(fields, FormatSimDuration(c.TimeToTarget), formatRounds(c.RoundsToTarget, t.Rounds))
+		}
+		fmt.Fprintln(w, strings.Join(fields, "\t"))
+	}
+}

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"flips/internal/dataset"
+	"flips/internal/device"
+)
+
+// TestBuildAggregationThreading pins the Setting → fl.Config mapping of the
+// aggregation knobs.
+func TestBuildAggregationThreading(t *testing.T) {
+	t.Parallel()
+	dev := device.Lognormal()
+	s := Setting{
+		Spec: dataset.ECG(), Algorithm: AlgoFedYogi, Alpha: 0.3,
+		PartyFraction: 0.2, Strategy: StrategyRandom, Device: &dev,
+		Aggregation: "buffered", BufferSize: 4, StalenessHalfLife: 2, Seed: 9,
+	}
+	built, err := Build(s, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := built.Config.Aggregation.Name(); got != "buffered" {
+		t.Fatalf("aggregation %q not threaded", got)
+	}
+	s.Aggregation = "bogus"
+	if _, err := Build(s, tinyScale()); err == nil {
+		t.Fatal("bogus aggregation accepted")
+	}
+}
+
+// TestRunSettingAsyncModes runs one tiny cell per async mode end-to-end
+// through the experiment layer.
+func TestRunSettingAsyncModes(t *testing.T) {
+	t.Parallel()
+	dev := device.Lognormal()
+	for _, tc := range []struct {
+		aggregation string
+		deadline    float64
+	}{
+		{"buffered", 0},
+		{"semisync", 1},
+	} {
+		s := Setting{
+			Spec: dataset.ECG(), Algorithm: AlgoFedYogi, Alpha: 0.3,
+			PartyFraction: 0.25, Strategy: StrategyRandom, Device: &dev,
+			Aggregation: tc.aggregation, Deadline: tc.deadline,
+			TargetAccuracy: 0.99, Seed: 5,
+		}
+		res, err := RunSetting(s, tinyScale())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.aggregation, err)
+		}
+		if res.SimTime <= 0 {
+			t.Fatalf("%s: no simulated time", tc.aggregation)
+		}
+	}
+}
+
+func TestRunAsyncShapeAndRender(t *testing.T) {
+	t.Parallel()
+	scale := tinyScale()
+	if testing.Short() {
+		scale = Scale{Parties: 12, Rounds: 4, TrainSize: 600, TestSize: 150, Repeats: 1, EvalEvery: 2}
+	}
+	table, err := RunAsync(scale, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 { // sync + 2 buffered + 2 semisync arms
+		t.Fatalf("async table has %d rows, want 5", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if len(row.Cells) != len(HetStrategies()) {
+			t.Fatalf("row %s has %d cells", row.Arm, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			if c.SimTime <= 0 {
+				t.Fatalf("row %s strategy %s: no simulated time", row.Arm, c.Strategy)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Aggregation-mode sweep", "FLIPS tta", "OORT rtt", "sync", "buffered H=1", "semisync H=4", "churn-80%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunAsyncTraceAvailability replays a tiny availability trace through
+// the sweep: the trace is mapped onto parties by ID, consumes no RNG, and
+// the rendered table names it.
+func TestRunAsyncTraceAvailability(t *testing.T) {
+	t.Parallel()
+	trace, err := device.ParseTrace([]byte("1,1,0,1\n0,1,1,1\n1,0,1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := Scale{Parties: 10, Rounds: 4, TrainSize: 500, TestSize: 120, Repeats: 1, EvalEvery: 2}
+	table, err := RunAsync(scale, 7, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.Availability, "trace") {
+		t.Fatalf("availability %q", table.Availability)
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	if !strings.Contains(buf.String(), "trace (3 devices)") {
+		t.Fatalf("render missing trace note:\n%s", buf.String())
+	}
+}
+
+// TestRunAsyncParallelismDeterminism extends the sweep determinism pin to
+// the async sweep: parallel and sequential sweeps must agree cell for cell,
+// including the event clock.
+func TestRunAsyncParallelismDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(par int) *AsyncTable {
+		scale := Scale{Parties: 10, Rounds: 4, TrainSize: 500, TestSize: 120, Repeats: 1, EvalEvery: 2, Parallelism: par}
+		table, err := RunAsync(scale, 7, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	seq, par := run(1), run(8)
+	for i := range seq.Rows {
+		for j := range seq.Rows[i].Cells {
+			a, b := seq.Rows[i].Cells[j], par.Rows[i].Cells[j]
+			if a.Strategy != b.Strategy ||
+				math.Float64bits(a.TimeToTarget) != math.Float64bits(b.TimeToTarget) ||
+				math.Float64bits(a.SimTime) != math.Float64bits(b.SimTime) ||
+				math.Float64bits(a.PeakAccuracy) != math.Float64bits(b.PeakAccuracy) {
+				t.Fatalf("row %d cell %d: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}

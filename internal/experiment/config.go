@@ -104,6 +104,19 @@ type Setting struct {
 	Deadline float64
 	// Strategy is one of the Strategy* constants.
 	Strategy string
+	// Aggregation selects the engine execution model: "" or "sync"
+	// (synchronous rounds), "buffered" (FedBuff-style aggregation every
+	// BufferSize arrivals) or "semisync" (Deadline windows with straggler
+	// carry-over). Rounds counts aggregation steps in every mode, and
+	// SimTime/TimeToTarget ride the same event clock, so time-to-accuracy is
+	// comparable across modes.
+	Aggregation string
+	// BufferSize is the buffered policy's K (0 uses the engine default,
+	// half the per-round cohort).
+	BufferSize int
+	// StalenessHalfLife is the async staleness discount half-life in model
+	// versions (0 uses the engine default of 4).
+	StalenessHalfLife float64
 	// TargetAccuracy defines the rounds-to-target metric for this dataset.
 	TargetAccuracy float64
 	// Seed fixes all randomness for the run.
@@ -283,6 +296,10 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 	if perRound < 1 {
 		perRound = 1
 	}
+	policy, err := fl.PolicyByName(setting.Aggregation, setting.BufferSize, setting.StalenessHalfLife)
+	if err != nil {
+		return nil, err
+	}
 	cfg := fl.Config{
 		Parties:         parties,
 		Test:            test.Samples,
@@ -302,6 +319,7 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 		EvalEvery:       max(scale.EvalEvery, 1),
 		TargetAccuracy:  setting.TargetAccuracy,
 		Parallelism:     scale.Parallelism,
+		Aggregation:     policy,
 		Seed:            setting.Seed,
 	}
 	return &BuildResult{

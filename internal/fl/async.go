@@ -1,0 +1,454 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flips/internal/tensor"
+)
+
+// defaultStalenessHalfLife is the staleness half-life (in server model
+// versions) used when a policy leaves StalenessHalfLife zero: an update four
+// versions stale keeps 1/16 of its weight under H=1, half under H=4.
+const defaultStalenessHalfLife = 4.0
+
+// maxBarrenWaves bounds consecutive selection waves that dispatch nobody
+// (every invited party offline or already in flight) before the engine
+// declares the pool dead. Availability processes tick per wave, so a
+// temporarily dark fleet (diurnal night, churn bad luck, trace gap) recovers
+// long before this.
+const maxBarrenWaves = 10000
+
+// stalenessDiscount is the async aggregation weight multiplier
+// 2^(−staleness/halfLife): a fresh update keeps full weight, an update
+// halfLife model-versions stale keeps half, and so on — FedBuff-style
+// damping that lets slow devices contribute without dragging the global
+// model toward their stale gradients.
+func stalenessDiscount(staleness int, halfLife float64) float64 {
+	if staleness <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(staleness) / halfLife)
+}
+
+func orHalfLife(h float64) float64 {
+	if h == 0 {
+		return defaultStalenessHalfLife
+	}
+	return h
+}
+
+// Buffered is FedBuff-style asynchronous aggregation (Nguyen et al., 2022):
+// the server keeps Config.PartiesPerRound parties training concurrently and
+// folds the buffer into the global model after every K arrivals, weighting
+// each delta by n_i · 2^(−staleness/H). Aggregated parties are immediately
+// replaced from the selector, so fast devices cycle many times while a slow
+// device finishes once — no synchronization barrier, no wasted work.
+// Config.Rounds counts aggregation steps, so histories, evaluation cadence
+// and checkpoint cadence line up with the synchronous modes; SimTime is the
+// event clock at each step's K-th arrival, which makes TimeToTarget
+// comparable across policies.
+type Buffered struct {
+	// K is the buffer size: the server aggregates after every K arrivals.
+	// Zero defaults to max(1, PartiesPerRound/2); K must not exceed
+	// Config.PartiesPerRound (the concurrency M), matching FedBuff's K ≤ M
+	// — a buffer larger than the pipeline could never fill.
+	K int
+	// StalenessHalfLife is H in the 2^(−staleness/H) weight discount,
+	// measured in server model versions. Zero defaults to 4.
+	StalenessHalfLife float64
+}
+
+// Name implements AggregationPolicy.
+func (Buffered) Name() string { return "buffered" }
+
+func (p Buffered) run(c *eventCore) error {
+	cfg := c.cfg
+	k := p.K
+	if k == 0 {
+		k = max(1, cfg.PartiesPerRound/2)
+	}
+	halfLife := orHalfLife(p.StalenessHalfLife)
+
+	start := 0
+	if cfg.Resume != nil {
+		start = c.resumeAsync(cfg.Resume)
+	}
+
+	buffer := make([]*pendingUpdate, 0, k)
+	for step := start; step < cfg.Rounds; step++ {
+		if cfg.BeforeRound != nil {
+			cfg.BeforeRound(step, cfg.Parties)
+		}
+		c.decayLR(step)
+		prevClock := c.clock
+
+		// Refill the training pipeline to PartiesPerRound reserved parties
+		// (best-effort: stop on the first wave that dispatches nobody new —
+		// arrivals will free up parties for later cycles).
+		for c.inFlightCount < cfg.PartiesPerRound {
+			n, err := c.dispatchWave(step, cfg.PartiesPerRound-c.inFlightCount)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+		}
+
+		// Drain the next K arrivals, dispatching further waves whenever the
+		// queue runs dry (a partial refill under churn, or an all-offline
+		// stretch that only more waves can outlast). Popped parties stay
+		// reserved until the buffer is aggregated, so one party can never
+		// appear twice in the same buffer; K ≤ PartiesPerRound (validated)
+		// guarantees free candidates always remain for the top-up waves.
+		buffer = buffer[:0]
+		for len(buffer) < k {
+			// Top-up waves ask only for the residual pipeline capacity, so
+			// concurrency never exceeds the FedBuff M = PartiesPerRound cap
+			// (buffered-but-unaggregated parties still hold their slots).
+			if err := c.ensureQueued(step, cfg.PartiesPerRound-c.inFlightCount); err != nil {
+				return err
+			}
+			buffer = append(buffer, c.popArrival())
+		}
+
+		meanLoss := c.aggregateAsync(step, buffer, halfLife)
+		c.res.SimTime = c.clock
+		c.res.TotalCommBytes += c.cycleBytes
+		c.maybeEval(step, len(c.cycleSelected), len(buffer), c.cycleBytes, meanLoss, c.clock-prevClock)
+		c.maybeCheckpoint(step, p, c.captureAsyncState)
+		c.resetCycle()
+	}
+	return nil
+}
+
+// SemiSync is deadline-window aggregation: every window invites a fresh
+// cohort of Config.PartiesPerRound parties, waits Config.Deadline simulated
+// seconds, and folds whatever arrived. Unlike SyncRounds, parties that miss
+// the deadline are not dropped — they keep training and their updates land
+// in a later window, discounted by 2^(−staleness/H). Config.Rounds counts
+// windows; SimTime advances by exactly Deadline per window.
+type SemiSync struct {
+	// StalenessHalfLife is H in the 2^(−staleness/H) weight discount,
+	// measured in server model versions. Zero defaults to 4.
+	StalenessHalfLife float64
+}
+
+// Name implements AggregationPolicy.
+func (SemiSync) Name() string { return "semisync" }
+
+func (p SemiSync) run(c *eventCore) error {
+	cfg := c.cfg
+	halfLife := orHalfLife(p.StalenessHalfLife)
+
+	start := 0
+	if cfg.Resume != nil {
+		start = c.resumeAsync(cfg.Resume)
+	}
+
+	buffer := make([]*pendingUpdate, 0, cfg.PartiesPerRound)
+	for round := start; round < cfg.Rounds; round++ {
+		if cfg.BeforeRound != nil {
+			cfg.BeforeRound(round, cfg.Parties)
+		}
+		c.decayLR(round)
+
+		// One selection wave per window; parties still training from
+		// earlier windows stay in flight and are not re-invited.
+		if _, err := c.dispatchWave(round, cfg.PartiesPerRound); err != nil {
+			return err
+		}
+
+		// Collect everything that arrives inside the window, then snap the
+		// clock to the deadline — the server pays the full window whether or
+		// not anyone showed up (an empty window aggregates nothing but still
+		// counts as a round).
+		windowEnd := c.clock + cfg.Deadline
+		buffer = buffer[:0]
+		for c.queue.len() > 0 && c.queue.peek().time <= windowEnd {
+			buffer = append(buffer, c.popArrival())
+		}
+		c.clock = windowEnd
+
+		meanLoss := c.aggregateAsync(round, buffer, halfLife)
+		c.res.SimTime = c.clock
+		c.res.TotalCommBytes += c.cycleBytes
+		c.maybeEval(round, len(c.cycleSelected), len(buffer), c.cycleBytes, meanLoss, cfg.Deadline)
+		c.maybeCheckpoint(round, p, c.captureAsyncState)
+		c.resetCycle()
+	}
+	return nil
+}
+
+// dispatchWave runs one selection wave: it asks the selector for a full
+// PartiesPerRound cohort, filters out candidates already reserved (training,
+// or arrived but not yet aggregated), draws availability for the rest,
+// trains up to cap online parties immediately against the current global
+// model, and schedules their arrival events at clock + simulated duration.
+// The selector always sees the full cohort target — capping the *dispatch*
+// count rather than the invitation keeps deterministic selectors from
+// resurfacing only their (possibly all-reserved) top candidates, while the
+// cap keeps concurrency at the FedBuff M = PartiesPerRound limit.
+//
+// Training runs eagerly because durations are analytic: the arrival event
+// only delivers a result that is already determined at dispatch, so the
+// numbers are independent of event processing order and of engine
+// parallelism. The wave consumes root stream Split(wave+1) with the same
+// interior structure as a synchronous round (0x5A availability stream with
+// per-party children, then per-party 0x1000+id training streams, pre-split
+// in dispatch order on this goroutine).
+//
+// The selector and the availability processes both see step — the
+// aggregation-step index, the same clock RoundFeedback.Round reports and
+// the same unit sync rounds tick on — so adaptive selectors (Oort's age
+// term) compare like with like, and a trace slot or diurnal period means
+// the same fleet behavior in every aggregation mode. The wave counter is
+// purely the root-RNG split cursor: each top-up wave within a step draws
+// fresh availability coins (an offline churn party can come online on a
+// retry) from its own stream, but against the step's probabilities.
+func (c *eventCore) dispatchWave(step, cap int) (int, error) {
+	wave := c.waves
+	c.waves++
+	wr := c.root.Split(uint64(wave) + 1)
+	ids, err := c.selectParties(step, c.cfg.PartiesPerRound)
+	if err != nil {
+		return 0, err
+	}
+	// A selector with no candidates at all is broken — the same condition
+	// SyncRounds errors on. (Candidates that are merely in flight or offline
+	// are fine; those waves count as barren and availability advances.)
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("fl: selector %q returned no parties at step %d", c.cfg.Selector.Name(), step)
+	}
+	ar := wr.Split(0x5A)
+	c.dispatched = c.dispatched[:0]
+	for _, id := range ids {
+		if len(c.dispatched) >= cap {
+			break
+		}
+		if c.inFlight[id] {
+			continue
+		}
+		if c.useDevices && !c.cfg.Parties[id].Device.Online(step, ar.Split(uint64(id)+1)) {
+			// Record each offline invitee once per cycle, however many waves
+			// re-draw it; if a later wave finds it online and dispatches it,
+			// aggregateAsync drops it from the straggler list.
+			if !c.offlineMark[id] {
+				c.offlineMark[id] = true
+				c.cycleOffline = append(c.cycleOffline, id)
+			}
+			continue
+		}
+		c.dispatched = append(c.dispatched, id)
+	}
+
+	c.trainBatch(c.dispatched, wr)
+
+	for i, id := range c.dispatched {
+		lr := c.locals[i]
+		var d float64
+		if c.useDevices {
+			d = c.cfg.Parties[id].Device.RoundDuration(lr.NumSamples, c.sgd.LocalEpochs, c.paramBytes)
+		} else {
+			d = c.cfg.Parties[id].Latency * float64(lr.Steps)
+		}
+		// The pending update carries the dispatch-time delta: by the time it
+		// aggregates, the global model has moved on. lr.Params is a fresh
+		// clone, safe to mutate in place.
+		delta := lr.Params
+		delta.SubInPlace(c.globalParams)
+		up := &pendingUpdate{
+			party:    id,
+			update:   delta,
+			weight:   float64(lr.NumSamples),
+			version:  c.version,
+			arrival:  c.clock + d,
+			duration: d,
+			meanLoss: lr.MeanLoss,
+			sqLoss:   lr.SqLossMean,
+			steps:    lr.Steps,
+		}
+		c.push(up)
+		c.inFlight[id] = true
+		c.inFlightCount++
+		c.selectedMark[id] = true
+		c.cycleSelected = append(c.cycleSelected, id)
+		c.cycleBytes += c.paramBytes // model download at dispatch
+	}
+	return len(c.dispatched), nil
+}
+
+// ensureQueued dispatches selection waves until at least one arrival event
+// is queued. Each retry wave draws fresh availability coins from its own
+// RNG stream (against the current step's probabilities), so a churn or
+// diurnal fleet that came up dark recovers; a fleet that is deterministically
+// offline for the whole step (an all-offline trace slot with nothing in
+// flight) has no next event to advance the simulation and errors out after
+// maxBarrenWaves instead of spinning forever.
+func (c *eventCore) ensureQueued(step, target int) error {
+	barren := 0
+	for c.queue.len() == 0 {
+		want := target
+		if want < 1 {
+			want = 1
+		}
+		n, err := c.dispatchWave(step, want)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			return nil
+		}
+		barren++
+		if barren >= maxBarrenWaves {
+			return fmt.Errorf("fl: %d consecutive selection waves dispatched no parties (pool offline or selector starved)", barren)
+		}
+	}
+	return nil
+}
+
+// popArrival consumes the next arrival event and advances the simulated
+// clock. The party stays reserved (inFlight) until its buffer is aggregated
+// — aggregateAsync releases it — so a fast party cannot be re-dispatched
+// into the same aggregation buffer it already contributed to.
+func (c *eventCore) popArrival() *pendingUpdate {
+	ev := c.queue.pop()
+	c.clock = ev.time
+	c.cycleBytes += c.paramBytes // update upload at arrival
+	return ev.up
+}
+
+// aggregateAsync folds the cycle's arrivals (in arrival order — the
+// deterministic event-queue order) into the global model with
+// staleness-discounted weights and delivers the arrival-driven feedback to
+// the selector. Returns the arrivals' mean training loss for the history
+// entry. An empty buffer applies nothing and leaves the model version
+// unchanged (staleness only accrues across real model updates).
+func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife float64) (meanLoss float64) {
+	needsUpdates := c.prepareFeedback(step)
+	if c.fb.Staleness == nil {
+		c.fb.Staleness = make(map[int]int, cap(c.completed))
+	}
+	c.completed = c.completed[:0]
+	c.updates, c.weights = c.updates[:0], c.weights[:0]
+	var lossSum float64
+	for _, up := range buffer {
+		id := up.party
+		staleness := c.version - up.version
+		c.completed = append(c.completed, id)
+		c.updates = append(c.updates, up.update)
+		c.weights = append(c.weights, up.weight*stalenessDiscount(staleness, halfLife))
+		c.fb.MeanLoss[id] = up.meanLoss
+		c.fb.SqLoss[id] = up.sqLoss
+		c.fb.Duration[id] = up.duration
+		c.fb.Staleness[id] = staleness
+		if needsUpdates {
+			c.fb.Update[id] = up.update
+		}
+		lossSum += up.meanLoss
+	}
+	if len(c.updates) > 0 {
+		WeightedDeltaInto(c.delta, c.updates, c.weights)
+		c.applyDelta()
+	}
+	// Release the aggregated parties back into the selectable pool.
+	for _, up := range buffer {
+		c.inFlight[up.party] = false
+		c.inFlightCount--
+	}
+	// Stragglers are the invitees that were offline at every draw this
+	// cycle and never dispatched; they join Selected so the feedback keeps
+	// the sync-mode invariants selectors rely on — Stragglers is a
+	// duplicate-free subset of Selected, and straggler rates
+	// (|Stragglers| / |Selected|) never exceed 1.
+	c.stragglers = c.stragglers[:0]
+	for _, id := range c.cycleOffline {
+		if !c.selectedMark[id] {
+			c.stragglers = append(c.stragglers, id)
+			c.cycleSelected = append(c.cycleSelected, id)
+		}
+	}
+	c.fb.Selected = c.cycleSelected
+	c.fb.Completed = c.completed
+	c.fb.Stragglers = c.stragglers
+	c.cfg.Selector.Observe(c.fb)
+	if len(buffer) > 0 {
+		meanLoss = lossSum / float64(len(buffer))
+	}
+	return meanLoss
+}
+
+// resetCycle clears the per-aggregation-cycle accumulators and their dedupe
+// marks.
+func (c *eventCore) resetCycle() {
+	for _, id := range c.cycleSelected {
+		c.selectedMark[id] = false
+	}
+	for _, id := range c.cycleOffline {
+		c.offlineMark[id] = false
+	}
+	c.cycleSelected = c.cycleSelected[:0]
+	c.cycleOffline = c.cycleOffline[:0]
+	c.cycleBytes = 0
+}
+
+// captureAsyncState snapshots the event-clock state for a checkpoint: the
+// wave cursor, the simulated clock, the model version and every in-flight
+// update, serialized in event-queue pop order so resume can re-push them
+// with fresh sequence numbers and preserve arrival tie-breaks.
+func (c *eventCore) captureAsyncState() *AsyncState {
+	st := &AsyncState{Waves: c.waves, Clock: c.clock, Version: c.version}
+	items := make([]event, len(c.queue.items))
+	copy(items, c.queue.items)
+	sort.Slice(items, func(i, j int) bool { return eventBefore(items[i], items[j]) })
+	for _, ev := range items {
+		up := ev.up
+		st.InFlight = append(st.InFlight, PendingUpdate{
+			Party:    up.party,
+			Update:   append([]float64(nil), up.update...),
+			Weight:   up.weight,
+			Version:  up.version,
+			Arrival:  up.arrival,
+			Duration: up.duration,
+			MeanLoss: up.meanLoss,
+			SqLoss:   up.sqLoss,
+			Steps:    up.steps,
+		})
+	}
+	return st
+}
+
+// resumeAsync restores the event-clock state from an async checkpoint:
+// common state, clock, model version, the wave cursor (fast-forwarding the
+// root RNG stream by one split per consumed wave), and the in-flight queue.
+// Returns the aggregation step to resume at.
+func (c *eventCore) resumeAsync(cp *Checkpoint) int {
+	start := c.restoreCommon(cp)
+	as := cp.Async
+	c.clock = as.Clock
+	c.version = as.Version
+	c.waves = as.Waves
+	for w := 0; w < as.Waves; w++ {
+		c.root.Split(uint64(w) + 1)
+	}
+	for i := range as.InFlight {
+		pu := &as.InFlight[i]
+		up := &pendingUpdate{
+			party:    pu.Party,
+			update:   tensor.Vec(pu.Update).Clone(),
+			weight:   pu.Weight,
+			version:  pu.Version,
+			arrival:  pu.Arrival,
+			duration: pu.Duration,
+			meanLoss: pu.MeanLoss,
+			sqLoss:   pu.SqLoss,
+			steps:    pu.Steps,
+		}
+		c.push(up)
+		c.inFlight[pu.Party] = true
+		c.inFlightCount++
+	}
+	return start
+}

@@ -24,6 +24,10 @@ type Checkpoint struct {
 	GlobalParams []float64 `json:"globalParams"`
 	// OptimizerName guards against resuming with a different algorithm.
 	OptimizerName string `json:"optimizerName"`
+	// Aggregation guards against resuming under a different execution
+	// model ("sync", "buffered", "semisync"). Pre-event-core checkpoints
+	// omit it (decoding to ""), which means sync.
+	Aggregation string `json:"aggregation,omitempty"`
 	// OptimizerMoment / OptimizerSecondMoment carry adaptive-optimizer
 	// state (empty for FedAvg).
 	OptimizerMoment       []float64 `json:"optimizerMoment,omitempty"`
@@ -43,6 +47,50 @@ type Checkpoint struct {
 	// Seed must match the resuming Config's Seed for deterministic
 	// continuation.
 	Seed uint64 `json:"seed"`
+	// Async carries the event-clock state of the asynchronous policies:
+	// the simulated clock, the selection-wave RNG cursor, and every
+	// in-flight update still traveling through the event queue. Nil for
+	// sync checkpoints (the sync barrier drains the queue every round, so
+	// there is nothing in flight at a round boundary).
+	Async *AsyncState `json:"async,omitempty"`
+}
+
+// AsyncState is the Checkpoint extension for Buffered/SemiSync jobs. The
+// aggregation buffer itself is always empty at a checkpoint boundary
+// (checkpoints fire immediately after an aggregation step), so mid-buffer
+// progress lives entirely in the in-flight set: parties whose trained
+// updates have been dispatched but whose arrival events have not yet been
+// consumed.
+type AsyncState struct {
+	// Waves is the number of selection waves consumed — the root-RNG split
+	// cursor. Resume fast-forwards the root stream by this many splits so
+	// post-resume waves draw the same streams the uninterrupted run would.
+	Waves int `json:"waves"`
+	// Clock is the absolute simulated time.
+	Clock float64 `json:"clock"`
+	// Version is the server model version (count of applied aggregations).
+	// It can trail Checkpoint.Round under SemiSync, where an empty window
+	// counts as a round but applies no model update.
+	Version int `json:"version"`
+	// InFlight lists pending updates in event-queue pop order ((arrival,
+	// push-seq)); resume re-pushes them in this order, preserving tie-breaks.
+	InFlight []PendingUpdate `json:"inFlight,omitempty"`
+}
+
+// PendingUpdate serializes one in-flight trained update. Update holds the
+// dispatch-time delta x_i − m^(version); Go's JSON float formatting is
+// shortest-round-trip, so the vector survives the encode/decode cycle
+// bit-exactly.
+type PendingUpdate struct {
+	Party    int       `json:"party"`
+	Update   []float64 `json:"update"`
+	Weight   float64   `json:"weight"`
+	Version  int       `json:"version"`
+	Arrival  float64   `json:"arrival"`
+	Duration float64   `json:"duration"`
+	MeanLoss float64   `json:"meanLoss"`
+	SqLoss   float64   `json:"sqLoss"`
+	Steps    int       `json:"steps"`
 }
 
 // Marshal serializes the checkpoint to JSON (the paper suggests
@@ -71,6 +119,30 @@ func (c *Checkpoint) validateResume(cfg *Config, paramLen int) error {
 	}
 	if c.OptimizerName != cfg.Optimizer.Name() {
 		return fmt.Errorf("fl: checkpoint optimizer %q, config uses %q", c.OptimizerName, cfg.Optimizer.Name())
+	}
+	cpAgg := c.Aggregation
+	if cpAgg == "" {
+		cpAgg = "sync" // pre-event-core checkpoints
+	}
+	if want := cfg.policy().Name(); cpAgg != want {
+		return fmt.Errorf("fl: checkpoint aggregation %q, config uses %q", cpAgg, want)
+	}
+	if cpAgg != "sync" && c.Async == nil {
+		return fmt.Errorf("fl: %s checkpoint is missing event-clock state", cpAgg)
+	}
+	if as := c.Async; as != nil {
+		if as.Waves < 0 || as.Version < 0 {
+			return fmt.Errorf("fl: checkpoint event-clock counters negative (waves=%d version=%d)", as.Waves, as.Version)
+		}
+		for i := range as.InFlight {
+			pu := &as.InFlight[i]
+			if pu.Party < 0 || pu.Party >= len(cfg.Parties) {
+				return fmt.Errorf("fl: checkpoint in-flight update %d names party %d, pool has %d", i, pu.Party, len(cfg.Parties))
+			}
+			if len(pu.Update) != paramLen {
+				return fmt.Errorf("fl: checkpoint in-flight update %d has %d params, model has %d", i, len(pu.Update), paramLen)
+			}
+		}
 	}
 	if c.Seed != cfg.Seed {
 		return fmt.Errorf("fl: checkpoint seed %d, config seed %d", c.Seed, cfg.Seed)

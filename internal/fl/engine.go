@@ -5,9 +5,7 @@ import (
 	"math"
 
 	"flips/internal/dataset"
-	"flips/internal/metrics"
 	"flips/internal/model"
-	"flips/internal/parallel"
 	"flips/internal/rng"
 	"flips/internal/tensor"
 )
@@ -87,8 +85,22 @@ type Config struct {
 	// evaluation shards merge integer counts (see DESIGN.md, "Parallel
 	// execution model").
 	Parallelism int
+	// Aggregation selects the execution model: SyncRounds (nil default,
+	// classic synchronization rounds — the paper's setting), Buffered
+	// (FedBuff-style asynchronous aggregation every K arrivals) or SemiSync
+	// (deadline windows; stragglers carry over instead of being dropped).
+	// See DESIGN.md, "Event-driven simulation core".
+	Aggregation AggregationPolicy
 	// Seed makes the entire run reproducible.
 	Seed uint64
+}
+
+// policy returns the configured aggregation policy, defaulting to SyncRounds.
+func (c *Config) policy() AggregationPolicy {
+	if c.Aggregation == nil {
+		return SyncRounds{}
+	}
+	return c.Aggregation
 }
 
 func (c *Config) validate() error {
@@ -128,8 +140,51 @@ func (c *Config) validate() error {
 	if withDevice > 0 && withDevice < len(c.Parties) {
 		return fmt.Errorf("fl: %d of %d parties have devices; attach devices to all parties or none", withDevice, len(c.Parties))
 	}
-	if c.Deadline > 0 && withDevice == 0 {
-		return fmt.Errorf("fl: deadline %v set but no party has a device", c.Deadline)
+	switch p := c.policy().(type) {
+	case SyncRounds:
+		if c.Deadline > 0 && withDevice == 0 {
+			return fmt.Errorf("fl: deadline %v set but no party has a device", c.Deadline)
+		}
+	case Buffered:
+		if c.Deadline != 0 {
+			return fmt.Errorf("fl: buffered aggregation has no round deadline (got %v); use SemiSync for deadline windows", c.Deadline)
+		}
+		if p.K < 0 {
+			return fmt.Errorf("fl: negative buffer size %d", p.K)
+		}
+		if p.K > c.PartiesPerRound {
+			return fmt.Errorf("fl: buffer size %d exceeds the %d-party pipeline; K arrivals can never accumulate from fewer than K selectable parties", p.K, c.PartiesPerRound)
+		}
+		if err := c.validateAsync("buffered", p.StalenessHalfLife); err != nil {
+			return err
+		}
+	case SemiSync:
+		if c.Deadline <= 0 {
+			return fmt.Errorf("fl: semisync aggregation requires a positive deadline")
+		}
+		if err := c.validateAsync("semisync", p.StalenessHalfLife); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("fl: unknown aggregation policy %T", p)
+	}
+	return nil
+}
+
+// validateAsync rejects configuration knobs whose semantics are tied to the
+// synchronous round loop: the legacy straggler coin-flip (async stragglers
+// emerge from arrival timing) and FedDyn's per-round drift correction
+// (defined against the model the whole cohort shares, which async cohorts do
+// not).
+func (c *Config) validateAsync(name string, halfLife float64) error {
+	if c.StragglerRate != 0 {
+		return fmt.Errorf("fl: %s aggregation does not support the legacy StragglerRate model (stragglers emerge from arrival timing)", name)
+	}
+	if c.FedDynAlpha != 0 {
+		return fmt.Errorf("fl: %s aggregation does not support FedDyn", name)
+	}
+	if halfLife < 0 {
+		return fmt.Errorf("fl: negative staleness half-life %v", halfLife)
 	}
 	return nil
 }
@@ -177,6 +232,12 @@ type Result struct {
 
 // Run executes the FL job and returns its result. The run is fully
 // deterministic given Config.Seed.
+//
+// Run is a thin shell over the discrete-event simulation core (events.go):
+// it validates the configuration, builds the shared engine state, resumes
+// from a checkpoint when configured, and hands control to the aggregation
+// policy — SyncRounds (default), Buffered or SemiSync — which drives
+// dispatching and aggregation through the deterministic event queue.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -184,272 +245,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 1
 	}
-	root := rng.New(cfg.Seed)
-
-	global := cfg.Factory(root.Split(0xF0))
-	globalParams := global.Params()
-	cfg.Optimizer.Reset()
-	paramBytes := int64(global.NumParams()) * 8
-
-	// FedDyn per-party gradient-correction state (lazily allocated).
-	var dynState map[int]tensor.Vec
-	if cfg.FedDynAlpha > 0 {
-		dynState = make(map[int]tensor.Vec, len(cfg.Parties))
-	}
-
-	res := &Result{RoundsToTarget: -1, TimeToTarget: -1}
-	sgd := cfg.SGD.WithDefaults()
-	// Pin the worker width for the whole run: Pool.Width() re-reads
-	// GOMAXPROCS per call, and the per-worker replica table below must not
-	// be outgrown if the process's CPU budget changes mid-job.
-	pool := parallel.New(parallel.New(cfg.Parallelism).Width())
-	useDevices := len(cfg.Parties) > 0 && cfg.Parties[0].Device != nil
-
-	// Per-round scratch, hoisted out of the round loop and reused: worker
-	// model replicas (one clone per pool worker instead of one per party per
-	// round), index-addressed device state (party IDs are dense [0,N)), and
-	// the feedback maps handed to the selector, which owns them only for the
-	// duration of Observe (see RoundFeedback).
-	replicas := make([]model.Model, pool.Width())
-	durations := make([]float64, len(cfg.Parties))
-	isStraggler := make([]bool, len(cfg.Parties))
-	completed := make([]int, 0, cfg.PartiesPerRound)
-	stragglers := make([]int, 0, cfg.PartiesPerRound)
-	fb := RoundFeedback{
-		MeanLoss: make(map[int]float64, cfg.PartiesPerRound),
-		SqLoss:   make(map[int]float64, cfg.PartiesPerRound),
-		Duration: make(map[int]float64, cfg.PartiesPerRound),
-	}
-	var partyRngs []*rng.Source
-	var locals []model.LocalResult
-	var updates []tensor.Vec
-	var weights []float64
-
-	startRound := 0
+	policy := cfg.policy()
+	c := newEventCore(&cfg)
 	if cfg.Resume != nil {
-		if err := cfg.Resume.validateResume(&cfg, len(globalParams)); err != nil {
+		if err := cfg.Resume.validateResume(&cfg, len(c.globalParams)); err != nil {
 			return nil, err
 		}
-		copy(globalParams, cfg.Resume.GlobalParams)
-		global.SetParams(globalParams)
-		if adaptive, ok := cfg.Optimizer.(*Adaptive); ok {
-			adaptive.SetState(cfg.Resume.OptimizerMoment, cfg.Resume.OptimizerSecondMoment)
-		}
-		sgd.LearningRate = cfg.Resume.LearningRate
-		res.TotalCommBytes = cfg.Resume.TotalCommBytes
-		res.PeakAccuracy = cfg.Resume.PeakAccuracy
-		res.RoundsToTarget = cfg.Resume.RoundsToTarget
-		res.SimTime = cfg.Resume.SimTime
-		// Pre-device checkpoints omit TimeToTarget (decoding to 0); the
-		// target is reached in time iff it is reached in rounds, so the
-		// rounds counter is authoritative.
-		if res.RoundsToTarget >= 0 {
-			res.TimeToTarget = cfg.Resume.TimeToTarget
-		}
-		startRound = cfg.Resume.Round
-		// Fast-forward the root RNG so per-round streams match an
-		// uninterrupted run of the same seed.
-		for r := 0; r < startRound; r++ {
-			root.Split(uint64(r) + 1)
-		}
 	}
-
-	for round := startRound; round < cfg.Rounds; round++ {
-		roundRng := root.Split(uint64(round) + 1)
-
-		if cfg.BeforeRound != nil {
-			cfg.BeforeRound(round, cfg.Parties)
-		}
-
-		if cfg.LRDecayEvery > 0 && round > 0 && round%cfg.LRDecayEvery == 0 {
-			factor := cfg.LRDecayFactor
-			if factor <= 0 || factor > 1 {
-				factor = 0.9
-			}
-			sgd.LearningRate *= factor
-		}
-
-		invited := dedupe(cfg.Selector.Select(round, cfg.PartiesPerRound))
-		if len(invited) == 0 {
-			return nil, fmt.Errorf("fl: selector %q returned no parties at round %d", cfg.Selector.Name(), round)
-		}
-		for _, id := range invited {
-			if id < 0 || id >= len(cfg.Parties) {
-				return nil, fmt.Errorf("fl: selector %q returned out-of-range party %d at round %d",
-					cfg.Selector.Name(), id, round)
-			}
-		}
-		completed, stragglers = completed[:0], stragglers[:0]
-		downloads := len(invited)
-		if useDevices {
-			completed, stragglers, downloads = simulateDeviceRound(&cfg, invited, sgd, paramBytes, round, roundRng.Split(0x5A), completed, stragglers, durations)
-		} else {
-			stragglers = pickStragglers(cfg, invited, roundRng.Split(0x5A), stragglers)
-			for _, id := range stragglers {
-				isStraggler[id] = true
-			}
-			for _, id := range invited {
-				if !isStraggler[id] {
-					completed = append(completed, id)
-				}
-			}
-			for _, id := range stragglers {
-				isStraggler[id] = false
-			}
-		}
-
-		fb.Round = round
-		fb.Selected = invited
-		fb.Completed = completed
-		fb.Stragglers = stragglers
-		clear(fb.MeanLoss)
-		clear(fb.SqLoss)
-		clear(fb.Duration)
-		// Update delta vectors cost O(parties × params) allocations per
-		// round; materialize them only for selectors that declare they read
-		// them. Re-checked every round so a Swappable swap takes effect.
-		needsUpdates := false
-		if uc, ok := cfg.Selector.(UpdateConsumer); ok {
-			needsUpdates = uc.NeedsUpdates()
-		}
-		if !needsUpdates {
-			fb.Update = nil
-		} else if fb.Update == nil {
-			fb.Update = make(map[int]tensor.Vec, len(completed))
-		} else {
-			clear(fb.Update)
-		}
-
-		// Local training of all completed parties runs concurrently. The
-		// determinism contract: Split mutates the parent source, so every
-		// party stream is pre-split here in the sequential order; each worker
-		// then touches only its own replica, its own pre-split stream and its
-		// own slice index, and the aggregation below folds results in the
-		// same completed order the sequential path uses. Worker replicas are
-		// lazily cloned once and re-seeded from the global parameters each
-		// use — TrainLocal trains the replica's flat backing vector directly.
-		partyRngs = partyRngs[:0]
-		for _, id := range completed {
-			partyRngs = append(partyRngs, roundRng.Split(uint64(id)+0x1000))
-		}
-		if cap(locals) < len(completed) {
-			locals = make([]model.LocalResult, len(completed))
-		}
-		locals = locals[:len(completed)]
-		pool.ForEachWorker(len(completed), func(w, i int) {
-			party := cfg.Parties[completed[i]]
-			local := replicas[w]
-			if local == nil {
-				local = global.Clone()
-				replicas[w] = local
-			}
-			local.SetParams(globalParams)
-			locals[i] = model.TrainLocal(local, party.Data, sgd, globalParams, partyRngs[i])
-		})
-
-		updates = updates[:0]
-		weights = weights[:0]
-		var lossSum float64
-		for i, id := range completed {
-			party := cfg.Parties[id]
-			lr := locals[i]
-			params := lr.Params
-
-			if cfg.FedDynAlpha > 0 {
-				params = applyFedDyn(dynState, id, params, globalParams, cfg.FedDynAlpha)
-			}
-
-			updates = append(updates, params)
-			weights = append(weights, float64(lr.NumSamples))
-			fb.MeanLoss[id] = lr.MeanLoss
-			fb.SqLoss[id] = lr.SqLossMean
-			if useDevices {
-				fb.Duration[id] = durations[id]
-			} else {
-				fb.Duration[id] = party.Latency * float64(lr.Steps)
-			}
-			if needsUpdates {
-				fb.Update[id] = params.Sub(globalParams)
-			}
-			lossSum += lr.MeanLoss
-		}
-
-		// Round wall-clock: the server waits for its slowest completing
-		// party; when a deadline is configured and anyone missed it, the
-		// full deadline elapsed.
-		var roundTime float64
-		for _, id := range completed {
-			if d := fb.Duration[id]; d > roundTime {
-				roundTime = d
-			}
-		}
-		if useDevices && cfg.Deadline > 0 && len(stragglers) > 0 {
-			roundTime = cfg.Deadline
-		}
-		res.SimTime += roundTime
-
-		if len(updates) > 0 {
-			delta := WeightedAverageDelta(globalParams, updates, weights)
-			cfg.Optimizer.Apply(globalParams, delta)
-			global.SetParams(globalParams)
-		}
-
-		// Communication: every reachable invited party downloads the model
-		// (deadline-missers downloaded before timing out; offline parties
-		// never contacted the server); every completed party uploads an
-		// update.
-		roundBytes := paramBytes * int64(downloads+len(completed))
-		res.TotalCommBytes += roundBytes
-
-		cfg.Selector.Observe(fb)
-
-		if (round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1 {
-			stats := RoundStats{
-				Round:     round + 1,
-				Invited:   len(invited),
-				Completed: len(completed),
-				CommBytes: roundBytes,
-				RoundTime: roundTime,
-				SimTime:   res.SimTime,
-			}
-			if len(completed) > 0 {
-				stats.MeanLoss = lossSum / float64(len(completed))
-			}
-			correct, total := metrics.ShardedClassCounts(global, cfg.Test, cfg.NumClasses, pool)
-			stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)
-			stats.PerLabel = metrics.PerLabelRecallFromCounts(correct, total)
-			res.History = append(res.History, stats)
-			if stats.Accuracy > res.PeakAccuracy {
-				res.PeakAccuracy = stats.Accuracy
-			}
-			if cfg.TargetAccuracy > 0 && res.RoundsToTarget < 0 && stats.Accuracy >= cfg.TargetAccuracy {
-				res.RoundsToTarget = round + 1
-				res.TimeToTarget = res.SimTime
-			}
-		}
-
-		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && (round+1)%cfg.CheckpointEvery == 0 {
-			cp := &Checkpoint{
-				Round:          round + 1,
-				GlobalParams:   globalParams.Clone(),
-				OptimizerName:  cfg.Optimizer.Name(),
-				LearningRate:   sgd.LearningRate,
-				TotalCommBytes: res.TotalCommBytes,
-				PeakAccuracy:   res.PeakAccuracy,
-				RoundsToTarget: res.RoundsToTarget,
-				SimTime:        res.SimTime,
-				TimeToTarget:   res.TimeToTarget,
-				Seed:           cfg.Seed,
-			}
-			if adaptive, ok := cfg.Optimizer.(*Adaptive); ok {
-				cp.OptimizerMoment, cp.OptimizerSecondMoment = adaptive.State()
-			}
-			cfg.CheckpointSink(cp)
-		}
+	if err := policy.run(c); err != nil {
+		return nil, err
 	}
-
-	res.FinalParams = globalParams
-	return res, nil
+	c.res.FinalParams = c.globalParams
+	return c.res, nil
 }
 
 // simulateDeviceRound decides each invited party's fate from its device: a
@@ -578,16 +385,4 @@ func applyFedDyn(state map[int]tensor.Vec, id int, params, global tensor.Vec, al
 		}
 	}
 	return corrected
-}
-
-func dedupe(ids []int) []int {
-	seen := make(map[int]bool, len(ids))
-	out := ids[:0:0]
-	for _, id := range ids {
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, id)
-		}
-	}
-	return out
 }

@@ -39,3 +39,44 @@ func BenchmarkEngineRounds(b *testing.B) {
 	}
 	b.ReportMetric(float64(cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
 }
+
+// BenchmarkEngineAsync measures the event core's buffered (FedBuff-style)
+// path at the same bench scale as BenchmarkEngineRounds: 24 parties, 8
+// aggregation steps of K=4 arrivals with 8 parties in flight, sequential
+// workers. The arrivals/sec metric counts trained updates flowing through
+// the event queue per second — the async engine's throughput line in
+// BENCH_4.json.
+func BenchmarkEngineAsync(b *testing.B) {
+	const bufferK = 4
+	parties, test, spec := buildTestJob(b, 42, 24, 0.4)
+	cfg := Config{
+		Parties:         parties,
+		Test:            test.Samples,
+		NumClasses:      len(spec.LabelNames),
+		Factory:         model.LogRegFactory(spec.Dim, len(spec.LabelNames)),
+		Optimizer:       NewFedYogi(),
+		Selector:        &rotatingSelector{n: len(parties)},
+		Rounds:          8,
+		PartiesPerRound: 8,
+		SGD:             model.SGDConfig{LearningRate: 0.05, BatchSize: 16, LocalEpochs: 1},
+		EvalEvery:       4,
+		Parallelism:     1,
+		Aggregation:     Buffered{K: bufferK},
+		Seed:            42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var arrivals int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.History) == 0 {
+			b.Fatal("no history")
+		}
+		arrivals += bufferK * cfg.Rounds // K arrivals folded per aggregation step
+	}
+	b.ReportMetric(float64(cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	b.ReportMetric(float64(arrivals)/b.Elapsed().Seconds(), "arrivals/sec")
+}

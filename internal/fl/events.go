@@ -1,0 +1,455 @@
+package fl
+
+import (
+	"fmt"
+
+	"flips/internal/metrics"
+	"flips/internal/model"
+	"flips/internal/parallel"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// AggregationPolicy selects the engine's execution model: how local updates
+// are scheduled, collected and folded into the global model. The engine is a
+// discrete-event simulation core — trained updates travel as arrival events
+// through a deterministic queue keyed on simulated device time — and the
+// policy decides when the server aggregates:
+//
+//   - SyncRounds: the classic synchronization round. All invited parties are
+//     dispatched together, the server waits for every completing party, and
+//     updates fold in selection order (the paper's model; reproduces the
+//     pre-event-core engine bit-for-bit).
+//   - Buffered: FedBuff-style asynchronous aggregation. A fixed number of
+//     parties train concurrently; the server folds every K arrivals with
+//     staleness-discounted weights and immediately refills the pipeline, so
+//     slow devices never stall fast ones.
+//   - SemiSync: deadline-driven windows. Whatever arrived by the deadline is
+//     aggregated; parties still training carry over into later windows
+//     instead of being dropped, their updates discounted by staleness.
+//
+// The interface is sealed (policies need the unexported event core); the
+// three implementations above cover the synchronous, asynchronous and
+// semi-synchronous regimes of the mobile-FL literature.
+type AggregationPolicy interface {
+	// Name identifies the policy ("sync", "buffered", "semisync") in
+	// checkpoints and reports.
+	Name() string
+
+	run(c *eventCore) error
+}
+
+// PolicyByName maps a policy name to its implementation: "" or "sync" →
+// SyncRounds, "buffered" → Buffered{K: bufferSize, StalenessHalfLife:
+// halfLife}, "semisync" → SemiSync{StalenessHalfLife: halfLife}.
+func PolicyByName(name string, bufferSize int, halfLife float64) (AggregationPolicy, error) {
+	switch name {
+	case "", "sync":
+		return SyncRounds{}, nil
+	case "buffered":
+		return Buffered{K: bufferSize, StalenessHalfLife: halfLife}, nil
+	case "semisync":
+		return SemiSync{StalenessHalfLife: halfLife}, nil
+	default:
+		return nil, fmt.Errorf("fl: unknown aggregation policy %q (valid: sync, buffered, semisync)", name)
+	}
+}
+
+// pendingUpdate is one trained local update in flight between dispatch and
+// aggregation. Training runs eagerly at dispatch time (the simulated
+// duration is analytic, so the numeric result never depends on when the
+// arrival event is processed); the event queue then delivers the finished
+// update at its simulated arrival time.
+type pendingUpdate struct {
+	party int
+	// update is the trained parameter payload. Its meaning is
+	// policy-defined: SyncRounds stores the raw trained parameters x_i (the
+	// historical WeightedAverageDelta fold subtracts the current global
+	// model, preserving the pre-event-core float order); the async policies
+	// store the dispatch-time delta x_i − m^(v) because by aggregation time
+	// the global model has moved on.
+	update tensor.Vec
+	// weight is the FedAvg aggregation weight n_i.
+	weight float64
+	// version is the server model version at dispatch; staleness at
+	// aggregation is the number of versions applied since.
+	version int
+	// arrival is the absolute simulated arrival time; duration the party's
+	// simulated round wall-clock (compute + transfer, or the legacy
+	// latency × steps proxy).
+	arrival, duration float64
+	meanLoss, sqLoss  float64
+	steps             int
+}
+
+// event is one scheduled arrival in the simulation queue.
+type event struct {
+	time float64
+	// seq breaks time ties in push order, which is deterministic (pushes
+	// happen on the policy goroutine in dispatch order), so the queue's pop
+	// order is a pure function of the seed at every engine parallelism.
+	seq uint64
+	up  *pendingUpdate
+}
+
+// eventQueue is a binary min-heap of events ordered by (time, seq). A
+// hand-rolled value heap instead of container/heap: no interface boxing, no
+// per-push allocations once the backing slice has grown.
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+func (q *eventQueue) peek() event { return q.items[0] }
+
+// eventBefore is the queue's total order — time, then push sequence. It is
+// the single source of truth for event ordering: the heap and the
+// checkpoint serializer (captureAsyncState) both use it, so "InFlight in
+// pop order" can never drift from the live queue's tie-breaks.
+func eventBefore(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	return eventBefore(q.items[i], q.items[j])
+}
+
+func (q *eventQueue) push(e event) {
+	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = event{} // drop the pointer for GC
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.items) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}
+
+// eventCore is the engine state shared by every aggregation policy: the
+// global model and optimizer, the simulated clock and event queue, the
+// worker pool with its per-worker model replicas and training scratch, and
+// the per-cycle reusable buffers that keep the round loop allocation-free.
+type eventCore struct {
+	cfg          *Config
+	res          *Result
+	root         *rng.Source
+	global       model.Model
+	globalParams tensor.Vec
+	sgd          model.SGDConfig
+	pool         *parallel.Pool
+	useDevices   bool
+	paramBytes   int64
+	dynState     map[int]tensor.Vec
+
+	// Event-clock state. clock is the absolute simulated now; version counts
+	// applied aggregations (the staleness reference); waves counts selection
+	// waves, which is also the root-RNG split cursor (wave w draws from
+	// root.Split(w+1), so checkpoint resume can fast-forward the stream).
+	queue   eventQueue
+	seq     uint64
+	clock   float64
+	version int
+	waves   int
+
+	// Per-worker training state: one model replica and one training scratch
+	// per pool worker, lazily cloned, reused across all cycles.
+	replicas  []model.Model
+	scratches []model.TrainScratch
+
+	// Reusable per-cycle scratch.
+	seen        []bool // dedupe bitmap, len parties
+	invited     []int  // dedupe output, reused
+	durations   []float64
+	isStraggler []bool
+	completed   []int
+	stragglers  []int
+	dispatched  []int // async: parties dispatched this wave
+	fb          RoundFeedback
+	partyRngs   []*rng.Source
+	locals      []model.LocalResult
+	updates     []tensor.Vec
+	weights     []float64
+	delta       tensor.Vec // aggregation accumulator, len params
+	// pendingPool backs SyncRounds' per-round pendingUpdate records (async
+	// updates outlive the cycle and are allocated individually);
+	// pendingByParty indexes the drained records for the selection-order
+	// fold.
+	pendingPool    []pendingUpdate
+	pendingByParty []*pendingUpdate
+
+	// Async bookkeeping: which parties are reserved (training, or arrived
+	// but not yet aggregated — their arrival event is or was queued), and
+	// the selection/offline/bytes accumulators for the current aggregation
+	// cycle. selectedMark/offlineMark dedupe the accumulators across the
+	// cycle's waves, preserving the sync-mode feedback invariant that
+	// Stragglers is a duplicate-free subset of Selected.
+	inFlight      []bool
+	inFlightCount int
+	cycleSelected []int
+	cycleOffline  []int
+	selectedMark  []bool
+	offlineMark   []bool
+	cycleBytes    int64
+}
+
+func newEventCore(cfg *Config) *eventCore {
+	root := rng.New(cfg.Seed)
+	global := cfg.Factory(root.Split(0xF0))
+	cfg.Optimizer.Reset()
+
+	c := &eventCore{
+		cfg:          cfg,
+		res:          &Result{RoundsToTarget: -1, TimeToTarget: -1},
+		root:         root,
+		global:       global,
+		globalParams: global.Params(),
+		sgd:          cfg.SGD.WithDefaults(),
+		paramBytes:   int64(global.NumParams()) * 8,
+		useDevices:   len(cfg.Parties) > 0 && cfg.Parties[0].Device != nil,
+	}
+	if cfg.FedDynAlpha > 0 {
+		c.dynState = make(map[int]tensor.Vec, len(cfg.Parties))
+	}
+	// Pin the worker width for the whole run: Pool.Width() re-reads
+	// GOMAXPROCS per call, and the per-worker replica table must not be
+	// outgrown if the process's CPU budget changes mid-job.
+	c.pool = parallel.New(parallel.New(cfg.Parallelism).Width())
+	c.replicas = make([]model.Model, c.pool.Width())
+	c.scratches = make([]model.TrainScratch, c.pool.Width())
+
+	n := len(cfg.Parties)
+	c.seen = make([]bool, n)
+	c.durations = make([]float64, n)
+	c.isStraggler = make([]bool, n)
+	c.completed = make([]int, 0, cfg.PartiesPerRound)
+	c.stragglers = make([]int, 0, cfg.PartiesPerRound)
+	c.fb = RoundFeedback{
+		MeanLoss: make(map[int]float64, cfg.PartiesPerRound),
+		SqLoss:   make(map[int]float64, cfg.PartiesPerRound),
+		Duration: make(map[int]float64, cfg.PartiesPerRound),
+	}
+	c.delta = tensor.NewVec(len(c.globalParams))
+	c.pendingByParty = make([]*pendingUpdate, n)
+	c.inFlight = make([]bool, n)
+	c.selectedMark = make([]bool, n)
+	c.offlineMark = make([]bool, n)
+	return c
+}
+
+// restoreCommon applies the policy-independent checkpoint state: global
+// parameters, optimizer moments, decayed learning rate and the result
+// accounting. Returns the number of completed aggregation steps.
+func (c *eventCore) restoreCommon(cp *Checkpoint) int {
+	copy(c.globalParams, cp.GlobalParams)
+	c.global.SetParams(c.globalParams)
+	if adaptive, ok := c.cfg.Optimizer.(*Adaptive); ok {
+		adaptive.SetState(cp.OptimizerMoment, cp.OptimizerSecondMoment)
+	}
+	c.sgd.LearningRate = cp.LearningRate
+	c.res.TotalCommBytes = cp.TotalCommBytes
+	c.res.PeakAccuracy = cp.PeakAccuracy
+	c.res.RoundsToTarget = cp.RoundsToTarget
+	c.res.SimTime = cp.SimTime
+	// Pre-device checkpoints omit TimeToTarget (decoding to 0); the target
+	// is reached in time iff it is reached in rounds, so the rounds counter
+	// is authoritative.
+	if c.res.RoundsToTarget >= 0 {
+		c.res.TimeToTarget = cp.TimeToTarget
+	}
+	return cp.Round
+}
+
+// decayLR applies the configured learning-rate decay at aggregation step r
+// (0-based), matching the historical per-round schedule.
+func (c *eventCore) decayLR(r int) {
+	if c.cfg.LRDecayEvery > 0 && r > 0 && r%c.cfg.LRDecayEvery == 0 {
+		factor := c.cfg.LRDecayFactor
+		if factor <= 0 || factor > 1 {
+			factor = 0.9
+		}
+		c.sgd.LearningRate *= factor
+	}
+}
+
+// selectParties invokes the selector for step round, dedupes the returned
+// IDs into the reusable invited buffer (first occurrence wins, preserving
+// order) and range-checks them. The returned slice is engine-owned scratch,
+// valid until the next call.
+func (c *eventCore) selectParties(round, target int) ([]int, error) {
+	ids := c.cfg.Selector.Select(round, target)
+	c.invited = c.invited[:0]
+	for _, id := range ids {
+		if id < 0 || id >= len(c.cfg.Parties) {
+			// Unwind the seen bitmap before erroring.
+			for _, ok := range c.invited {
+				c.seen[ok] = false
+			}
+			return nil, fmt.Errorf("fl: selector %q returned out-of-range party %d at round %d",
+				c.cfg.Selector.Name(), id, round)
+		}
+		if !c.seen[id] {
+			c.seen[id] = true
+			c.invited = append(c.invited, id)
+		}
+	}
+	for _, id := range c.invited {
+		c.seen[id] = false
+	}
+	return c.invited, nil
+}
+
+// prepareFeedback resets the reusable feedback maps for a new aggregation
+// cycle and re-gates Update materialization for the current selector
+// (re-checked every cycle so a Swappable swap takes effect).
+func (c *eventCore) prepareFeedback(round int) (needsUpdates bool) {
+	c.fb.Round = round
+	clear(c.fb.MeanLoss)
+	clear(c.fb.SqLoss)
+	clear(c.fb.Duration)
+	if c.fb.Staleness != nil {
+		clear(c.fb.Staleness)
+	}
+	if uc, ok := c.cfg.Selector.(UpdateConsumer); ok {
+		needsUpdates = uc.NeedsUpdates()
+	}
+	if !needsUpdates {
+		c.fb.Update = nil
+	} else if c.fb.Update == nil {
+		c.fb.Update = make(map[int]tensor.Vec, cap(c.completed))
+	} else {
+		clear(c.fb.Update)
+	}
+	return needsUpdates
+}
+
+// trainBatch trains the given parties concurrently against the current
+// global parameters and deposits results into c.locals (index-addressed, in
+// ids order). The determinism contract: Split mutates the parent source, so
+// every party stream is pre-split here in the sequential order
+// (wr.Split(id+0x1000)); each worker then touches only its own replica, its
+// own scratch, its own pre-split stream and its own slice index.
+func (c *eventCore) trainBatch(ids []int, wr *rng.Source) {
+	c.partyRngs = c.partyRngs[:0]
+	for _, id := range ids {
+		c.partyRngs = append(c.partyRngs, wr.Split(uint64(id)+0x1000))
+	}
+	if cap(c.locals) < len(ids) {
+		c.locals = make([]model.LocalResult, len(ids))
+	}
+	c.locals = c.locals[:len(ids)]
+	c.pool.ForEachWorker(len(ids), func(w, i int) {
+		party := c.cfg.Parties[ids[i]]
+		local := c.replicas[w]
+		if local == nil {
+			local = c.global.Clone()
+			c.replicas[w] = local
+		}
+		local.SetParams(c.globalParams)
+		c.locals[i] = model.TrainLocalScratch(local, party.Data, c.sgd, c.globalParams, c.partyRngs[i], &c.scratches[w])
+	})
+}
+
+// push schedules an arrival event for up.
+func (c *eventCore) push(up *pendingUpdate) {
+	c.queue.push(event{time: up.arrival, seq: c.seq, up: up})
+	c.seq++
+}
+
+// applyDelta folds c.delta into the global model through the server
+// optimizer and bumps the model version.
+func (c *eventCore) applyDelta() {
+	c.cfg.Optimizer.Apply(c.globalParams, c.delta)
+	c.global.SetParams(c.globalParams)
+	c.version++
+}
+
+// maybeEval evaluates the global model and appends a history entry when
+// 0-based step hits the evaluation cadence (or is the final step). SimTime
+// is read from res.SimTime, which the policy keeps current; TimeToTarget is
+// therefore comparable across aggregation modes — it is the simulated
+// event-clock value at the evaluation that first crossed the target.
+func (c *eventCore) maybeEval(step, invited, completed int, commBytes int64, meanLoss, roundTime float64) {
+	if (step+1)%c.cfg.EvalEvery != 0 && step != c.cfg.Rounds-1 {
+		return
+	}
+	stats := RoundStats{
+		Round:     step + 1,
+		Invited:   invited,
+		Completed: completed,
+		CommBytes: commBytes,
+		MeanLoss:  meanLoss,
+		RoundTime: roundTime,
+		SimTime:   c.res.SimTime,
+	}
+	correct, total := metrics.ShardedClassCounts(c.global, c.cfg.Test, c.cfg.NumClasses, c.pool)
+	stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)
+	stats.PerLabel = metrics.PerLabelRecallFromCounts(correct, total)
+	c.res.History = append(c.res.History, stats)
+	if stats.Accuracy > c.res.PeakAccuracy {
+		c.res.PeakAccuracy = stats.Accuracy
+	}
+	if c.cfg.TargetAccuracy > 0 && c.res.RoundsToTarget < 0 && stats.Accuracy >= c.cfg.TargetAccuracy {
+		c.res.RoundsToTarget = step + 1
+		c.res.TimeToTarget = c.res.SimTime
+	}
+}
+
+// maybeCheckpoint emits a checkpoint when 0-based step hits the checkpoint
+// cadence. async, when non-nil, snapshots the event-clock state (in-flight
+// updates, wave cursor) that asynchronous policies need to resume.
+func (c *eventCore) maybeCheckpoint(step int, policy AggregationPolicy, async func() *AsyncState) {
+	cfg := c.cfg
+	if cfg.CheckpointEvery <= 0 || cfg.CheckpointSink == nil || (step+1)%cfg.CheckpointEvery != 0 {
+		return
+	}
+	cp := &Checkpoint{
+		Round:          step + 1,
+		GlobalParams:   c.globalParams.Clone(),
+		OptimizerName:  cfg.Optimizer.Name(),
+		Aggregation:    policy.Name(),
+		LearningRate:   c.sgd.LearningRate,
+		TotalCommBytes: c.res.TotalCommBytes,
+		PeakAccuracy:   c.res.PeakAccuracy,
+		RoundsToTarget: c.res.RoundsToTarget,
+		SimTime:        c.res.SimTime,
+		TimeToTarget:   c.res.TimeToTarget,
+		Seed:           cfg.Seed,
+	}
+	if adaptive, ok := cfg.Optimizer.(*Adaptive); ok {
+		cp.OptimizerMoment, cp.OptimizerSecondMoment = adaptive.State()
+	}
+	if async != nil {
+		cp.Async = async()
+	}
+	cfg.CheckpointSink(cp)
+}

@@ -186,9 +186,27 @@ func checkGolden(t *testing.T, name string, cfg Config) {
 	}
 }
 
+// goldenAsyncConfig is the async pin: FedBuff-style buffered aggregation
+// (K=3, staleness half-life 2) over the same churn fleet as the device pin.
+// It freezes one asynchronous trajectory — arrival ordering, staleness
+// discounts and the event clock included — so event-core changes cannot
+// silently shift the async science.
+func goldenAsyncConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := goldenDeviceConfig(t)
+	cfg.Deadline = 0
+	cfg.Aggregation = Buffered{K: 3, StalenessHalfLife: 2}
+	return cfg
+}
+
 func TestGoldenLegacyRun(t *testing.T) {
 	t.Parallel()
 	checkGolden(t, "golden_legacy.json", goldenLegacyConfig(t))
+}
+
+func TestGoldenAsyncRun(t *testing.T) {
+	t.Parallel()
+	checkGolden(t, "golden_async.json", goldenAsyncConfig(t))
 }
 
 func TestGoldenDeviceRun(t *testing.T) {
@@ -201,7 +219,7 @@ func TestGoldenDeviceRun(t *testing.T) {
 // sequential goldens at width 8 too.
 func TestGoldenRunsAreParallelismInvariant(t *testing.T) {
 	t.Parallel()
-	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig} {
+	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig} {
 		seq := mk(t)
 		seq.Parallelism = 1
 		par := mk(t)

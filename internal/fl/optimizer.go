@@ -158,21 +158,62 @@ func sign(x float64) float64 {
 // simply vanish from the average (paper Algorithm 1 line 43).
 func WeightedAverageDelta(global tensor.Vec, updates []tensor.Vec, weights []float64) tensor.Vec {
 	delta := tensor.NewVec(len(global))
+	WeightedAverageDeltaInto(delta, global, updates, weights)
+	return delta
+}
+
+// WeightedAverageDeltaInto is WeightedAverageDelta accumulating into the
+// caller-provided dst (len(global)), which is zeroed first — the engine
+// reuses one buffer across rounds instead of allocating a parameter-sized
+// vector per round. The accumulation order (update-major, parameter-minor)
+// is identical to the historical allocating version, so results are
+// bit-exact.
+func WeightedAverageDeltaInto(dst, global tensor.Vec, updates []tensor.Vec, weights []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	if len(updates) == 0 {
-		return delta
+		return
 	}
 	var total float64
 	for _, w := range weights {
 		total += w
 	}
 	if total == 0 {
-		return delta
+		return
 	}
 	for j, u := range updates {
 		w := weights[j] / total
-		for i := range delta {
-			delta[i] += w * (u[i] - global[i])
+		for i := range dst {
+			dst[i] += w * (u[i] - global[i])
 		}
 	}
-	return delta
+}
+
+// WeightedDeltaInto folds pre-computed update deltas (x_i − m^(v_i), taken
+// against each update's own dispatch-time model) into dst as their
+// weighted average: dst[i] = Σ_j (w_j/Σw) δ_j[i]. This is the async
+// aggregation rule — unlike WeightedAverageDeltaInto it does not subtract
+// the current global model, because buffered/semi-sync deltas were already
+// taken against the (possibly stale) model their party downloaded.
+func WeightedDeltaInto(dst tensor.Vec, deltas []tensor.Vec, weights []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(deltas) == 0 {
+		return
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return
+	}
+	for j, d := range deltas {
+		w := weights[j] / total
+		for i := range dst {
+			dst[i] += w * d[i]
+		}
+	}
 }

@@ -75,7 +75,7 @@ func BuildParties(ds *dataset.Dataset, part *partition.Partition, latencySigma f
 // streams follow.
 func AttachDevices(parties []*Party, cfg device.Config, r *rng.Source) {
 	for _, p := range parties {
-		p.Device = device.New(cfg, r.Split(uint64(p.ID)+1))
+		p.Device = device.NewForParty(cfg, p.ID, r.Split(uint64(p.ID)+1))
 	}
 }
 

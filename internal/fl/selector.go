@@ -52,8 +52,17 @@ type RoundFeedback struct {
 	// tiering signal and Oort's systemic-utility signal.
 	Duration map[int]float64
 	// Update maps completed party ID -> parameter delta x_i - m
-	// (GradClus's clustering signal). It is nil unless the selector
-	// declares the UpdateConsumer capability. Shared storage: treat as
-	// read-only and clone anything retained past Observe.
+	// (GradClus's clustering signal). Under the async policies m is the
+	// model version the party downloaded at dispatch, not the current one.
+	// It is nil unless the selector declares the UpdateConsumer capability.
+	// Shared storage: treat as read-only and clone anything retained past
+	// Observe.
 	Update map[int]tensor.Vec
+	// Staleness maps completed party ID -> the number of server model
+	// versions applied between the party's dispatch and its aggregation.
+	// Under SyncRounds every update is fresh and the map is nil; the async
+	// policies fill it (feedback is arrival-driven there: a party appears
+	// in Completed at the aggregation step its update arrived, which can be
+	// several model versions after it was selected).
+	Staleness map[int]int
 }

@@ -1,0 +1,176 @@
+package fl
+
+import "fmt"
+
+// SyncRounds is the classic synchronous execution model (the paper's
+// setting, and the default): every round invites a cohort, the server waits
+// for all completing parties, and their updates are folded together in one
+// aggregation step.
+//
+// Running on the event core changes nothing observable: the policy consumes
+// the exact RNG stream of the pre-event-core engine (round stream split, the
+// 0x5A straggler/availability stream, then per-party 0x1000+id training
+// streams, in that order) and folds updates in selection order, so the
+// committed goldens in testdata/ reproduce byte-for-byte. The event queue
+// still carries every update: arrivals are scheduled at clock+duration,
+// drained in (time, seq) order, and the round wall-clock is the slowest
+// drained arrival — the sync policy is simply the one whose aggregation
+// barrier is "everything arrived".
+type SyncRounds struct{}
+
+// Name implements AggregationPolicy.
+func (SyncRounds) Name() string { return "sync" }
+
+func (p SyncRounds) run(c *eventCore) error {
+	cfg := c.cfg
+	startRound := 0
+	if cfg.Resume != nil {
+		startRound = c.restoreCommon(cfg.Resume)
+		// Fast-forward the root RNG so per-round streams match an
+		// uninterrupted run of the same seed.
+		for r := 0; r < startRound; r++ {
+			c.root.Split(uint64(r) + 1)
+		}
+		c.waves = startRound
+		c.clock = c.res.SimTime
+	}
+
+	for round := startRound; round < cfg.Rounds; round++ {
+		roundRng := c.root.Split(uint64(round) + 1)
+		c.waves++
+
+		if cfg.BeforeRound != nil {
+			cfg.BeforeRound(round, cfg.Parties)
+		}
+		c.decayLR(round)
+
+		invited, err := c.selectParties(round, cfg.PartiesPerRound)
+		if err != nil {
+			return err
+		}
+		if len(invited) == 0 {
+			return fmt.Errorf("fl: selector %q returned no parties at round %d", cfg.Selector.Name(), round)
+		}
+
+		c.completed, c.stragglers = c.completed[:0], c.stragglers[:0]
+		downloads := len(invited)
+		if c.useDevices {
+			c.completed, c.stragglers, downloads = simulateDeviceRound(cfg, invited, c.sgd, c.paramBytes, round, roundRng.Split(0x5A), c.completed, c.stragglers, c.durations)
+		} else {
+			c.stragglers = pickStragglers(*cfg, invited, roundRng.Split(0x5A), c.stragglers)
+			for _, id := range c.stragglers {
+				c.isStraggler[id] = true
+			}
+			for _, id := range invited {
+				if !c.isStraggler[id] {
+					c.completed = append(c.completed, id)
+				}
+			}
+			for _, id := range c.stragglers {
+				c.isStraggler[id] = false
+			}
+		}
+		completed, stragglers := c.completed, c.stragglers
+
+		needsUpdates := c.prepareFeedback(round)
+		c.fb.Selected = invited
+		c.fb.Completed = completed
+		c.fb.Stragglers = stragglers
+
+		// Local training of all completed parties runs concurrently; worker
+		// replicas are lazily cloned once and re-seeded from the global
+		// parameters each use (see trainBatch for the determinism contract).
+		c.trainBatch(completed, roundRng)
+
+		// Schedule every completing party's arrival. Sync pending records
+		// live in a per-round pooled slice (they never outlive the round)
+		// and carry the raw trained parameters: the fold below subtracts the
+		// current global model exactly as the historical aggregation did.
+		if cap(c.pendingPool) < len(completed) {
+			c.pendingPool = make([]pendingUpdate, len(completed))
+		}
+		c.pendingPool = c.pendingPool[:len(completed)]
+		for i, id := range completed {
+			lr := c.locals[i]
+			d := c.durations[id]
+			if !c.useDevices {
+				d = cfg.Parties[id].Latency * float64(lr.Steps)
+				c.durations[id] = d
+			}
+			c.pendingPool[i] = pendingUpdate{
+				party:    id,
+				update:   lr.Params,
+				weight:   float64(lr.NumSamples),
+				version:  c.version,
+				arrival:  c.clock + d,
+				duration: d,
+				meanLoss: lr.MeanLoss,
+				sqLoss:   lr.SqLossMean,
+				steps:    lr.Steps,
+			}
+			c.push(&c.pendingPool[i])
+		}
+
+		// Drain the whole round — the sync barrier. The round wall-clock is
+		// the slowest completing party; when a deadline is configured and
+		// anyone missed it, the full deadline elapsed.
+		var roundTime float64
+		for c.queue.len() > 0 {
+			ev := c.queue.pop()
+			c.pendingByParty[ev.up.party] = ev.up
+			if ev.up.duration > roundTime {
+				roundTime = ev.up.duration
+			}
+		}
+		if c.useDevices && cfg.Deadline > 0 && len(stragglers) > 0 {
+			roundTime = cfg.Deadline
+		}
+		c.res.SimTime += roundTime
+		c.clock = c.res.SimTime
+
+		// Fold in selection order — floating-point addition is not
+		// associative, and the byte-exact contract with the pre-event-core
+		// engine (and with sequential runs at every parallelism) pins this
+		// order, not arrival order.
+		c.updates, c.weights = c.updates[:0], c.weights[:0]
+		var lossSum float64
+		for _, id := range completed {
+			up := c.pendingByParty[id]
+			params := up.update
+			if cfg.FedDynAlpha > 0 {
+				params = applyFedDyn(c.dynState, id, params, c.globalParams, cfg.FedDynAlpha)
+			}
+			c.updates = append(c.updates, params)
+			c.weights = append(c.weights, up.weight)
+			c.fb.MeanLoss[id] = up.meanLoss
+			c.fb.SqLoss[id] = up.sqLoss
+			c.fb.Duration[id] = up.duration
+			if needsUpdates {
+				c.fb.Update[id] = params.Sub(c.globalParams)
+			}
+			lossSum += up.meanLoss
+		}
+
+		if len(c.updates) > 0 {
+			WeightedAverageDeltaInto(c.delta, c.globalParams, c.updates, c.weights)
+			c.applyDelta()
+		}
+
+		// Communication: every reachable invited party downloads the model
+		// (deadline-missers downloaded before timing out; offline parties
+		// never contacted the server); every completed party uploads an
+		// update.
+		roundBytes := c.paramBytes * int64(downloads+len(completed))
+		c.res.TotalCommBytes += roundBytes
+
+		cfg.Selector.Observe(c.fb)
+
+		var meanLoss float64
+		if len(completed) > 0 {
+			meanLoss = lossSum / float64(len(completed))
+		}
+		c.maybeEval(round, len(invited), len(completed), roundBytes, meanLoss, roundTime)
+		c.maybeCheckpoint(round, p, nil)
+	}
+	return nil
+}

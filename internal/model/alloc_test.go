@@ -84,6 +84,56 @@ func TestTrainLocalStepsAddNoAllocs(t *testing.T) {
 	}
 }
 
+// TestTrainLocalScratchReuse pins the per-worker scratch contract (ISSUE 4):
+// with a warm TrainScratch, TrainLocalScratch's only remaining allocation is
+// the result-parameter clone — the gradient buffer, shuffle order and
+// permuted sample walk all come from the scratch.
+func TestTrainLocalScratchReuse(t *testing.T) {
+	data := randomBatch(rng.New(10), 96, 16, 5)
+	for name, m := range steadyStateModels(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			cfg := SGDConfig{LearningRate: 0.01, BatchSize: 16, LocalEpochs: 2}
+			var scratch TrainScratch
+			TrainLocalScratch(m, data, cfg, nil, rng.New(77), &scratch) // warm the buffers
+			allocs := testing.AllocsPerRun(20, func() {
+				TrainLocalScratch(m, data, cfg, nil, rng.New(77), &scratch)
+			})
+			// One tensor.Vec clone for LocalResult.Params (header + backing).
+			if allocs > 2 {
+				t.Fatalf("warm-scratch TrainLocalScratch allocated %v times, want <= 2 (result clone only)", allocs)
+			}
+		})
+	}
+}
+
+// TestTrainLocalScratchMatchesTrainLocal pins bit-equivalence: the scratch
+// path must reproduce the throwaway-buffer path exactly (same RNG
+// consumption, same float order).
+func TestTrainLocalScratchMatchesTrainLocal(t *testing.T) {
+	data := randomBatch(rng.New(11), 64, 16, 5)
+	for name, m := range steadyStateModels(t) {
+		m := m
+		t.Run(name, func(t *testing.T) {
+			cfg := SGDConfig{LearningRate: 0.01, BatchSize: 16, LocalEpochs: 2}
+			start := m.Params()
+			a := TrainLocal(m, data, cfg, nil, rng.New(7))
+			m.SetParams(start)
+			var scratch TrainScratch
+			scratch.ensure(m.NumParams()+3, len(data)+5) // oversized scratch must not matter
+			b := TrainLocalScratch(m, data, cfg, nil, rng.New(7), &scratch)
+			if a.MeanLoss != b.MeanLoss || a.SqLossMean != b.SqLossMean || a.Steps != b.Steps {
+				t.Fatalf("scalar results diverge: %+v vs %+v", a, b)
+			}
+			for i := range a.Params {
+				if a.Params[i] != b.Params[i] {
+					t.Fatalf("param %d: %v vs %v", i, a.Params[i], b.Params[i])
+				}
+			}
+		})
+	}
+}
+
 // TestPredictZeroAllocs pins the evaluation path: Predict reuses the model's
 // forward scratch, so sharded evaluation costs one clone per shard and then
 // nothing per sample.

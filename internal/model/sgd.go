@@ -56,21 +56,57 @@ type LocalResult struct {
 	Steps int
 }
 
+// TrainScratch holds TrainLocal's reusable per-call buffers (gradient,
+// shuffle order, pre-permuted sample walk). The zero value is ready to use;
+// buffers grow to the largest (param-dim, dataset-size) seen and are then
+// reused, so a long-lived caller — the FL engine keeps one per pool worker
+// next to its model replica — pays no per-call setup allocations. A scratch
+// must not be shared between concurrent TrainLocalScratch calls.
+type TrainScratch struct {
+	grad  tensor.Vec
+	order []int
+	perm  []dataset.Sample
+}
+
+func (s *TrainScratch) ensure(paramDim, n int) {
+	if cap(s.grad) < paramDim {
+		s.grad = tensor.NewVec(paramDim)
+	}
+	s.grad = s.grad[:paramDim]
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+	s.order = s.order[:n]
+	if cap(s.perm) < n {
+		s.perm = make([]dataset.Sample, n)
+	}
+	s.perm = s.perm[:n]
+}
+
 // TrainLocal runs cfg.LocalEpochs epochs of minibatch SGD on data starting
 // from the model's current parameters and returns the resulting parameters.
 // globalParams (may be nil when ProxMu is 0) anchors the FedProx proximal
 // term. The model's parameters are mutated in place; callers pass a clone
-// (or per-worker replica) seeded with the round's global model.
+// (or per-worker replica) seeded with the round's global model. It is
+// TrainLocalScratch with a throwaway scratch.
+func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tensor.Vec, r *rng.Source) LocalResult {
+	var s TrainScratch
+	return TrainLocalScratch(m, data, cfg, globalParams, r, &s)
+}
+
+// TrainLocalScratch is TrainLocal with caller-provided reusable buffers.
 //
 // The loop is the simulator's hottest kernel and is zero-allocation at
-// steady state: all per-call buffers (gradient, permutation) are allocated
-// once up front, each step runs one fused LossGradient forward/backward
-// pass, and for models backed by a flat parameter vector the SGD step is
-// applied directly to that backing — no per-step Params/SetParams copies.
-// Every float operation happens in the same order as the historical
+// steady state: all per-call buffers (gradient, permutation) come from the
+// scratch, each step runs one fused LossGradient forward/backward pass, and
+// for models backed by a flat parameter vector the SGD step is applied
+// directly to that backing — no per-step Params/SetParams copies. Every
+// float operation happens in the same order as the historical
 // Loss+Gradient/SetParams formulation, so results are bit-identical (the
-// golden suite in internal/fl/testdata pins this).
-func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tensor.Vec, r *rng.Source) LocalResult {
+// golden suite in internal/fl/testdata pins this); buffer reuse is safe
+// because LossGradient zeroes its output and the shuffle order is reset to
+// the identity on every call.
+func TrainLocalScratch(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tensor.Vec, r *rng.Source, scratch *TrainScratch) LocalResult {
 	cfg = cfg.WithDefaults()
 	n := len(data)
 	res := LocalResult{NumSamples: n}
@@ -92,15 +128,16 @@ func TrainLocal(m Model, data []dataset.Sample, cfg SGDConfig, globalParams tens
 	} else {
 		params = m.Params()
 	}
-	grad := tensor.NewVec(len(params))
-	order := make([]int, n)
+	scratch.ensure(len(params), n)
+	grad := scratch.grad
+	order := scratch.order
 	for i := range order {
 		order[i] = i
 	}
 	swap := func(i, j int) { order[i], order[j] = order[j], order[i] }
 	// Pre-permuted sample walk: one gather per epoch instead of one per
 	// minibatch; batches are then plain subslices of perm.
-	perm := make([]dataset.Sample, n)
+	perm := scratch.perm
 
 	var lossSum, sqLossSum float64
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
