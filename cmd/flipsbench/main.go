@@ -9,6 +9,7 @@
 //	flipsbench -exp async                  # aggregation-mode (sync/buffered/semisync) sweep
 //	flipsbench -exp async -trace t.csv     # ... replaying a real-world availability trace
 //	flipsbench -exp tee                    # TEE clustering overhead
+//	flipsbench -exp scale -shards 64       # fleet-scale sweep (1k/10k/100k parties)
 //	flipsbench -exp all-tables             # every table (12 grids)
 //	flipsbench -exp all-figures            # every figure
 //	flipsbench -exp all                    # everything
@@ -47,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	par := fs.Int("parallel", 0, "worker-pool width for grid cells, repeats, local training and eval shards (0 = GOMAXPROCS, 1 = sequential; results are identical at every width)")
+	shards := fs.Int("shards", 0, "aggregation shard count for every experiment and the scale sweep (0 = single shard; results are identical at every value)")
+	scaleParties := fs.String("scale-parties", "", "comma-separated population sizes for the scale sweep (default 1000,10000,100000)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after GC) to this file at exit")
@@ -91,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown scale %q (laptop or paper)", *scaleName)
 	}
 	scale.Parallelism = *par
+	scale.Shards = *shards
 
 	ids, err := expandExperiments(*exps)
 	if err != nil {
@@ -169,6 +173,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			table.Render(stdout)
 			fmt.Fprintln(stdout)
+		case id == "scale":
+			fmt.Fprintln(stderr, "running fleet-scale sweep (parties x shards)...")
+			sweep := experiment.ScaleSweep{Seed: *seed, Parallelism: *par}
+			if *shards > 0 {
+				sweep.Shards = []int{*shards}
+			}
+			parties, err := parseIntList(*scaleParties)
+			if err != nil {
+				return fmt.Errorf("-scale-parties: %w", err)
+			}
+			sweep.Parties = parties
+			table, err := experiment.RunScale(sweep, progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
 		case id == "tee":
 			fmt.Fprintln(stderr, "running tee overhead...")
 			res, err := experiment.RunTEEOverhead(scale, 5, *seed)
@@ -206,6 +227,7 @@ func expandExperiments(spec string) ([]string, error) {
 			}
 			add("het")
 			add("async")
+			add("scale")
 			add("tee")
 		case "all-tables":
 			for i := 1; i <= 24; i++ {
@@ -242,5 +264,27 @@ func expRank(id string) int {
 	if id == "async" {
 		return 160
 	}
+	if id == "scale" {
+		return 170
+	}
 	return 200
+}
+
+// parseIntList parses a comma-separated list of positive ints ("" -> nil).
+func parseIntList(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("population size %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

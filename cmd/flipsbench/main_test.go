@@ -13,7 +13,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1+1+1 {
+	if len(ids) != 24+10+1+1+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -22,11 +22,14 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
 	}
-	if ids[len(ids)-3] != "het" {
-		t.Fatalf("het not before async: %v", ids[len(ids)-3])
+	if ids[len(ids)-4] != "het" {
+		t.Fatalf("het not before async: %v", ids[len(ids)-4])
 	}
-	if ids[len(ids)-2] != "async" {
-		t.Fatalf("async not before tee: %v", ids[len(ids)-2])
+	if ids[len(ids)-3] != "async" {
+		t.Fatalf("async not before scale: %v", ids[len(ids)-3])
+	}
+	if ids[len(ids)-2] != "scale" {
+		t.Fatalf("scale not before tee: %v", ids[len(ids)-2])
 	}
 	if ids[len(ids)-1] != "tee" {
 		t.Fatalf("tee not last: %v", ids[len(ids)-1])
@@ -81,6 +84,37 @@ func TestRunHetExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "diurnal") {
 		t.Fatalf("missing diurnal row:\n%s", out.String())
+	}
+}
+
+func TestRunScaleExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	args := []string{"-exp", "scale", "-shards", "16", "-scale-parties", "300,3000", "-q"}
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Fleet-scale sweep") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "3000\t16\t") {
+		t.Fatalf("missing 3000-party x 16-shard cell:\n%s", got)
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	if got, err := parseIntList(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+	got, err := parseIntList(" 100, 2000 ")
+	if err != nil || len(got) != 2 || got[0] != 100 || got[1] != 2000 {
+		t.Fatalf("parsed %v, %v", got, err)
+	}
+	if _, err := parseIntList("10,x"); err == nil {
+		t.Fatal("accepted non-numeric population")
+	}
+	if _, err := parseIntList("0"); err == nil {
+		t.Fatal("accepted zero population")
 	}
 }
 

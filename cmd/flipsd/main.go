@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	selftest := fs.Bool("selftest", false, "run a short device-model FL simulation (clustering + selection + training pipeline) instead of serving, report time-to-target accuracy, and exit")
 	seed := fs.Uint64("seed", 1, "random seed for -selftest")
 	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
+	shards := fs.Int("shards", 0, "-selftest aggregation shard count (0 = single shard; results are identical at every value)")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	}
 
 	if *selftest {
-		return runSelftest(stdout, *seed, *par, *aggregation)
+		return runSelftest(stdout, *seed, *par, *aggregation, *shards)
 	}
 
 	code := tee.ClusteringCode{Version: *version, MaxK: *maxK, Repeats: *repeats}
@@ -102,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 // picks the execution model ("sync" rounds with a 3s deadline, "buffered"
 // FedBuff-style async, or "semisync" 3s windows), so a deployment can smoke
 // whichever mode it will run.
-func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string) error {
+func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int) error {
 	cfg := flips.SimulationConfig{
 		Dataset:       "mit-bih-ecg",
 		Strategy:      "flips",
@@ -113,6 +114,7 @@ func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string) err
 		Rounds:        20,
 		Parties:       24,
 		Parallelism:   par,
+		Shards:        shards,
 		Seed:          seed,
 	}
 	if aggregation == "buffered" {

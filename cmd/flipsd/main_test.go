@@ -102,3 +102,20 @@ func TestSelftestReportsTimeToAccuracy(t *testing.T) {
 		t.Fatalf("selftest accumulated no simulated time:\n%s", o)
 	}
 }
+
+// TestSelftestIsShardInvariant pins the public-stack half of the sharded
+// byte-exactness contract: the selftest report — accuracies, clocks,
+// rounds-to-target — must be identical at any -shards value.
+func TestSelftestIsShardInvariant(t *testing.T) {
+	t.Parallel()
+	var base, sharded, errBuf bytes.Buffer
+	if err := run([]string{"-selftest", "-seed", "3"}, &base, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-selftest", "-seed", "3", "-shards", "5"}, &sharded, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != sharded.String() {
+		t.Fatalf("selftest output moved under -shards 5:\n%s\nvs\n%s", base.String(), sharded.String())
+	}
+}

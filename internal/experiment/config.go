@@ -64,6 +64,10 @@ type Scale struct {
 	// GOMAXPROCS; 1 forces the sequential path. Results are bit-identical
 	// at every width.
 	Parallelism int
+	// Shards is the sweep-wide default aggregation shard count (the
+	// flipsbench -shards flag); a Setting's own Shards takes precedence.
+	// Results are bit-identical at every value.
+	Shards int
 }
 
 // LaptopScale finishes a full table in seconds on a laptop while preserving
@@ -117,6 +121,10 @@ type Setting struct {
 	// StalenessHalfLife is the async staleness discount half-life in model
 	// versions (0 uses the engine default of 4).
 	StalenessHalfLife float64
+	// Shards partitions the party population into deterministic shards for
+	// fleet-scale aggregation (see fl.Config.Shards); results are
+	// bit-identical at every value. 0 keeps a single shard.
+	Shards int
 	// TargetAccuracy defines the rounds-to-target metric for this dataset.
 	TargetAccuracy float64
 	// Seed fixes all randomness for the run.
@@ -296,6 +304,10 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 	if perRound < 1 {
 		perRound = 1
 	}
+	shards := setting.Shards
+	if shards == 0 {
+		shards = scale.Shards
+	}
 	policy, err := fl.PolicyByName(setting.Aggregation, setting.BufferSize, setting.StalenessHalfLife)
 	if err != nil {
 		return nil, err
@@ -319,6 +331,7 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 		EvalEvery:       max(scale.EvalEvery, 1),
 		TargetAccuracy:  setting.TargetAccuracy,
 		Parallelism:     scale.Parallelism,
+		Shards:          shards,
 		Aggregation:     policy,
 		Seed:            setting.Seed,
 	}

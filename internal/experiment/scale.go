@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"flips/internal/dataset"
+	"flips/internal/fl"
+	"flips/internal/metrics"
+	"flips/internal/model"
+	"flips/internal/rng"
+	"flips/internal/selection"
+)
+
+// The scale sweep measures the simulator itself instead of the science: how
+// many aggregation steps per second the engine sustains, and how much heap
+// it holds, as the party population and the shard count grow. This is the
+// fleet-scale acceptance harness — a 100k-party buffered run is one cell —
+// and the numbers feed BENCH_5.json.
+
+// ScaleSweep configures RunScale.
+type ScaleSweep struct {
+	// Parties lists the population sizes to sweep (default 1k, 10k, 100k).
+	Parties []int
+	// Shards lists the shard counts to cross with each population (default
+	// 1 and 64).
+	Shards []int
+	// Rounds is the aggregation-step budget per cell (default 8).
+	Rounds int
+	// PartiesPerRound is the concurrency M of the buffered pipeline
+	// (default 32).
+	PartiesPerRound int
+	// Repeats re-runs each cell and reports streaming mean ± std throughput
+	// (default 1).
+	Repeats int
+	// Strategy picks the selector: "random" (default) or "oort" — the two
+	// strategies whose fleet-scale paths are O(cohort), not O(population).
+	Strategy string
+	// Seed fixes the run.
+	Seed uint64
+	// Parallelism bounds the engine worker pool (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (s ScaleSweep) withDefaults() ScaleSweep {
+	if len(s.Parties) == 0 {
+		s.Parties = []int{1_000, 10_000, 100_000}
+	}
+	if len(s.Shards) == 0 {
+		s.Shards = []int{1, 64}
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 8
+	}
+	if s.PartiesPerRound <= 0 {
+		s.PartiesPerRound = 32
+	}
+	if s.Repeats <= 0 {
+		s.Repeats = 1
+	}
+	if s.Strategy == "" {
+		s.Strategy = StrategyRandom
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// ScaleCell is one (parties, shards) measurement.
+type ScaleCell struct {
+	Parties, Shards int
+	// RoundsPerSec is the wall-clock aggregation-step throughput (streaming
+	// mean over Repeats), with StdDev its spread.
+	RoundsPerSec, StdDev float64
+	// ArrivalsPerSec counts trained updates through the event queue per
+	// wall-clock second (streaming mean over Repeats).
+	ArrivalsPerSec float64
+	// ShardsTouched is the final evaluated round's shard-locality metric
+	// (identical on every repeat — the runs are deterministic).
+	ShardsTouched int
+	// AllocMB is the cumulative heap allocated by one run of the cell
+	// (runtime.MemStats.TotalAlloc delta, MB; streaming mean over Repeats).
+	AllocMB float64
+	// PeakHeapMB is the process heap high-water after the cell's repeats
+	// (max of runtime.MemStats.HeapSys, MB) — a peak-RSS proxy that grows
+	// monotonically across cells.
+	PeakHeapMB float64
+}
+
+// ScaleTable is the full parties × shards sweep result.
+type ScaleTable struct {
+	Rounds, PartiesPerRound, Repeats int
+	Strategy                         string
+	Cells                            []ScaleCell
+}
+
+// buildFleet materializes a synthetic party fleet of arbitrary size in O(n):
+// a small shared sample pool dealt to parties in wrapped slices (the engine
+// treats party data as read-only) and a deterministic latency spread with no
+// RNG, so a 100k-party construction costs milliseconds, not a dataset
+// generation.
+func buildFleet(parties, samplesPerParty int, seed uint64) ([]*fl.Party, *dataset.Dataset, dataset.Spec, error) {
+	spec := dataset.ECG().WithSizes(2048, 256)
+	train, test, err := dataset.Generate(spec, rng.New(seed))
+	if err != nil {
+		return nil, nil, spec, err
+	}
+	out := make([]*fl.Party, parties)
+	n := len(train.Samples)
+	for i := range out {
+		data := make([]dataset.Sample, samplesPerParty)
+		for j := range data {
+			data[j] = train.Samples[(i*samplesPerParty+j)%n]
+		}
+		out[i] = &fl.Party{ID: i, Data: data, Latency: 0.5 + 0.1*float64(i%7)}
+	}
+	return out, test, spec, nil
+}
+
+// scaleCellConfig assembles the buffered engine job for one sweep cell.
+func scaleCellConfig(sweep ScaleSweep, parties, shards int) (fl.Config, error) {
+	pool, test, spec, err := buildFleet(parties, 4, sweep.Seed)
+	if err != nil {
+		return fl.Config{}, err
+	}
+	var sel fl.Selector
+	r := rng.New(sweep.Seed ^ 0x5CA1E)
+	switch sweep.Strategy {
+	case StrategyRandom:
+		sel = selection.NewRandom(parties, r)
+	case StrategyOort:
+		sel = selection.NewOort(parties, nil, selection.OortConfig{}, r)
+	default:
+		return fl.Config{}, fmt.Errorf("experiment: scale sweep strategy %q (valid: random, oort)", sweep.Strategy)
+	}
+	perRound := sweep.PartiesPerRound
+	if perRound > parties {
+		perRound = parties
+	}
+	return fl.Config{
+		Parties:         pool,
+		Test:            test.Samples,
+		NumClasses:      len(spec.LabelNames),
+		Factory:         model.LogRegFactory(spec.Dim, len(spec.LabelNames)),
+		Optimizer:       &fl.FedAvg{},
+		Selector:        sel,
+		Rounds:          sweep.Rounds,
+		PartiesPerRound: perRound,
+		SGD:             model.SGDConfig{LearningRate: 0.05, BatchSize: 4, LocalEpochs: 1},
+		EvalEvery:       sweep.Rounds,
+		Parallelism:     sweep.Parallelism,
+		Shards:          shards,
+		Aggregation:     fl.Buffered{K: max(1, perRound/2)},
+		Seed:            sweep.Seed,
+	}, nil
+}
+
+// RunScale executes the parties × shards scale sweep. Cells run
+// sequentially — each one is a wall-clock measurement, so sharing cores
+// between cells would corrupt the numbers. progress (may be nil) receives
+// one line per completed cell.
+func RunScale(sweep ScaleSweep, progress func(string)) (*ScaleTable, error) {
+	sweep = sweep.withDefaults()
+	table := &ScaleTable{
+		Rounds:          sweep.Rounds,
+		PartiesPerRound: sweep.PartiesPerRound,
+		Repeats:         sweep.Repeats,
+		Strategy:        sweep.Strategy,
+	}
+	for _, parties := range sweep.Parties {
+		for _, shards := range sweep.Shards {
+			cell := ScaleCell{Parties: parties, Shards: shards}
+			// Every wall-clock metric streams over the repeats — a noisy
+			// final repeat must not become the headline number.
+			var thru, arrivals, alloc metrics.Stream
+			var before, after runtime.MemStats
+			for rep := 0; rep < sweep.Repeats; rep++ {
+				cfg, err := scaleCellConfig(sweep, parties, shards)
+				if err != nil {
+					return nil, err
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				res, err := fl.Run(cfg)
+				elapsed := time.Since(start).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("scale cell %dp/%ds: %w", parties, shards, err)
+				}
+				runtime.ReadMemStats(&after)
+				thru.Push(float64(cfg.Rounds) / elapsed)
+				k := 1
+				if b, ok := cfg.Aggregation.(fl.Buffered); ok {
+					k = b.K
+				}
+				arrivals.Push(float64(k*cfg.Rounds) / elapsed)
+				alloc.Push(float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20))
+				if peak := float64(after.HeapSys) / (1 << 20); peak > cell.PeakHeapMB {
+					cell.PeakHeapMB = peak
+				}
+				if len(res.History) > 0 {
+					// Deterministic: every repeat runs the same seed, so the
+					// locality metric is identical across repeats.
+					cell.ShardsTouched = res.History[len(res.History)-1].ShardsTouched
+				}
+			}
+			cell.RoundsPerSec = thru.Mean()
+			cell.StdDev = thru.Std()
+			cell.ArrivalsPerSec = arrivals.Mean()
+			cell.AllocMB = alloc.Mean()
+			table.Cells = append(table.Cells, cell)
+			if progress != nil {
+				progress(fmt.Sprintf("%dp x %ds -> %.0f rounds/sec, %.1f MB allocated", parties, shards, cell.RoundsPerSec, cell.AllocMB))
+			}
+		}
+	}
+	return table, nil
+}
+
+// Render writes the sweep as a text table.
+func (t *ScaleTable) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fleet-scale sweep: buffered aggregation, %d steps, %d in flight, strategy: %s, repeats: %d\n",
+		t.Rounds, t.PartiesPerRound, t.Strategy, t.Repeats)
+	fmt.Fprintln(w, strings.Join([]string{"parties", "shards", "rounds/sec", "±std", "arrivals/sec", "shards touched", "alloc MB", "peak heap MB"}, "\t"))
+	for _, c := range t.Cells {
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.0f\t%d\t%.1f\t%.1f\n",
+			c.Parties, c.Shards, c.RoundsPerSec, c.StdDev, c.ArrivalsPerSec, c.ShardsTouched, c.AllocMB, c.PeakHeapMB)
+	}
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"flips/internal/fl"
+)
+
+func testSweep() ScaleSweep {
+	return ScaleSweep{
+		Parties:         []int{200, 3000},
+		Shards:          []int{1, 16},
+		Rounds:          3,
+		PartiesPerRound: 8,
+		Repeats:         2,
+		Seed:            7,
+		Parallelism:     1,
+	}
+}
+
+func TestRunScaleSweep(t *testing.T) {
+	t.Parallel()
+	var lines []string
+	table, err := RunScale(testSweep(), func(msg string) { lines = append(lines, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(table.Cells))
+	}
+	if len(lines) != 4 {
+		t.Fatalf("progress reported %d cells", len(lines))
+	}
+	for _, c := range table.Cells {
+		if c.RoundsPerSec <= 0 {
+			t.Fatalf("cell %dp/%ds: non-positive throughput %v", c.Parties, c.Shards, c.RoundsPerSec)
+		}
+		if c.ShardsTouched < 1 || c.ShardsTouched > c.Shards {
+			t.Fatalf("cell %dp/%ds: shards touched %d", c.Parties, c.Shards, c.ShardsTouched)
+		}
+		if c.AllocMB < 0 || c.PeakHeapMB <= 0 {
+			t.Fatalf("cell %dp/%ds: memory accounting %v / %v", c.Parties, c.Shards, c.AllocMB, c.PeakHeapMB)
+		}
+	}
+	var sb strings.Builder
+	table.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Fleet-scale sweep") || !strings.Contains(out, "3000") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestRunScaleOortStrategy(t *testing.T) {
+	t.Parallel()
+	sweep := testSweep()
+	sweep.Parties = []int{3000}
+	sweep.Shards = []int{8}
+	sweep.Repeats = 1
+	sweep.Strategy = StrategyOort
+	table, err := RunScale(sweep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Cells) != 1 || table.Cells[0].RoundsPerSec <= 0 {
+		t.Fatalf("oort sweep cells: %+v", table.Cells)
+	}
+}
+
+func TestRunScaleRejectsUnknownStrategy(t *testing.T) {
+	t.Parallel()
+	sweep := testSweep()
+	sweep.Strategy = "tifl"
+	if _, err := RunScale(sweep, nil); err == nil {
+		t.Fatal("unknown scale strategy accepted")
+	}
+}
+
+// TestScaleShardsAreBitInvariant ties the sweep harness into the sharded
+// determinism contract: the same cell at different shard counts must report
+// the same final accuracy trajectory (throughput differs; science must not).
+func TestScaleShardsAreBitInvariant(t *testing.T) {
+	t.Parallel()
+	sweep := testSweep()
+	sweep.Parties = []int{500}
+	sweep.Shards = []int{1}
+	a, err := scaleCellConfig(sweep.withDefaults(), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scaleCellConfig(sweep.withDefaults(), 500, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := fl.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := fl.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.History) != len(rb.History) {
+		t.Fatal("history lengths diverge across shard counts")
+	}
+	for i := range ra.History {
+		if ra.History[i].Accuracy != rb.History[i].Accuracy || ra.History[i].MeanLoss != rb.History[i].MeanLoss {
+			t.Fatalf("round %d diverges across shard counts", i)
+		}
+	}
+	for i := range ra.FinalParams {
+		if ra.FinalParams[i] != rb.FinalParams[i] {
+			t.Fatalf("final param %d diverges across shard counts", i)
+		}
+	}
+}

@@ -228,15 +228,15 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 		if len(c.dispatched) >= cap {
 			break
 		}
-		if c.inFlight[id] {
+		if c.inFlight.get(id) {
 			continue
 		}
 		if c.useDevices && !c.cfg.Parties[id].Device.Online(step, ar.Split(uint64(id)+1)) {
 			// Record each offline invitee once per cycle, however many waves
 			// re-draw it; if a later wave finds it online and dispatches it,
 			// aggregateAsync drops it from the straggler list.
-			if !c.offlineMark[id] {
-				c.offlineMark[id] = true
+			if !c.offlineMark.get(id) {
+				c.offlineMark.set(id, true)
 				c.cycleOffline = append(c.cycleOffline, id)
 			}
 			continue
@@ -271,9 +271,9 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 			steps:    lr.Steps,
 		}
 		c.push(up)
-		c.inFlight[id] = true
+		c.inFlight.set(id, true)
 		c.inFlightCount++
-		c.selectedMark[id] = true
+		c.selectedMark.set(id, true)
 		c.cycleSelected = append(c.cycleSelected, id)
 		c.cycleBytes += c.paramBytes // model download at dispatch
 	}
@@ -337,6 +337,7 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 	for _, up := range buffer {
 		id := up.party
 		staleness := c.version - up.version
+		c.markShard(id)
 		c.completed = append(c.completed, id)
 		c.updates = append(c.updates, up.update)
 		c.weights = append(c.weights, up.weight*stalenessDiscount(staleness, halfLife))
@@ -350,12 +351,12 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 		lossSum += up.meanLoss
 	}
 	if len(c.updates) > 0 {
-		WeightedDeltaInto(c.delta, c.updates, c.weights)
+		c.foldDelta()
 		c.applyDelta()
 	}
 	// Release the aggregated parties back into the selectable pool.
 	for _, up := range buffer {
-		c.inFlight[up.party] = false
+		c.inFlight.set(up.party, false)
 		c.inFlightCount--
 	}
 	// Stragglers are the invitees that were offline at every draw this
@@ -365,7 +366,7 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 	// (|Stragglers| / |Selected|) never exceed 1.
 	c.stragglers = c.stragglers[:0]
 	for _, id := range c.cycleOffline {
-		if !c.selectedMark[id] {
+		if !c.selectedMark.get(id) {
 			c.stragglers = append(c.stragglers, id)
 			c.cycleSelected = append(c.cycleSelected, id)
 		}
@@ -384,14 +385,15 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 // marks.
 func (c *eventCore) resetCycle() {
 	for _, id := range c.cycleSelected {
-		c.selectedMark[id] = false
+		c.selectedMark.set(id, false)
 	}
 	for _, id := range c.cycleOffline {
-		c.offlineMark[id] = false
+		c.offlineMark.set(id, false)
 	}
 	c.cycleSelected = c.cycleSelected[:0]
 	c.cycleOffline = c.cycleOffline[:0]
 	c.cycleBytes = 0
+	c.resetShards()
 }
 
 // captureAsyncState snapshots the event-clock state for a checkpoint: the
@@ -447,7 +449,7 @@ func (c *eventCore) resumeAsync(cp *Checkpoint) int {
 			steps:    pu.Steps,
 		}
 		c.push(up)
-		c.inFlight[pu.Party] = true
+		c.inFlight.set(pu.Party, true)
 		c.inFlightCount++
 	}
 	return start

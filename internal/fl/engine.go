@@ -85,6 +85,16 @@ type Config struct {
 	// evaluation shards merge integer counts (see DESIGN.md, "Parallel
 	// execution model").
 	Parallelism int
+	// Shards partitions the party population into this many deterministic
+	// contiguous ID ranges for fleet-scale aggregation: the engine's dense
+	// per-party state (dedupe bitmaps, durations, straggler and in-flight
+	// flags) becomes shard-local and lazily allocated, and the aggregation
+	// fold is partitioned across shards on the worker pool. Results are
+	// bit-identical at every shard count (see DESIGN.md, "Sharded
+	// aggregation"); the knob trades nothing but memory locality and merge
+	// parallelism. Zero or 1 keeps a single shard; values above the party
+	// count are clamped.
+	Shards int
 	// Aggregation selects the execution model: SyncRounds (nil default,
 	// classic synchronization rounds — the paper's setting), Buffered
 	// (FedBuff-style asynchronous aggregation every K arrivals) or SemiSync
@@ -130,6 +140,9 @@ func (c *Config) validate() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("fl: negative deadline %v", c.Deadline)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fl: negative shard count %d", c.Shards)
 	}
 	withDevice := 0
 	for _, p := range c.Parties {
@@ -204,6 +217,11 @@ type RoundStats struct {
 	// SimTime is the cumulative simulated seconds through this round,
 	// including unevaluated rounds since the previous entry.
 	SimTime float64
+	// ShardsTouched counts the distinct aggregation shards this cycle's
+	// completed parties fell into — the streaming locality metric of the
+	// sharded engine. With a single shard (Shards <= 1) it is 1 whenever
+	// anything completed and 0 otherwise.
+	ShardsTouched int
 }
 
 // Result summarizes a finished FL job.
@@ -263,17 +281,16 @@ func Run(cfg Config) (*Result, error) {
 // party completes iff it is online this round and its simulated duration —
 // local compute over its dataset plus model download and upload — meets the
 // deadline (when one is set). completed and stragglers are caller-provided
-// buffers appended to and returned; durations is indexed by party ID and
-// only entries for this round's completed parties are written (party IDs are
-// dense [0, N), so a flat slice replaces the old per-round map). downloads
-// counts the online invited parties, who all fetched the model even if they
-// then missed the deadline.
+// buffers appended to and returned; durations is shard-local party-ID-indexed
+// storage and only entries for this round's completed parties are written.
+// downloads counts the online invited parties, who all fetched the model even
+// if they then missed the deadline.
 //
 // Determinism: parties are visited in invited order on the caller's
 // goroutine, and each availability draw comes from a per-party stream split
 // from r, so the outcome is independent of engine parallelism and of how
 // many draws any other party consumed.
-func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramBytes int64, round int, r *rng.Source, completed, stragglers []int, durations []float64) (completedOut, stragglersOut []int, downloads int) {
+func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramBytes int64, round int, r *rng.Source, completed, stragglers []int, durations *shardedSlice[float64]) (completedOut, stragglersOut []int, downloads int) {
 	for _, id := range invited {
 		party := cfg.Parties[id]
 		if !party.Device.Online(round, r.Split(uint64(id)+1)) {
@@ -286,7 +303,7 @@ func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramB
 			stragglers = append(stragglers, id)
 			continue
 		}
-		durations[id] = d
+		durations.set(id, d)
 		completed = append(completed, id)
 	}
 	return completed, stragglers, downloads

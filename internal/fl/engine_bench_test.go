@@ -80,3 +80,39 @@ func BenchmarkEngineAsync(b *testing.B) {
 	b.ReportMetric(float64(cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
 	b.ReportMetric(float64(arrivals)/b.Elapsed().Seconds(), "arrivals/sec")
 }
+
+// BenchmarkEngineSharded measures the fleet-scale sharded engine: buffered
+// aggregation (K=8, 16 in flight) over synthetic 10k- and 100k-party fleets
+// at 64 shards, sequential workers. Party construction happens outside the
+// timer; the measured loop is pure engine — selection over the full
+// population, dispatch, the event queue and the sharded fold. The ratchet
+// (CI bench-alloc-smoke) pins allocs/op so per-party O(population) work
+// cannot silently creep back into the cycle path; rounds/sec and
+// arrivals/sec are the fleet-scale throughput lines in BENCH_5.json.
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		parties int
+	}{
+		{name: "10k", parties: 10_000},
+		{name: "100k", parties: 100_000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := fleetConfig(b, tc.parties, 64, 8)
+			k := cfg.Aggregation.(Buffered).K
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.History) == 0 {
+					b.Fatal("no history")
+				}
+			}
+			b.ReportMetric(float64(cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			b.ReportMetric(float64(k*cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/sec")
+		})
+	}
+}

@@ -186,11 +186,18 @@ type eventCore struct {
 	replicas  []model.Model
 	scratches []model.TrainScratch
 
-	// Reusable per-cycle scratch.
-	seen        []bool // dedupe bitmap, len parties
-	invited     []int  // dedupe output, reused
-	durations   []float64
-	isStraggler []bool
+	// space is the deterministic party-to-shard mapping (Config.Shards); all
+	// dense per-party state below is shard-local and lazily allocated, so a
+	// fleet-scale run only materializes the shards selection touches.
+	space shardSpace
+
+	// Reusable per-cycle scratch. The per-party structures are sharded:
+	// reads of untouched shards return zeros without allocating, writes
+	// fault in one shard-sized block.
+	seen        shardedSlice[bool] // dedupe bitmap
+	invited     []int              // dedupe output, reused
+	durations   shardedSlice[float64]
+	isStraggler shardedSlice[bool]
 	completed   []int
 	stragglers  []int
 	dispatched  []int // async: parties dispatched this wave
@@ -205,7 +212,12 @@ type eventCore struct {
 	// pendingByParty indexes the drained records for the selection-order
 	// fold.
 	pendingPool    []pendingUpdate
-	pendingByParty []*pendingUpdate
+	pendingByParty shardedSlice[*pendingUpdate]
+
+	// Per-cycle shard-locality accounting: which shards this cycle's
+	// completed parties fell into (ShardsTouched in RoundStats).
+	shardMark    []bool
+	shardTouched int
 
 	// Async bookkeeping: which parties are reserved (training, or arrived
 	// but not yet aggregated — their arrival event is or was queued), and
@@ -213,12 +225,12 @@ type eventCore struct {
 	// cycle. selectedMark/offlineMark dedupe the accumulators across the
 	// cycle's waves, preserving the sync-mode feedback invariant that
 	// Stragglers is a duplicate-free subset of Selected.
-	inFlight      []bool
+	inFlight      shardedSlice[bool]
 	inFlightCount int
 	cycleSelected []int
 	cycleOffline  []int
-	selectedMark  []bool
-	offlineMark   []bool
+	selectedMark  shardedSlice[bool]
+	offlineMark   shardedSlice[bool]
 	cycleBytes    int64
 }
 
@@ -247,10 +259,10 @@ func newEventCore(cfg *Config) *eventCore {
 	c.replicas = make([]model.Model, c.pool.Width())
 	c.scratches = make([]model.TrainScratch, c.pool.Width())
 
-	n := len(cfg.Parties)
-	c.seen = make([]bool, n)
-	c.durations = make([]float64, n)
-	c.isStraggler = make([]bool, n)
+	c.space = newShardSpace(len(cfg.Parties), cfg.Shards)
+	c.seen = newShardedSlice[bool](c.space)
+	c.durations = newShardedSlice[float64](c.space)
+	c.isStraggler = newShardedSlice[bool](c.space)
 	c.completed = make([]int, 0, cfg.PartiesPerRound)
 	c.stragglers = make([]int, 0, cfg.PartiesPerRound)
 	c.fb = RoundFeedback{
@@ -259,11 +271,43 @@ func newEventCore(cfg *Config) *eventCore {
 		Duration: make(map[int]float64, cfg.PartiesPerRound),
 	}
 	c.delta = tensor.NewVec(len(c.globalParams))
-	c.pendingByParty = make([]*pendingUpdate, n)
-	c.inFlight = make([]bool, n)
-	c.selectedMark = make([]bool, n)
-	c.offlineMark = make([]bool, n)
+	c.pendingByParty = newShardedSlice[*pendingUpdate](c.space)
+	c.shardMark = make([]bool, c.space.count())
+	c.inFlight = newShardedSlice[bool](c.space)
+	c.selectedMark = newShardedSlice[bool](c.space)
+	c.offlineMark = newShardedSlice[bool](c.space)
 	return c
+}
+
+// markShard records the shard of a completed party for the cycle's
+// ShardsTouched metric. resetShards clears the marks for the next cycle.
+func (c *eventCore) markShard(id int) {
+	sh := c.space.shardOf(id)
+	if !c.shardMark[sh] {
+		c.shardMark[sh] = true
+		c.shardTouched++
+	}
+}
+
+func (c *eventCore) resetShards() {
+	if c.shardTouched == 0 {
+		return
+	}
+	clear(c.shardMark)
+	c.shardTouched = 0
+}
+
+// foldAverageDelta folds raw trained parameters (sync semantics: the current
+// global model is subtracted inside) into c.delta across the configured
+// shard count; foldDelta folds pre-computed dispatch-time deltas (async
+// semantics). Both are bit-identical to the sequential fold at every shard
+// count and parallelism.
+func (c *eventCore) foldAverageDelta() {
+	WeightedAverageDeltaShardedInto(c.delta, c.globalParams, c.updates, c.weights, c.pool, foldShards(c.space.count(), len(c.delta)))
+}
+
+func (c *eventCore) foldDelta() {
+	WeightedDeltaShardedInto(c.delta, c.updates, c.weights, c.pool, foldShards(c.space.count(), len(c.delta)))
 }
 
 // restoreCommon applies the policy-independent checkpoint state: global
@@ -312,18 +356,18 @@ func (c *eventCore) selectParties(round, target int) ([]int, error) {
 		if id < 0 || id >= len(c.cfg.Parties) {
 			// Unwind the seen bitmap before erroring.
 			for _, ok := range c.invited {
-				c.seen[ok] = false
+				c.seen.set(ok, false)
 			}
 			return nil, fmt.Errorf("fl: selector %q returned out-of-range party %d at round %d",
 				c.cfg.Selector.Name(), id, round)
 		}
-		if !c.seen[id] {
-			c.seen[id] = true
+		if !c.seen.get(id) {
+			c.seen.set(id, true)
 			c.invited = append(c.invited, id)
 		}
 	}
 	for _, id := range c.invited {
-		c.seen[id] = false
+		c.seen.set(id, false)
 	}
 	return c.invited, nil
 }
@@ -403,13 +447,14 @@ func (c *eventCore) maybeEval(step, invited, completed int, commBytes int64, mea
 		return
 	}
 	stats := RoundStats{
-		Round:     step + 1,
-		Invited:   invited,
-		Completed: completed,
-		CommBytes: commBytes,
-		MeanLoss:  meanLoss,
-		RoundTime: roundTime,
-		SimTime:   c.res.SimTime,
+		Round:         step + 1,
+		Invited:       invited,
+		Completed:     completed,
+		CommBytes:     commBytes,
+		MeanLoss:      meanLoss,
+		RoundTime:     roundTime,
+		SimTime:       c.res.SimTime,
+		ShardsTouched: c.shardTouched,
 	}
 	correct, total := metrics.ShardedClassCounts(c.global, c.cfg.Test, c.cfg.NumClasses, c.pool)
 	stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)

@@ -199,9 +199,57 @@ func goldenAsyncConfig(t *testing.T) Config {
 	return cfg
 }
 
+// goldenSemiSyncConfig is the semi-synchronous pin: deadline windows over the
+// device-model churn fleet, stragglers carrying over with staleness discounts
+// (half-life 2). PR 4 pinned only the Buffered async trajectory; this freezes
+// the deadline-window regime too, so window accounting, carry-over staleness
+// and the window clock cannot drift silently.
+func goldenSemiSyncConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := goldenDeviceConfig(t)
+	cfg.Aggregation = SemiSync{StalenessHalfLife: 2}
+	return cfg
+}
+
+// goldenConfigs enumerates every pinned trajectory by testdata file name.
+func goldenConfigs() map[string]func(*testing.T) Config {
+	return map[string]func(*testing.T) Config{
+		"golden_legacy.json":   goldenLegacyConfig,
+		"golden_device.json":   goldenDeviceConfig,
+		"golden_async.json":    goldenAsyncConfig,
+		"golden_semisync.json": goldenSemiSyncConfig,
+	}
+}
+
 func TestGoldenLegacyRun(t *testing.T) {
 	t.Parallel()
 	checkGolden(t, "golden_legacy.json", goldenLegacyConfig(t))
+}
+
+func TestGoldenSemiSyncRun(t *testing.T) {
+	t.Parallel()
+	checkGolden(t, "golden_semisync.json", goldenSemiSyncConfig(t))
+}
+
+// TestGoldenRunsAreShardInvariant is the sharded engine's byte-exactness
+// pin: every golden trajectory must reproduce byte-for-byte at Shards 1
+// through 8 (sequential and parallel), because shard-local storage is pure
+// index translation and the delta fold shards the parameter axis without
+// reordering any per-index float operation. Skipped under -update so the
+// golden files are only ever regenerated from the canonical unsharded runs.
+func TestGoldenRunsAreShardInvariant(t *testing.T) {
+	t.Parallel()
+	if *update {
+		t.Skip("golden files regenerate from the unsharded configuration")
+	}
+	for name, mk := range goldenConfigs() {
+		for _, shards := range []int{1, 2, 3, 5, 8} {
+			cfg := mk(t)
+			cfg.Shards = shards
+			cfg.Parallelism = 1 + shards%3
+			checkGolden(t, name, cfg)
+		}
+	}
 }
 
 func TestGoldenAsyncRun(t *testing.T) {
@@ -219,7 +267,7 @@ func TestGoldenDeviceRun(t *testing.T) {
 // sequential goldens at width 8 too.
 func TestGoldenRunsAreParallelismInvariant(t *testing.T) {
 	t.Parallel()
-	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig} {
+	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig, goldenSemiSyncConfig} {
 		seq := mk(t)
 		seq.Parallelism = 1
 		par := mk(t)

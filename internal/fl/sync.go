@@ -55,19 +55,19 @@ func (p SyncRounds) run(c *eventCore) error {
 		c.completed, c.stragglers = c.completed[:0], c.stragglers[:0]
 		downloads := len(invited)
 		if c.useDevices {
-			c.completed, c.stragglers, downloads = simulateDeviceRound(cfg, invited, c.sgd, c.paramBytes, round, roundRng.Split(0x5A), c.completed, c.stragglers, c.durations)
+			c.completed, c.stragglers, downloads = simulateDeviceRound(cfg, invited, c.sgd, c.paramBytes, round, roundRng.Split(0x5A), c.completed, c.stragglers, &c.durations)
 		} else {
 			c.stragglers = pickStragglers(*cfg, invited, roundRng.Split(0x5A), c.stragglers)
 			for _, id := range c.stragglers {
-				c.isStraggler[id] = true
+				c.isStraggler.set(id, true)
 			}
 			for _, id := range invited {
-				if !c.isStraggler[id] {
+				if !c.isStraggler.get(id) {
 					c.completed = append(c.completed, id)
 				}
 			}
 			for _, id := range c.stragglers {
-				c.isStraggler[id] = false
+				c.isStraggler.set(id, false)
 			}
 		}
 		completed, stragglers := c.completed, c.stragglers
@@ -92,10 +92,10 @@ func (p SyncRounds) run(c *eventCore) error {
 		c.pendingPool = c.pendingPool[:len(completed)]
 		for i, id := range completed {
 			lr := c.locals[i]
-			d := c.durations[id]
+			d := c.durations.get(id)
 			if !c.useDevices {
 				d = cfg.Parties[id].Latency * float64(lr.Steps)
-				c.durations[id] = d
+				c.durations.set(id, d)
 			}
 			c.pendingPool[i] = pendingUpdate{
 				party:    id,
@@ -117,7 +117,7 @@ func (p SyncRounds) run(c *eventCore) error {
 		var roundTime float64
 		for c.queue.len() > 0 {
 			ev := c.queue.pop()
-			c.pendingByParty[ev.up.party] = ev.up
+			c.pendingByParty.set(ev.up.party, ev.up)
 			if ev.up.duration > roundTime {
 				roundTime = ev.up.duration
 			}
@@ -135,8 +135,9 @@ func (p SyncRounds) run(c *eventCore) error {
 		c.updates, c.weights = c.updates[:0], c.weights[:0]
 		var lossSum float64
 		for _, id := range completed {
-			up := c.pendingByParty[id]
+			up := c.pendingByParty.get(id)
 			params := up.update
+			c.markShard(id)
 			if cfg.FedDynAlpha > 0 {
 				params = applyFedDyn(c.dynState, id, params, c.globalParams, cfg.FedDynAlpha)
 			}
@@ -152,7 +153,7 @@ func (p SyncRounds) run(c *eventCore) error {
 		}
 
 		if len(c.updates) > 0 {
-			WeightedAverageDeltaInto(c.delta, c.globalParams, c.updates, c.weights)
+			c.foldAverageDelta()
 			c.applyDelta()
 		}
 
@@ -171,6 +172,7 @@ func (p SyncRounds) run(c *eventCore) error {
 		}
 		c.maybeEval(round, len(invited), len(completed), roundBytes, meanLoss, roundTime)
 		c.maybeCheckpoint(round, p, nil)
+		c.resetShards()
 	}
 	return nil
 }

@@ -111,13 +111,31 @@ func (r *Source) Multinomial(n int, p []float64) []int {
 	return counts
 }
 
+// sparseSampleThreshold is the population size above which
+// SampleWithoutReplacement switches from the dense partial Fisher-Yates
+// (O(n) scratch) to the sparse virtual shuffle (O(k) scratch). Both paths
+// consume the identical RNG stream and return identical indices — the
+// threshold is purely a memory/scale decision, so fleet-scale selectors can
+// draw small cohorts from 100k+ -party populations without allocating a
+// population-sized permutation per call.
+const sparseSampleThreshold = 1024
+
 // SampleWithoutReplacement returns k distinct indices drawn uniformly from
-// [0, n). It panics if k > n.
+// [0, n). It panics if k > n. Memory is O(min(n, k)) — see
+// sparseSampleThreshold.
 func (r *Source) SampleWithoutReplacement(n, k int) []int {
 	if k > n {
 		panic("rng: SampleWithoutReplacement k > n")
 	}
-	// Partial Fisher-Yates: O(n) space, O(k) swaps.
+	if n > sparseSampleThreshold {
+		return r.sampleSparse(n, k)
+	}
+	return r.sampleDense(n, k)
+}
+
+// sampleDense is the partial Fisher-Yates over a materialized permutation:
+// O(n) space, O(k) swaps.
+func (r *Source) sampleDense(n, k int) []int {
 	p := make([]int, n)
 	for i := range p {
 		p[i] = i
@@ -128,5 +146,28 @@ func (r *Source) SampleWithoutReplacement(n, k int) []int {
 	}
 	out := make([]int, k)
 	copy(out, p[:k])
+	return out
+}
+
+// sampleSparse runs the same partial Fisher-Yates over a virtual identity
+// permutation, tracking only displaced positions in a map. The sequence of
+// Intn draws and the produced indices are bit-identical to sampleDense —
+// position x holds x until a swap moves something there — with O(k) memory
+// instead of O(n).
+func (r *Source) sampleSparse(n, k int) []int {
+	swapped := make(map[int]int, 2*k)
+	at := func(x int) int {
+		if v, ok := swapped[x]; ok {
+			return v
+		}
+		return x
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vi, vj := at(i), at(j)
+		out[i] = vj
+		swapped[i], swapped[j] = vj, vi
+	}
 	return out
 }

@@ -7,6 +7,30 @@ import (
 	"flips/internal/tensor"
 )
 
+// GradClusConfig tunes the fleet-scale behavior of the GradClus selector.
+type GradClusConfig struct {
+	// PoolSize bounds the clustering pool in fleet-scale mode: each round
+	// clusters at most max(PoolSize, 2·target) parties — the most recently
+	// observed gradients topped up with uniformly drawn unobserved parties —
+	// instead of the full population (default 192). Hierarchical clustering
+	// is O(pool²·dim), so an unbounded pool is quadratic in the fleet.
+	PoolSize int
+	// ScaleThreshold is the population size above which the selector
+	// switches to the bounded pool and lazy gradient storage (default 2048;
+	// set to 1 to force fleet-scale mode for testing).
+	ScaleThreshold int
+}
+
+func (c GradClusConfig) withDefaults() GradClusConfig {
+	if c.PoolSize == 0 {
+		c.PoolSize = 192
+	}
+	if c.ScaleThreshold == 0 {
+		c.ScaleThreshold = scaleModeThreshold
+	}
+	return c
+}
+
 // GradClus implements clustered sampling over party gradients (Fraboni et
 // al. 2021, the paper's §4.1 third baseline): every round it hierarchically
 // clusters the parties' last-known model updates into Nr groups by cosine
@@ -14,24 +38,66 @@ import (
 // participated carry random placeholder gradients ("The gradients assigned
 // in the beginning are random numbers and get iteratively updated as the
 // party gets picked").
+//
+// Below GradClusConfig.ScaleThreshold the full population is clustered, as
+// the original algorithm specifies (bit-identical to the pre-scale
+// implementation). Above it, clustering runs over a bounded pool — the most
+// recently observed parties plus a uniform draw of never-observed ones — and
+// placeholder gradients materialize lazily per pooled party, so memory is
+// O(observed·dim + pool²) instead of O(parties·dim + parties²).
 type GradClus struct {
 	numParties int
 	r          *rng.Source
 	grads      []tensor.Vec
 	linkage    cluster.Linkage
+	gradDim    int
+	cfg        GradClusConfig
+
+	// Fleet-scale state. observed lists parties with real gradients in
+	// last-observation order (newest at the end; re-observed parties move to
+	// the back via -1 tombstones, compacted when they dominate); phSeed
+	// derives placeholder gradients statelessly per party, so they are
+	// recomputable on demand and never cached — memory stays bounded by the
+	// observed set, not the population. inPool is the pool dedupe scratch.
+	scaleMode  bool
+	observed   []int
+	obsPos     []int // party id -> index in observed (-1 if never observed)
+	tombstones int
+	isObserved []bool
+	phSeed     uint64
+	inPool     map[int]bool
 }
 
 var _ fl.Selector = (*GradClus)(nil)
 var _ fl.UpdateConsumer = (*GradClus)(nil)
 
-// NewGradClus builds a GradClus selector. gradDim is the model parameter
-// count (placeholder-gradient dimensionality).
+// NewGradClus builds a GradClus selector with default fleet-scale knobs.
+// gradDim is the model parameter count (placeholder-gradient
+// dimensionality).
 func NewGradClus(numParties, gradDim int, r *rng.Source) *GradClus {
+	return NewGradClusConfig(numParties, gradDim, GradClusConfig{}, r)
+}
+
+// NewGradClusConfig is NewGradClus with explicit fleet-scale configuration.
+func NewGradClusConfig(numParties, gradDim int, cfg GradClusConfig, r *rng.Source) *GradClus {
 	g := &GradClus{
 		numParties: numParties,
 		r:          r,
 		grads:      make([]tensor.Vec, numParties),
 		linkage:    cluster.AverageLinkage,
+		gradDim:    gradDim,
+		cfg:        cfg.withDefaults(),
+	}
+	if numParties > g.cfg.ScaleThreshold {
+		g.scaleMode = true
+		g.isObserved = make([]bool, numParties)
+		g.obsPos = make([]int, numParties)
+		for i := range g.obsPos {
+			g.obsPos[i] = -1
+		}
+		g.phSeed = r.Uint64()
+		g.inPool = make(map[int]bool)
+		return g
 	}
 	for i := range g.grads {
 		v := tensor.NewVec(gradDim)
@@ -56,17 +122,26 @@ func (s *GradClus) Select(_, target int) []int {
 	if target > s.numParties {
 		target = s.numParties
 	}
-	dist := cluster.CosineDistanceMatrix(s.grads)
+	pool := s.clusterPool(target)
+	grads := make([]tensor.Vec, len(pool))
+	for i, id := range pool {
+		grads[i] = s.gradient(id)
+	}
+	dist := cluster.CosineDistanceMatrix(grads)
 	assign, err := cluster.Agglomerative(dist, target, s.linkage)
 	if err != nil {
 		// Degenerate geometry cannot occur with a square matrix and
 		// validated target, but fall back to random rather than failing
 		// the FL job.
-		return s.r.SampleWithoutReplacement(s.numParties, target)
+		out := make([]int, target)
+		for i, j := range s.r.SampleWithoutReplacement(len(pool), target) {
+			out[i] = pool[j]
+		}
+		return out
 	}
 	members := make([][]int, target)
-	for id, c := range assign {
-		members[c] = append(members[c], id)
+	for i, c := range assign {
+		members[c] = append(members[c], pool[i])
 	}
 	out := make([]int, 0, target)
 	for _, group := range members {
@@ -78,12 +153,117 @@ func (s *GradClus) Select(_, target int) []int {
 	return out
 }
 
-// Observe implements fl.Selector: store the completed parties' updates as
-// their current gradient representation.
-func (s *GradClus) Observe(fb fl.RoundFeedback) {
-	for _, id := range fb.Completed {
-		if u, ok := fb.Update[id]; ok && len(u) == len(s.grads[id]) {
-			s.grads[id] = u.Clone()
+// clusterPool returns the party ids to cluster this round: the whole
+// population below the scale threshold, else a bounded pool of the most
+// recently observed parties topped up with uniformly drawn unobserved ones
+// (so never-picked parties keep a route into the cohort, as the original
+// algorithm's random placeholder gradients provide).
+func (s *GradClus) clusterPool(target int) []int {
+	if !s.scaleMode {
+		pool := make([]int, s.numParties)
+		for i := range pool {
+			pool[i] = i
+		}
+		return pool
+	}
+	size := s.cfg.PoolSize
+	if size < 2*target {
+		size = 2 * target
+	}
+	if size > s.numParties {
+		size = s.numParties
+	}
+	pool := make([]int, 0, size)
+	clear(s.inPool)
+	// Newest observations first: their gradients are freshest. The observed
+	// list is in last-observation order with tombstones for moved entries.
+	obsCap := size / 2
+	for i := len(s.observed) - 1; i >= 0 && obsCap > 0; i-- {
+		id := s.observed[i]
+		if id < 0 {
+			continue
+		}
+		pool = append(pool, id)
+		s.inPool[id] = true
+		obsCap--
+	}
+	// Top up uniformly from the rest of the fleet. Rejection sampling is
+	// cheap while the pool is a vanishing fraction of the population; the
+	// deterministic fallback walk guarantees termination regardless.
+	for tries := 0; len(pool) < size && tries < 16*size; tries++ {
+		id := s.r.Intn(s.numParties)
+		if !s.inPool[id] {
+			s.inPool[id] = true
+			pool = append(pool, id)
 		}
 	}
+	for id := 0; len(pool) < size && id < s.numParties; id++ {
+		if !s.inPool[id] {
+			s.inPool[id] = true
+			pool = append(pool, id)
+		}
+	}
+	return pool
+}
+
+// gradient returns the party's clustering representation: its last observed
+// update, or a random placeholder derived statelessly from (phSeed, id) —
+// the same vector on every call, recomputed instead of cached so the
+// fleet-scale memory bound stays O(observed·dim), not O(parties·dim).
+func (s *GradClus) gradient(id int) tensor.Vec {
+	if g := s.grads[id]; g != nil {
+		return g
+	}
+	pr := rng.New(s.phSeed ^ (uint64(id)+1)*0xd1342543de82ef95)
+	v := tensor.NewVec(s.gradDim)
+	for j := range v {
+		v[j] = pr.NormFloat64()
+	}
+	return v
+}
+
+// Observe implements fl.Selector: store the completed parties' updates as
+// their current gradient representation. In fleet-scale mode the party moves
+// to the back of the recency list (its slot tombstoned, compacted once
+// tombstones dominate), so repeatedly re-selected parties keep their fresh
+// gradients inside the clustering pool's recency band.
+func (s *GradClus) Observe(fb fl.RoundFeedback) {
+	for _, id := range fb.Completed {
+		u, ok := fb.Update[id]
+		if !ok || len(u) != s.gradDim {
+			continue
+		}
+		s.grads[id] = u.Clone()
+		if !s.scaleMode {
+			continue
+		}
+		if s.isObserved[id] {
+			if s.obsPos[id] == len(s.observed)-1 {
+				continue // already newest
+			}
+			s.observed[s.obsPos[id]] = -1
+			s.tombstones++
+		} else {
+			s.isObserved[id] = true
+		}
+		s.obsPos[id] = len(s.observed)
+		s.observed = append(s.observed, id)
+		if s.tombstones > len(s.observed)/2 {
+			s.compactObserved()
+		}
+	}
+}
+
+// compactObserved drops tombstones from the recency list, preserving order.
+func (s *GradClus) compactObserved() {
+	live := s.observed[:0]
+	for _, id := range s.observed {
+		if id < 0 {
+			continue
+		}
+		s.obsPos[id] = len(live)
+		live = append(live, id)
+	}
+	s.observed = live
+	s.tombstones = 0
 }

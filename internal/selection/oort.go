@@ -8,6 +8,15 @@ import (
 	"flips/internal/rng"
 )
 
+// scaleModeThreshold is the default population size above which the adaptive
+// selectors switch from their exact small-fleet algorithms (full scans /
+// full pairwise clustering) to the bounded fleet-scale structures (top-k
+// utility heaps, swap-removed exploration pools, bounded clustering pools).
+// Below the threshold behavior is bit-identical to the pre-scale selectors;
+// above it, per-round cost and memory stop growing with the population (Oort
+// runs guided selection over ~1.3M clients this way — Lai et al., OSDI'21).
+const scaleModeThreshold = 2048
+
 // OortConfig tunes the Oort selector. Zero values take the defaults from the
 // Oort paper's reference implementation.
 type OortConfig struct {
@@ -26,6 +35,15 @@ type OortConfig struct {
 	// SlowPenalty divides the utility of parties whose observed duration
 	// exceeds the round's median (Oort's systemic utility; default 2).
 	SlowPenalty float64
+	// CandidatePool bounds the exploitation candidate band in fleet-scale
+	// mode: each round pops the top max(CandidatePool, 2·request) parties
+	// by utility from the heap instead of scoring every tried party
+	// (default 256). Ignored below ScaleThreshold.
+	CandidatePool int
+	// ScaleThreshold is the population size above which the selector
+	// switches to the bounded heap structures (default 2048; set to 1 to
+	// force fleet-scale mode for testing).
+	ScaleThreshold int
 }
 
 func (c OortConfig) withDefaults() OortConfig {
@@ -44,6 +62,12 @@ func (c OortConfig) withDefaults() OortConfig {
 	if c.SlowPenalty == 0 {
 		c.SlowPenalty = 2
 	}
+	if c.CandidatePool == 0 {
+		c.CandidatePool = 256
+	}
+	if c.ScaleThreshold == 0 {
+		c.ScaleThreshold = scaleModeThreshold
+	}
 	return c
 }
 
@@ -52,6 +76,13 @@ func (c OortConfig) withDefaults() OortConfig {
 // contribute more to convergence — discounted by a systemic (speed) utility,
 // with an exploration budget for never-tried parties and over-provisioning
 // once stragglers appear.
+//
+// Below OortConfig.ScaleThreshold the selector scans the full population per
+// round (bit-identical to the original implementation). Above it, it runs in
+// fleet-scale mode: tried parties live in a top-k utility heap and
+// exploitation samples from a bounded top-utility candidate band, untried
+// parties live in a swap-removed pool, and per-round cost is
+// O((invited + candidates)·log tried) regardless of population size.
 type Oort struct {
 	cfg        OortConfig
 	numParties int
@@ -64,6 +95,21 @@ type Oort struct {
 	sawStrag  bool
 	explore   float64
 	dataSizes []float64
+
+	// Fleet-scale state (scaleMode only). untried is an unordered pool with
+	// untriedPos tracking each id's slot for O(1) swap-removal; heapItem
+	// maps tried ids to their utilityHeap entries.
+	scaleMode  bool
+	untried    []int
+	untriedPos []int
+	heap       utilityHeap
+	heapItem   []*utilItem
+
+	// Reusable per-round scratch.
+	cand       []*utilItem
+	candIDs    []int
+	candScores []float64
+	durScratch []float64
 }
 
 var _ fl.Selector = (*Oort)(nil)
@@ -90,6 +136,16 @@ func NewOort(numParties int, dataSizes []int, cfg OortConfig, r *rng.Source) *Oo
 			o.dataSizes[i] = 1
 		}
 	}
+	if numParties > o.cfg.ScaleThreshold {
+		o.scaleMode = true
+		o.untried = make([]int, numParties)
+		o.untriedPos = make([]int, numParties)
+		for i := range o.untried {
+			o.untried[i] = i
+			o.untriedPos[i] = i
+		}
+		o.heapItem = make([]*utilItem, numParties)
+	}
 	return o
 }
 
@@ -107,6 +163,9 @@ func (s *Oort) Select(round, target int) []int {
 		if request > s.numParties {
 			request = s.numParties
 		}
+	}
+	if s.scaleMode {
+		return s.selectScale(round, request)
 	}
 
 	// Split the request between exploration (never-tried parties) and
@@ -160,6 +219,60 @@ func (s *Oort) Select(round, target int) []int {
 	return selected
 }
 
+// selectScale is the fleet-scale Select path: exploration samples the
+// swap-removed untried pool, exploitation pops a bounded top-utility
+// candidate band from the heap, scores it with the staleness bonus, samples
+// within it, and pushes the band back. Cost is independent of the population
+// size beyond the O(log tried) heap operations.
+func (s *Oort) selectScale(round, request int) []int {
+	nUntried := len(s.untried)
+	nTried := s.heap.Len()
+	nExplore := int(math.Round(s.explore * float64(request)))
+	if nExplore > nUntried {
+		nExplore = nUntried
+	}
+	nExploit := request - nExplore
+	if nExploit > nTried {
+		nExplore = minInt(request, nUntried)
+		nExploit = minInt(request-nExplore, nTried)
+	}
+
+	selected := make([]int, 0, request)
+	if nExplore > 0 {
+		for _, j := range s.r.SampleWithoutReplacement(nUntried, nExplore) {
+			selected = append(selected, s.untried[j])
+		}
+	}
+	if nExploit > 0 {
+		band := s.cfg.CandidatePool
+		if band < 2*request {
+			band = 2 * request
+		}
+		if band > nTried {
+			band = nTried
+		}
+		s.cand, s.candIDs, s.candScores = s.cand[:0], s.candIDs[:0], s.candScores[:0]
+		for len(s.cand) < band {
+			it := s.heap.pop()
+			s.cand = append(s.cand, it)
+			s.candIDs = append(s.candIDs, it.id)
+			s.candScores = append(s.candScores, s.score(it.id, round))
+		}
+		ids, scores := s.candIDs, s.candScores
+		for i := 0; i < nExploit && len(ids) > 0; i++ {
+			j := s.r.Categorical(scores)
+			selected = append(selected, ids[j])
+			last := len(ids) - 1
+			ids[j], scores[j] = ids[last], scores[last]
+			ids, scores = ids[:last], scores[:last]
+		}
+		for _, it := range s.cand {
+			s.heap.push(it)
+		}
+	}
+	return selected
+}
+
 // score combines statistical utility, staleness bonus and systemic penalty.
 func (s *Oort) score(id, round int) float64 {
 	u := s.utility[id]
@@ -171,34 +284,72 @@ func (s *Oort) score(id, round int) float64 {
 	return u
 }
 
-// Observe implements fl.Selector.
+// markTried transitions a party into the tried set; in fleet-scale mode it
+// swap-removes the party from the untried pool and enters it into the
+// utility heap.
+func (s *Oort) markTried(id int) {
+	if s.tried[id] {
+		return
+	}
+	s.tried[id] = true
+	if !s.scaleMode {
+		return
+	}
+	j := s.untriedPos[id]
+	last := len(s.untried) - 1
+	moved := s.untried[last]
+	s.untried[j] = moved
+	s.untriedPos[moved] = j
+	s.untried = s.untried[:last]
+	s.untriedPos[id] = -1
+	it := &utilItem{id: id, util: s.utility[id]}
+	s.heapItem[id] = it
+	s.heap.push(it)
+}
+
+// setUtility writes a party's utility, re-keying its heap entry in
+// fleet-scale mode.
+func (s *Oort) setUtility(id int, u float64) {
+	s.utility[id] = u
+	if s.scaleMode {
+		if it := s.heapItem[id]; it != nil && it.util != u {
+			it.util = u
+			s.heap.fix(it)
+		}
+	}
+}
+
+// Observe implements fl.Selector. Feedback consumption is streaming: the
+// only per-call storage is the reusable duration scratch (O(completed)), and
+// every state update is an O(log tried) heap re-key — nothing scans or
+// allocates proportionally to the population.
 func (s *Oort) Observe(fb fl.RoundFeedback) {
 	if len(fb.Stragglers) > 0 {
 		s.sawStrag = true
 	}
 	// Median completed duration defines "slow" for the systemic penalty.
-	var durs []float64
+	s.durScratch = s.durScratch[:0]
 	for _, id := range fb.Completed {
 		if d, ok := fb.Duration[id]; ok {
-			durs = append(durs, d)
+			s.durScratch = append(s.durScratch, d)
 		}
 	}
-	med := median(durs)
+	med := median(s.durScratch)
 	for _, id := range fb.Completed {
-		s.tried[id] = true
+		s.markTried(id)
 		s.lastUsed[id] = fb.Round
 		sq := fb.SqLoss[id]
 		util := s.dataSizes[id] * math.Sqrt(math.Max(sq, 0))
 		if med > 0 && fb.Duration[id] > med*1.5 {
 			util /= s.cfg.SlowPenalty
 		}
-		s.utility[id] = util
+		s.setUtility(id, util)
 		s.duration[id] = fb.Duration[id]
 	}
 	// Stragglers burn their utility so repeat offenders fall in rank.
 	for _, id := range fb.Stragglers {
-		s.tried[id] = true
-		s.utility[id] /= s.cfg.SlowPenalty
+		s.markTried(id)
+		s.setUtility(id, s.utility[id]/s.cfg.SlowPenalty)
 	}
 	s.explore = math.Max(0.1, s.explore*s.cfg.ExplorationDecay)
 }

@@ -1,0 +1,244 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"flips/internal/fl"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// Property-based selector invariant suite (ISSUE 5). Every selection
+// strategy — in both its exact small-fleet mode and its bounded fleet-scale
+// mode — must uphold, across randomized scenarios with a live feedback loop:
+//
+//  1. no duplicate IDs in a selection;
+//  2. selection ⊆ available (every ID in [0, n));
+//  3. exact-k when feasible (the entry's wantLen predicate — Oort
+//     over-provisions by design once stragglers appear);
+//  4. determinism: two identically seeded instances fed identical feedback
+//     produce identical trajectories; and for the order-insensitive
+//     small-fleet modes, the trajectory is additionally invariant when each
+//     round's feedback is re-indexed — slices permuted and maps rebuilt in
+//     permuted insertion order — which pins that no selector decision leans
+//     on Go map iteration order or on the engine's fold order.
+//
+// The fleet-scale modes are exercised at small n by forcing ScaleThreshold
+// to 1; their internal pools are order-sensitive by construction (swap
+// removal, streaming sums), so they assert determinism but not permutation
+// invariance.
+
+type selectorCase struct {
+	name string
+	// build constructs a fresh selector over n parties from a seed.
+	build func(n int, seed uint64) fl.Selector
+	// wantLen is the exact selection size the strategy owes when feasible.
+	wantLen func(n, target int, sawStrag bool) int
+	// orderInvariant asserts the re-indexed-feedback invariance too.
+	orderInvariant bool
+}
+
+func selectorCases() []selectorCase {
+	exact := func(n, target int, _ bool) int { return minInt(target, n) }
+	oortLen := func(n, target int, sawStrag bool) int {
+		target = minInt(target, n)
+		if !sawStrag {
+			return target
+		}
+		return minInt(int(math.Ceil(1.3*float64(target))), n)
+	}
+	latencies := func(n int, r *rng.Source) []float64 {
+		ls := make([]float64, n)
+		for i := range ls {
+			ls[i] = 0.1 + r.Float64()
+		}
+		return ls
+	}
+	return []selectorCase{
+		{
+			name:           "random",
+			build:          func(n int, seed uint64) fl.Selector { return NewRandom(n, rng.New(seed)) },
+			wantLen:        exact,
+			orderInvariant: true,
+		},
+		{
+			name:           "oort",
+			build:          func(n int, seed uint64) fl.Selector { return NewOort(n, nil, OortConfig{}, rng.New(seed)) },
+			wantLen:        oortLen,
+			orderInvariant: true,
+		},
+		{
+			name: "oort-scale",
+			build: func(n int, seed uint64) fl.Selector {
+				return NewOort(n, nil, OortConfig{ScaleThreshold: 1, CandidatePool: 8}, rng.New(seed))
+			},
+			wantLen: oortLen,
+		},
+		{
+			name: "tifl",
+			build: func(n int, seed uint64) fl.Selector {
+				r := rng.New(seed)
+				return NewTiFL(latencies(n, r.Split(1)), TiFLConfig{}, r.Split(2))
+			},
+			wantLen:        exact,
+			orderInvariant: true,
+		},
+		{
+			name: "tifl-scale",
+			build: func(n int, seed uint64) fl.Selector {
+				r := rng.New(seed)
+				return NewTiFL(latencies(n, r.Split(1)), TiFLConfig{ScaleThreshold: 1}, r.Split(2))
+			},
+			wantLen: exact,
+		},
+		{
+			name:           "gradclus",
+			build:          func(n int, seed uint64) fl.Selector { return NewGradClus(n, 6, rng.New(seed)) },
+			wantLen:        exact,
+			orderInvariant: true,
+		},
+		{
+			name: "gradclus-scale",
+			build: func(n int, seed uint64) fl.Selector {
+				return NewGradClusConfig(n, 6, GradClusConfig{ScaleThreshold: 1, PoolSize: 8}, rng.New(seed))
+			},
+			wantLen: exact,
+		},
+	}
+}
+
+// scenarioFeedback builds one round of feedback for the selected cohort:
+// every third round the tail party straggles, losses and durations are a
+// deterministic function of the party ID, and updates are materialized for
+// UpdateConsumer selectors.
+func scenarioFeedback(round int, sel []int, gradDim int, needUpdates bool) (fl.RoundFeedback, bool) {
+	fb := fl.RoundFeedback{
+		Round:    round,
+		Selected: append([]int(nil), sel...),
+		MeanLoss: map[int]float64{},
+		SqLoss:   map[int]float64{},
+		Duration: map[int]float64{},
+	}
+	if needUpdates {
+		fb.Update = map[int]tensor.Vec{}
+	}
+	straggle := round%3 == 2 && len(sel) > 1
+	n := len(sel)
+	if straggle {
+		fb.Stragglers = []int{sel[n-1]}
+		n--
+	}
+	for _, id := range sel[:n] {
+		fb.Completed = append(fb.Completed, id)
+		loss := 0.2 + float64(id%11)/10
+		fb.MeanLoss[id] = loss
+		fb.SqLoss[id] = loss * loss
+		fb.Duration[id] = 0.5 + float64(id%5)/4
+		if needUpdates {
+			u := tensor.NewVec(gradDim)
+			for j := range u {
+				u[j] = math.Sin(float64(id*gradDim + j))
+			}
+			fb.Update[id] = u
+		}
+	}
+	return fb, straggle
+}
+
+// permuteFeedback re-indexes a feedback record: slices reversed and maps
+// rebuilt in reversed insertion order. Semantically identical content,
+// maximally different presentation.
+func permuteFeedback(fb fl.RoundFeedback) fl.RoundFeedback {
+	rev := func(xs []int) []int {
+		out := make([]int, len(xs))
+		for i, v := range xs {
+			out[len(xs)-1-i] = v
+		}
+		return out
+	}
+	out := fl.RoundFeedback{
+		Round:      fb.Round,
+		Selected:   rev(fb.Selected),
+		Completed:  rev(fb.Completed),
+		Stragglers: rev(fb.Stragglers),
+		MeanLoss:   map[int]float64{},
+		SqLoss:     map[int]float64{},
+		Duration:   map[int]float64{},
+	}
+	if fb.Update != nil {
+		out.Update = map[int]tensor.Vec{}
+	}
+	for _, id := range out.Completed {
+		out.MeanLoss[id] = fb.MeanLoss[id]
+		out.SqLoss[id] = fb.SqLoss[id]
+		out.Duration[id] = fb.Duration[id]
+		if fb.Update != nil {
+			out.Update[id] = fb.Update[id].Clone()
+		}
+	}
+	return out
+}
+
+func TestSelectorInvariantSuite(t *testing.T) {
+	t.Parallel()
+	const gradDim = 6
+	for _, tc := range selectorCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 6; seed++ {
+				scen := rng.New(seed * 0x51)
+				n := 8 + scen.Intn(40)
+				target := 1 + scen.Intn(n)
+				a := tc.build(n, seed)
+				b := tc.build(n, seed) // identical twin, re-indexed feedback
+				needUpdates := false
+				if uc, ok := a.(fl.UpdateConsumer); ok {
+					needUpdates = uc.NeedsUpdates()
+				}
+				sawStrag := false
+				for round := 0; round < 6; round++ {
+					sel := a.Select(round, target)
+					selB := b.Select(round, target)
+
+					// Invariants 1-3 on the primary instance.
+					if want := tc.wantLen(n, target, sawStrag); len(sel) != want {
+						t.Fatalf("seed %d round %d: selected %d parties, want %d (n=%d target=%d strag=%v)",
+							seed, round, len(sel), want, n, target, sawStrag)
+					}
+					seen := make(map[int]bool, len(sel))
+					for _, id := range sel {
+						if id < 0 || id >= n {
+							t.Fatalf("seed %d round %d: party %d outside [0,%d)", seed, round, id, n)
+						}
+						if seen[id] {
+							t.Fatalf("seed %d round %d: duplicate party %d", seed, round, id)
+						}
+						seen[id] = true
+					}
+
+					// Invariant 4: identical trajectory on the twin.
+					if fmt.Sprint(sel) != fmt.Sprint(selB) {
+						if tc.orderInvariant {
+							t.Fatalf("seed %d round %d: re-indexed feedback moved the selection:\n%v\n%v",
+								seed, round, sel, selB)
+						}
+						t.Fatalf("seed %d round %d: identically seeded twin diverged before feedback differences could matter:\n%v\n%v",
+							seed, round, sel, selB)
+					}
+
+					fb, straggled := scenarioFeedback(round, sel, gradDim, needUpdates)
+					sawStrag = sawStrag || straggled
+					a.Observe(fb)
+					if tc.orderInvariant {
+						b.Observe(permuteFeedback(fb))
+					} else {
+						b.Observe(fb)
+					}
+				}
+			}
+		})
+	}
+}

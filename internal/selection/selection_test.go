@@ -236,6 +236,58 @@ func TestGradClusColdStartRandomGradients(t *testing.T) {
 	assertUniqueInRange(t, sel, 10)
 }
 
+// TestGradClusScaleRecency pins the fleet-scale recency list: a re-observed
+// party moves to the back (its fresh gradient stays inside the clustering
+// pool's recency band instead of aging out at its first-observation slot),
+// tombstones compact away, and positions stay consistent.
+func TestGradClusScaleRecency(t *testing.T) {
+	t.Parallel()
+	s := NewGradClusConfig(20, 3, GradClusConfig{ScaleThreshold: 1, PoolSize: 4}, rng.New(21))
+	observe := func(id int) {
+		s.Observe(fl.RoundFeedback{
+			Completed: []int{id},
+			Update:    map[int]tensor.Vec{id: {1, 2, float64(id)}},
+		})
+	}
+	observe(0)
+	for id := 1; id <= 10; id++ {
+		observe(id)
+	}
+	observe(0) // refreshed: must move to the back
+	if got := s.observed[len(s.observed)-1]; got != 0 {
+		t.Fatalf("re-observed party at tail is %d, want 0", got)
+	}
+	// Churn enough re-observations to force compaction, then check every
+	// live entry's position index agrees with the list.
+	for round := 0; round < 30; round++ {
+		observe(round % 11)
+	}
+	live := 0
+	for i, id := range s.observed {
+		if id < 0 {
+			continue
+		}
+		live++
+		if s.obsPos[id] != i {
+			t.Fatalf("party %d position %d, list index %d", id, s.obsPos[id], i)
+		}
+	}
+	if live != 11 {
+		t.Fatalf("%d live entries, want 11", live)
+	}
+	// Placeholders are stateless: the same party yields the same vector on
+	// every call, and nothing is cached for unobserved parties.
+	a, b := s.gradient(19), s.gradient(19)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("placeholder gradient not stable across calls")
+		}
+	}
+	if s.grads[19] != nil {
+		t.Fatal("placeholder gradient was cached")
+	}
+}
+
 func TestTiFLTiersByLatency(t *testing.T) {
 	t.Parallel()
 	latencies := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}

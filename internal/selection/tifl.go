@@ -20,6 +20,11 @@ type TiFLConfig struct {
 	// [0,1] (default 0.7): TiFL's "adaptive tier selection approach to
 	// update the tiering on the fly based on the observed ... accuracy".
 	Adaptivity float64
+	// ScaleThreshold is the population size above which tier mean losses are
+	// maintained as streaming incremental sums (O(completed) per round)
+	// instead of being recomputed by scanning every tier member (O(parties)
+	// per round). Default 2048; set to 1 to force fleet-scale mode.
+	ScaleThreshold int
 }
 
 func (c TiFLConfig) withDefaults() TiFLConfig {
@@ -31,6 +36,9 @@ func (c TiFLConfig) withDefaults() TiFLConfig {
 	}
 	if c.Adaptivity == 0 {
 		c.Adaptivity = 0.7
+	}
+	if c.ScaleThreshold == 0 {
+		c.ScaleThreshold = scaleModeThreshold
 	}
 	return c
 }
@@ -44,6 +52,13 @@ func (c TiFLConfig) withDefaults() TiFLConfig {
 // behaviour the FLIPS paper observes ("TiFL's adaptive tiering approach is
 // unable to group the parties with under-represented labels into a single
 // tier").
+//
+// Selection never materializes a candidate pool: the tier plus its
+// neighbour top-ups are sampled as a virtual concatenation (identical RNG
+// consumption and output to the historical pool-copy implementation), so a
+// fleet-scale tier of tens of thousands of parties costs nothing to draw
+// from. Above ScaleThreshold, tier mean losses are additionally maintained
+// as streaming sums updated per observed party.
 type TiFL struct {
 	cfg     TiFLConfig
 	r       *rng.Source
@@ -51,6 +66,13 @@ type TiFL struct {
 	tierOf  []int
 	credits []int
 	loss    []float64 // last observed mean loss per party
+
+	// scaleMode switches chooseTier to the incremental tierLossSum instead
+	// of rescanning tier members.
+	scaleMode   bool
+	tierLossSum []float64
+
+	segScratch [][]int // reusable virtual-concatenation segment list
 }
 
 var _ fl.Selector = (*TiFL)(nil)
@@ -96,6 +118,13 @@ func NewTiFL(latencies []float64, cfg TiFLConfig, r *rng.Source) *TiFL {
 	for i := range t.loss {
 		t.loss[i] = 1 // optimistic prior so fresh tiers stay eligible
 	}
+	if n > cfg.ScaleThreshold {
+		t.scaleMode = true
+		t.tierLossSum = make([]float64, cfg.NumTiers)
+		for tier, members := range t.tiers {
+			t.tierLossSum[tier] = float64(len(members)) // prior loss of 1 each
+		}
+	}
 	return t
 }
 
@@ -104,26 +133,39 @@ func (s *TiFL) Name() string { return "tifl" }
 
 // Select implements fl.Selector: adaptively choose one tier, then sample the
 // round's parties uniformly within it (topping up from neighbouring tiers
-// when the tier is smaller than the request).
+// when the tier is smaller than the request). The tier and its top-ups are
+// sampled as a virtual concatenation of tier member slices — no pool copy —
+// with the exact RNG consumption and index mapping of the historical
+// implementation.
 func (s *TiFL) Select(_, target int) []int {
 	tier := s.chooseTier()
-	pool := append([]int(nil), s.tiers[tier]...)
+	segs := append(s.segScratch[:0], s.tiers[tier])
+	total := len(s.tiers[tier])
 	// Top up from adjacent tiers if this tier is too small.
-	for delta := 1; len(pool) < target && delta < s.cfg.NumTiers; delta++ {
+	for delta := 1; total < target && delta < s.cfg.NumTiers; delta++ {
 		if t := tier - delta; t >= 0 {
-			pool = append(pool, s.tiers[t]...)
+			segs = append(segs, s.tiers[t])
+			total += len(s.tiers[t])
 		}
 		if t := tier + delta; t < s.cfg.NumTiers {
-			pool = append(pool, s.tiers[t]...)
+			segs = append(segs, s.tiers[t])
+			total += len(s.tiers[t])
 		}
 	}
-	if target > len(pool) {
-		target = len(pool)
+	s.segScratch = segs
+	if target > total {
+		target = total
 	}
-	idx := s.r.SampleWithoutReplacement(len(pool), target)
+	idx := s.r.SampleWithoutReplacement(total, target)
 	out := make([]int, target)
 	for i, j := range idx {
-		out[i] = pool[j]
+		for _, seg := range segs {
+			if j < len(seg) {
+				out[i] = seg[j]
+				break
+			}
+			j -= len(seg)
+		}
 	}
 	if s.credits[tier] > 0 {
 		s.credits[tier]--
@@ -142,10 +184,14 @@ func (s *TiFL) chooseTier() int {
 		}
 		anyCredit = true
 		var meanLoss float64
-		for _, id := range members {
-			meanLoss += s.loss[id]
+		if s.scaleMode {
+			meanLoss = s.tierLossSum[tier] / float64(len(members))
+		} else {
+			for _, id := range members {
+				meanLoss += s.loss[id]
+			}
+			meanLoss /= float64(len(members))
 		}
-		meanLoss /= float64(len(members))
 		weights[tier] = (1-s.cfg.Adaptivity)*1 + s.cfg.Adaptivity*math.Max(meanLoss, 1e-6)
 	}
 	if !anyCredit {
@@ -158,10 +204,14 @@ func (s *TiFL) chooseTier() int {
 	return s.r.Categorical(weights)
 }
 
-// Observe implements fl.Selector: refresh per-party loss estimates.
+// Observe implements fl.Selector: refresh per-party loss estimates,
+// streaming the per-tier sums in fleet-scale mode.
 func (s *TiFL) Observe(fb fl.RoundFeedback) {
 	for _, id := range fb.Completed {
 		if l, ok := fb.MeanLoss[id]; ok {
+			if s.scaleMode {
+				s.tierLossSum[s.tierOf[id]] += l - s.loss[id]
+			}
 			s.loss[id] = l
 		}
 	}

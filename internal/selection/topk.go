@@ -1,0 +1,71 @@
+package selection
+
+import "container/heap"
+
+// utilItem is one tried party in the fleet-scale utility heap: the party's
+// current Oort utility plus its heap position, maintained by the heap
+// interface so Observe can re-key a party in O(log n) with heap.Fix.
+type utilItem struct {
+	id    int
+	util  float64
+	index int
+}
+
+// utilityHeap is a max-heap of tried parties ordered by (utility desc, id
+// asc) — the bounded top-k structure the fleet-scale Oort path pops its
+// candidate band from instead of scoring every tried party per round (the
+// internal/core/heap.go idiom, keyed by float utility instead of pick
+// counts). Ties break on lowest id for determinism.
+type utilityHeap struct {
+	items []*utilItem
+}
+
+var _ heap.Interface = (*utilityHeap)(nil)
+
+func (h *utilityHeap) Len() int { return len(h.items) }
+
+func (h *utilityHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.util != b.util {
+		return a.util > b.util
+	}
+	return a.id < b.id
+}
+
+func (h *utilityHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+// Push implements heap.Interface; use push() instead.
+func (h *utilityHeap) Push(x any) {
+	item, ok := x.(*utilItem)
+	if !ok {
+		panic("selection: utilityHeap.Push called with non-utilItem")
+	}
+	item.index = len(h.items)
+	h.items = append(h.items, item)
+}
+
+// Pop implements heap.Interface; use pop() instead.
+func (h *utilityHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return item
+}
+
+func (h *utilityHeap) push(item *utilItem) { heap.Push(h, item) }
+
+func (h *utilityHeap) pop() *utilItem {
+	item, ok := heap.Pop(h).(*utilItem)
+	if !ok {
+		panic("selection: utilityHeap.pop type corruption")
+	}
+	return item
+}
+
+func (h *utilityHeap) fix(item *utilItem) { heap.Fix(h, item.index) }

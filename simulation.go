@@ -68,6 +68,13 @@ type SimulationConfig struct {
 	// repeat runs. Zero uses GOMAXPROCS; 1 forces the sequential path. The
 	// result is bit-identical at every setting (see DESIGN.md).
 	Parallelism int
+	// Shards partitions the party population into deterministic contiguous
+	// shards for fleet-scale aggregation: per-party engine state becomes
+	// shard-local and lazily allocated, and the aggregation fold is
+	// partitioned across the worker pool. Results are bit-identical at
+	// every value (see DESIGN.md, "Sharded aggregation"); raise it for
+	// 100k+-party populations. Zero keeps a single shard.
+	Shards int
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -131,6 +138,7 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 		Aggregation:       c.Aggregation,
 		BufferSize:        c.BufferSize,
 		StalenessHalfLife: c.StalenessHalfLife,
+		Shards:            c.Shards,
 		TargetAccuracy:    experiment.TargetFor(spec),
 		Seed:              c.Seed,
 	}
@@ -257,6 +265,47 @@ func RunAsync(w io.Writer, paperScale bool, seed uint64) error {
 		scale = experiment.PaperScale()
 	}
 	table, err := experiment.RunAsync(scale, seed, nil, nil)
+	if err != nil {
+		return err
+	}
+	table.Render(w)
+	return nil
+}
+
+// ScaleConfig configures the fleet-scale sweep.
+type ScaleConfig struct {
+	// Parties lists population sizes (default 1k, 10k, 100k).
+	Parties []int
+	// Shards lists shard counts crossed with each population (default 1, 64).
+	Shards []int
+	// Rounds is the aggregation-step budget per cell (default 8).
+	Rounds int
+	// Strategy is "random" (default) or "oort".
+	Strategy string
+	// Repeats re-runs each cell, reporting streaming mean ± std (default 1).
+	Repeats int
+	// Parallelism bounds the engine worker pool (0 = GOMAXPROCS).
+	Parallelism int
+	// Seed fixes the run.
+	Seed uint64
+}
+
+// RunScale runs the fleet-scale sweep — parties × shards over the buffered
+// (FedBuff-style) engine, measuring wall-clock aggregation throughput,
+// arrivals/sec, shard locality and heap growth — and writes its table to w.
+// This is the harness behind `flipsbench -exp scale`; a 100k-party cell
+// completes in seconds because the engine's per-party state is shard-local
+// and the selectors' fleet-scale paths are O(cohort), not O(population).
+func RunScale(w io.Writer, cfg ScaleConfig) error {
+	table, err := experiment.RunScale(experiment.ScaleSweep{
+		Parties:     cfg.Parties,
+		Shards:      cfg.Shards,
+		Rounds:      cfg.Rounds,
+		Repeats:     cfg.Repeats,
+		Strategy:    cfg.Strategy,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+	}, nil)
 	if err != nil {
 		return err
 	}
