@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# SLO smoke for the flipsd job server. Two phases, both against freshly
+# built binaries and the SLO values checked into .github/slo.env:
+#
+#   1. Load run: flipsload fires SLO_JOBS jobs from SLO_CONCURRENCY
+#      concurrent submitters and gates on the p99 latency ceiling and the
+#      arrivals/sec floor; /metrics must expose the queue depth and p99
+#      series while the server is up.
+#   2. Drain: the same load is fired again and flipsd gets SIGTERM while
+#      jobs are still queued and running. flipsd exits non-zero if its
+#      drain summary loses a job; flipsload exits non-zero if any accepted
+#      job's outcome was never observed. Both must exit 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+. .github/slo.env
+
+ADDR=127.0.0.1:18080
+BIN=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
+
+go build -o "$BIN/flipsd" ./cmd/flipsd
+go build -o "$BIN/flipsload" ./cmd/flipsload
+
+wait_up() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "flipsd never came up" >&2
+  return 1
+}
+
+echo "== phase 1: SLO-gated load run =="
+"$BIN/flipsd" -listen "$ADDR" -queue "$SLO_QUEUE" -workers "$SLO_WORKERS" &
+FLIPSD=$!
+wait_up
+"$BIN/flipsload" -addr "http://$ADDR" \
+  -jobs "$SLO_JOBS" -concurrency "$SLO_CONCURRENCY" \
+  -slo-p99 "$SLO_P99" -slo-arrivals "$SLO_ARRIVALS"
+curl -fsS "http://$ADDR/metrics" | tee "$BIN/metrics.txt"
+grep -q '^flipsd_queue_depth ' "$BIN/metrics.txt"
+grep -q 'flipsd_job_latency_seconds{quantile="0.99"}' "$BIN/metrics.txt"
+kill -TERM "$FLIPSD"
+wait "$FLIPSD"
+
+echo "== phase 2: no-lost-jobs drain under concurrent load =="
+"$BIN/flipsd" -listen "$ADDR" -queue "$SLO_QUEUE" -workers "$SLO_WORKERS" &
+FLIPSD=$!
+wait_up
+"$BIN/flipsload" -addr "http://$ADDR" \
+  -jobs "$DRAIN_JOBS" -concurrency "$SLO_CONCURRENCY" &
+LOAD=$!
+sleep "$DRAIN_AFTER_SECONDS"
+kill -TERM "$FLIPSD"
+wait "$FLIPSD" # non-zero if the drain summary lost a job
+wait "$LOAD"   # non-zero if an accepted job failed or was never observed
+echo "SLO smoke ok"

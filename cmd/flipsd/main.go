@@ -1,32 +1,52 @@
-// Command flipsd runs the FLIPS aggregator-side TEE service: it boots a
-// simulated secure enclave with the label-distribution clustering code and
-// serves the attestation/submission/selection protocol over TCP (paper §3.3,
-// Figure 3).
+// Command flipsd is the FLIPS aggregator-side daemon. It serves one of three
+// modes:
 //
-// On startup it prints the enclave's code measurement and the hardware
-// attestation public key; parties provision their attestation server with
-// both and refuse to submit label distributions to any enclave that fails
-// verification.
+//   - Job server (default, -mode jobs): a long-running multi-tenant
+//     simulation service. Clients POST flips.SimulationConfig JSON to /jobs,
+//     poll GET /jobs/{id}, stream per-round progress from
+//     GET /jobs/{id}/stream (NDJSON, or SSE via Accept: text/event-stream),
+//     and scrape Prometheus metrics — queue depth, jobs in flight,
+//     arrivals/sec, p50/p99 job latency, shard locality — from GET /metrics.
+//     Jobs queue on a bounded buffer (-queue); a full buffer sheds load with
+//     429. SIGTERM drains gracefully: new jobs get 503 while every accepted
+//     job runs to completion, so an orderly shutdown never loses a job.
+//
+//   - TEE clustering service (-mode tee): boots a simulated secure enclave
+//     with the label-distribution clustering code and serves the
+//     attestation/submission/selection protocol over TCP (paper §3.3,
+//     Figure 3). On startup it prints the enclave's code measurement and the
+//     hardware attestation public key; parties provision their attestation
+//     server with both and refuse to submit label distributions to any
+//     enclave that fails verification.
+//
+//   - Selftest (-selftest): deployment smoke — run one short device-model FL
+//     job through the full pipeline (clustering, FLIPS selection, training)
+//     and report time-to-target accuracy, then exit.
 //
 // Usage:
 //
-//	flipsd -listen 127.0.0.1:7443 -maxk 20 -repeats 20 -parallel 4
-//	flipsd -selftest        # deployment smoke: run a short device-model FL
-//	                        # job and report (simulated) time-to-accuracy
+//	flipsd -listen 127.0.0.1:8080 -queue 64 -workers 4     # job server
+//	flipsd -mode tee -listen 127.0.0.1:7443 -maxk 20       # TEE service
+//	flipsd -selftest -aggregation buffered -parallel 4     # smoke
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"flips"
 	"flips/internal/experiment"
+	"flips/internal/server"
 	"flips/internal/tee"
 )
 
@@ -37,18 +57,21 @@ func main() {
 	}
 }
 
-// run drives the service; stop makes the serve loop interruptible so tests
+// run drives the daemon; stop makes the serve loops interruptible so tests
 // can shut the daemon down without process signals. Process signals are
-// registered on stop only once the serve loop is reached — -selftest and
-// flag errors keep the default signal disposition, so Ctrl+C still kills
-// them.
+// registered on stop only once a serve loop is reached — -selftest and flag
+// errors keep the default signal disposition, so Ctrl+C still kills them.
 func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	fs := flag.NewFlagSet("flipsd", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:7443", "TCP listen address")
-	maxK := fs.Int("maxk", 20, "maximum cluster count for the Davies-Bouldin sweep")
-	repeats := fs.Int("repeats", 20, "K-Means restarts per k (the paper's T)")
-	version := fs.String("version", "flips-kmeans-v1", "clustering code version (part of the measurement)")
-	par := fs.Int("parallel", 0, "cap on CPU parallelism for the service (0 = all cores)")
+	listen := fs.String("listen", "127.0.0.1:8080", "TCP listen address")
+	mode := fs.String("mode", "jobs", "serve mode: jobs (simulation job server) or tee (TEE clustering service)")
+	maxK := fs.Int("maxk", 20, "tee mode: maximum cluster count for the Davies-Bouldin sweep")
+	repeats := fs.Int("repeats", 20, "tee mode: K-Means restarts per k (the paper's T)")
+	version := fs.String("version", "flips-kmeans-v1", "tee mode: clustering code version (part of the measurement)")
+	par := fs.Int("parallel", 0, "CPU cap: GOMAXPROCS for the serve modes, the simulation worker-pool width for -selftest (0 = all cores)")
+	queueDepth := fs.Int("queue", 64, "jobs mode: bound on queued-but-not-running jobs; beyond it submissions get 429")
+	workers := fs.Int("workers", 0, "jobs mode: concurrently running jobs (0 = GOMAXPROCS)")
+	jobPar := fs.Int("job-parallel", 1, "jobs mode: per-job worker-pool width applied when a submitted config leaves Parallelism at 0")
 	selftest := fs.Bool("selftest", false, "run a short device-model FL simulation (clustering + selection + training pipeline) instead of serving, report time-to-target accuracy, and exit")
 	seed := fs.Uint64("seed", 1, "random seed for -selftest")
 	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
@@ -58,17 +81,91 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 		return err
 	}
 
+	// Fail fast on a bad execution model instead of deep inside the run.
+	switch *aggregation {
+	case "sync", "buffered", "semisync":
+	default:
+		return fmt.Errorf("unknown -aggregation %q (valid: sync, buffered, semisync)", *aggregation)
+	}
+
+	if *selftest {
+		// The CPU cap is applied exactly once: as the simulation's
+		// worker-pool width. (The serve modes below use GOMAXPROCS instead;
+		// doing both here used to double-apply the cap.)
+		return runSelftest(stdout, *seed, *par, *aggregation, *shards)
+	}
+
 	if *par > 0 {
 		// The service shares hosts with FL aggregators; a deployment can pin
 		// its CPU budget without cgroup plumbing.
 		runtime.GOMAXPROCS(*par)
 	}
 
-	if *selftest {
-		return runSelftest(stdout, *seed, *par, *aggregation, *shards)
+	switch *mode {
+	case "jobs":
+		return serveJobs(stdout, *listen, *queueDepth, *workers, *jobPar, stop)
+	case "tee":
+		return serveTEE(stdout, *listen, *maxK, *repeats, *version, stop)
+	default:
+		return fmt.Errorf("unknown -mode %q (valid: jobs, tee)", *mode)
+	}
+}
+
+// serveJobs runs the simulation job server until a stop signal, then drains:
+// submission stops (503), every accepted job finishes, active status/stream
+// connections complete, and the drain summary reports the final counts.
+func serveJobs(stdout io.Writer, listen string, queueDepth, workers, jobPar int, stop chan os.Signal) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("job server: %w", err)
+	}
+	srv := server.New(server.Config{
+		QueueDepth:     queueDepth,
+		Workers:        workers,
+		JobParallelism: jobPar,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	fmt.Fprintf(stdout, "flipsd: serving simulation jobs on http://%s\n", ln.Addr())
+	fmt.Fprintf(stdout, "  POST /jobs · GET /jobs/{id} · GET /jobs/{id}/stream · GET /metrics\n")
+	fmt.Fprintf(stdout, "  queue=%d workers=%d job-parallel=%d\n", queueDepth, workersOrCores(workers), jobPar)
+
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("job server: %w", err)
+	case <-stop:
 	}
 
-	code := tee.ClusteringCode{Version: *version, MaxK: *maxK, Repeats: *repeats}
+	fmt.Fprintln(stdout, "flipsd: draining job queue (new submissions get 503)")
+	srv.Drain()
+	// Every job has finished; give active streams/polls a bounded window to
+	// deliver their final events before the listener goes away.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "flipsd: drained: accepted=%d done=%d failed=%d rejected=%d\n",
+		st.Accepted, st.Done, st.Failed, st.Rejected)
+	if st.Done+st.Failed != st.Accepted {
+		return fmt.Errorf("drain lost jobs: accepted=%d but done+failed=%d", st.Accepted, st.Done+st.Failed)
+	}
+	return nil
+}
+
+func workersOrCores(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// serveTEE runs the TEE clustering service until a stop signal.
+func serveTEE(stdout io.Writer, listen string, maxK, repeats int, version string, stop chan os.Signal) error {
+	code := tee.ClusteringCode{Version: version, MaxK: maxK, Repeats: repeats}
 	hwPub, hwPriv, err := tee.GenerateHardwareKey()
 	if err != nil {
 		return err
@@ -77,12 +174,12 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	if err != nil {
 		return err
 	}
-	server := tee.NewServer(enclave)
-	addr, err := server.Listen(*listen)
+	srv := tee.NewServer(enclave)
+	addr, err := srv.Listen(listen)
 	if err != nil {
 		return err
 	}
-	defer server.Close()
+	defer srv.Close()
 
 	fmt.Fprintf(stdout, "flipsd: serving TEE clustering on %s\n", addr)
 	fmt.Fprintf(stdout, "  enclave measurement:  %s\n", enclave.Measurement())

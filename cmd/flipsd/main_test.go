@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
 	"os"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -45,11 +48,37 @@ func TestRunRejectsBadListenAddress(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	stop := make(chan os.Signal)
 	if err := run([]string{"-listen", "not-an-address"}, &out, &errBuf, stop); err == nil {
-		t.Fatal("bad listen address accepted")
+		t.Fatal("bad listen address accepted in jobs mode")
+	}
+	if err := run([]string{"-mode", "tee", "-listen", "not-an-address"}, &out, &errBuf, stop); err == nil {
+		t.Fatal("bad listen address accepted in tee mode")
 	}
 }
 
-// TestServeAndShutdown boots the daemon on an ephemeral port and stops it
+func TestRunRejectsUnknownMode(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-mode", "banana"}, &out, &errBuf, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "unknown -mode") {
+		t.Fatalf("unknown mode not rejected: %v", err)
+	}
+}
+
+// TestRunRejectsUnknownAggregation pins the fail-fast contract: a typo'd
+// execution model must be caught at flag time, not deep inside a simulation.
+func TestRunRejectsUnknownAggregation(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-selftest", "-aggregation", "asink"}, &out, &errBuf, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "unknown -aggregation") {
+		t.Fatalf("unknown aggregation not rejected at flag time: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("selftest ran before validation:\n%s", out.String())
+	}
+}
+
+// TestServeAndShutdown boots the TEE daemon on an ephemeral port and stops it
 // via the signal channel, checking the provisioning banner and the wipe
 // message — the full lifecycle short of real TCP clients (covered by
 // internal/tee's own tests).
@@ -59,7 +88,7 @@ func TestServeAndShutdown(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-listen", "127.0.0.1:0"}, &out, &errBuf, stop)
+		done <- run([]string{"-mode", "tee", "-listen", "127.0.0.1:0"}, &out, &errBuf, stop)
 	}()
 	// The banner is written before the serve loop blocks on stop; poll for
 	// it, then trigger shutdown.
@@ -80,6 +109,85 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 	if !strings.Contains(o, "wiping enclave state") {
 		t.Fatalf("missing shutdown message:\n%s", o)
+	}
+}
+
+var jobsBanner = regexp.MustCompile(`serving simulation jobs on (http://[0-9.:]+)`)
+
+// TestJobsServeSubmitAndDrain boots the default job-server mode on an
+// ephemeral port, submits real simulation jobs over HTTP, then sends the
+// stop signal while they may still be queued or running. The drain summary
+// must account for every accepted job — the no-lost-jobs contract of an
+// orderly shutdown.
+func TestJobsServeSubmitAndDrain(t *testing.T) {
+	t.Parallel()
+	var out, errBuf syncBuffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-workers", "2", "-queue", "8"}, &out, &errBuf, stop)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	var base string
+	for base == "" {
+		if m := jobsBanner.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job server never came up; output:\n%s\n%s", out.String(), errBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	const jobs = 5
+	accepted := 0
+	for i := 0; i < jobs; i++ {
+		body := fmt.Sprintf(`{"Dataset":"mit-bih-ecg","Strategy":"random","Rounds":2,"Parties":6,"Seed":%d}`, i+1)
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			accepted++
+		}
+		resp.Body.Close()
+	}
+	if accepted != jobs {
+		t.Fatalf("accepted %d of %d submissions", accepted, jobs)
+	}
+
+	// Metrics must be scrapeable while jobs are in flight.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	metricsOut := sb.String()
+	for _, want := range []string{"flipsd_queue_depth", "flipsd_job_latency_seconds{quantile=\"0.99\"}"} {
+		if !strings.Contains(metricsOut, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metricsOut)
+		}
+	}
+
+	// Drain while jobs are still queued/running: none may be lost.
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("drain failed: %v\noutput:\n%s", err, out.String())
+	}
+	o := out.String()
+	wantSummary := fmt.Sprintf("drained: accepted=%d done=%d failed=0", jobs, jobs)
+	if !strings.Contains(o, wantSummary) {
+		t.Fatalf("drain summary missing %q:\n%s", wantSummary, o)
 	}
 }
 
@@ -117,5 +225,23 @@ func TestSelftestIsShardInvariant(t *testing.T) {
 	}
 	if base.String() != sharded.String() {
 		t.Fatalf("selftest output moved under -shards 5:\n%s\nvs\n%s", base.String(), sharded.String())
+	}
+}
+
+// TestSelftestParallelismIsResultInvariant pins the other half of the same
+// contract and the single-application CPU-cap fix: -parallel now bounds the
+// simulation worker pool (not GOMAXPROCS as well), and the report must be
+// byte-identical at any width.
+func TestSelftestParallelismIsResultInvariant(t *testing.T) {
+	t.Parallel()
+	var base, capped, errBuf bytes.Buffer
+	if err := run([]string{"-selftest", "-seed", "3"}, &base, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-selftest", "-seed", "3", "-parallel", "2"}, &capped, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != capped.String() {
+		t.Fatalf("selftest output moved under -parallel 2:\n%s\nvs\n%s", base.String(), capped.String())
 	}
 }

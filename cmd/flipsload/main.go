@@ -1,0 +1,307 @@
+// Command flipsload is a load generator and SLO gate for the flipsd job
+// server. It fires a fixed number of simulation jobs at the server from a
+// pool of concurrent submitters, follows each job to completion over the
+// streaming endpoint, and reports throughput and latency percentiles.
+//
+// The exit status is the gate: flipsload fails (non-zero) when any accepted
+// job is lost or finishes in error, when nothing was accepted at all, or
+// when an SLO flag is violated — -slo-p99 bounds the p99
+// submission-to-completion latency, -slo-arrivals floors the accepted
+// arrival rate. CI points this at a freshly built flipsd to smoke the
+// service under real concurrency.
+//
+// Usage:
+//
+//	flipsload -addr http://127.0.0.1:8080 -jobs 100 -concurrency 50 \
+//	    -slo-p99 30s -slo-arrivals 5
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flips"
+	"flips/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flipsload:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	Jobs           int     `json:"jobs"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"` // 429/503 or submit transport errors: shed at the edge, never queued
+	Done           int     `json:"done"`
+	Failed         int     `json:"failed"`
+	Lost           int     `json:"lost"` // accepted but outcome never observed — the drain contract violation
+	WallSeconds    float64 `json:"wall_seconds"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+	P50Seconds     float64 `json:"p50_seconds"`
+	P95Seconds     float64 `json:"p95_seconds"`
+	P99Seconds     float64 `json:"p99_seconds"`
+}
+
+// outcome is one job's observed fate.
+type outcome struct {
+	state   string // "done", "failed", "rejected", "lost"
+	latency time.Duration
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flipsload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "flipsd job-server base URL")
+	jobs := fs.Int("jobs", 100, "total jobs to submit")
+	conc := fs.Int("concurrency", 50, "concurrent submitters (jobs in flight from the client side)")
+	dataset := fs.String("dataset", "mit-bih-ecg", "dataset for the generated jobs")
+	strategy := fs.String("strategy", "random", "party-selection strategy for the generated jobs")
+	rounds := fs.Int("rounds", 2, "FL rounds per job")
+	parties := fs.Int("parties", 6, "parties per job")
+	seed := fs.Uint64("seed", 1, "base seed; job i runs with seed+i")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-job completion deadline before it counts as lost")
+	sloP99 := fs.Duration("slo-p99", 0, "fail when p99 job latency exceeds this (0 disables)")
+	sloArrivals := fs.Float64("slo-arrivals", 0, "fail when accepted arrivals/sec fall below this (0 disables)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs <= 0 || *conc <= 0 {
+		return fmt.Errorf("-jobs and -concurrency must be positive")
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *conc,
+		MaxIdleConnsPerHost: *conc,
+	}}
+
+	var (
+		mu       sync.Mutex
+		outcomes = make([]outcome, 0, *jobs)
+	)
+	record := func(o outcome) {
+		mu.Lock()
+		outcomes = append(outcomes, o)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	ids := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ids {
+				cfg := flips.SimulationConfig{
+					Dataset:  *dataset,
+					Strategy: *strategy,
+					Rounds:   *rounds,
+					Parties:  *parties,
+					Seed:     *seed + uint64(i),
+				}
+				record(fireJob(client, strings.TrimRight(*addr, "/"), cfg, *timeout))
+			}
+		}()
+	}
+	for i := 0; i < *jobs; i++ {
+		ids <- i
+	}
+	close(ids)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{Jobs: *jobs, WallSeconds: wall.Seconds()}
+	lat := metrics.NewWindow(*jobs)
+	for _, o := range outcomes {
+		switch o.state {
+		case "done":
+			rep.Done++
+			lat.Push(o.latency.Seconds())
+		case "failed":
+			rep.Failed++
+			lat.Push(o.latency.Seconds())
+		case "rejected":
+			rep.Rejected++
+		default:
+			rep.Lost++
+		}
+	}
+	rep.Accepted = rep.Done + rep.Failed + rep.Lost
+	if wall > 0 {
+		rep.ArrivalsPerSec = float64(rep.Accepted) / wall.Seconds()
+	}
+	rep.P50Seconds = lat.Quantile(0.50)
+	rep.P95Seconds = lat.Quantile(0.95)
+	rep.P99Seconds = lat.Quantile(0.99)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "flipsload: %d jobs · %d concurrent · wall %.2fs\n", rep.Jobs, *conc, rep.WallSeconds)
+		fmt.Fprintf(stdout, "  accepted=%d done=%d failed=%d rejected=%d lost=%d\n",
+			rep.Accepted, rep.Done, rep.Failed, rep.Rejected, rep.Lost)
+		fmt.Fprintf(stdout, "  arrivals/sec=%.2f p50=%.3fs p95=%.3fs p99=%.3fs\n",
+			rep.ArrivalsPerSec, rep.P50Seconds, rep.P95Seconds, rep.P99Seconds)
+	}
+
+	var violations []string
+	if rep.Accepted == 0 {
+		violations = append(violations, "no job was accepted")
+	}
+	if rep.Failed > 0 {
+		violations = append(violations, fmt.Sprintf("%d jobs failed", rep.Failed))
+	}
+	if rep.Lost > 0 {
+		violations = append(violations, fmt.Sprintf("%d jobs lost (accepted but outcome never observed)", rep.Lost))
+	}
+	if *sloP99 > 0 && rep.P99Seconds > sloP99.Seconds() {
+		violations = append(violations, fmt.Sprintf("p99 latency %.3fs exceeds SLO %s", rep.P99Seconds, sloP99))
+	}
+	if *sloArrivals > 0 && rep.ArrivalsPerSec < *sloArrivals {
+		violations = append(violations, fmt.Sprintf("arrival rate %.2f/s below SLO %.2f/s", rep.ArrivalsPerSec, *sloArrivals))
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		return fmt.Errorf("SLO gate failed: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}
+
+// submitResponse is the slice of server.JobStatus flipsload needs.
+type submitResponse struct {
+	ID string
+}
+
+// streamEvent mirrors server.StreamEvent's terminal fields.
+type streamEvent struct {
+	Done  bool
+	State string
+	Error string
+}
+
+// fireJob submits one job and follows it to a terminal state. Submission
+// shedding (429 during overload, 503 during drain) and transport errors are
+// "rejected": the server never owned the job. After acceptance the job is
+// tracked via the streaming endpoint — the server pushes the terminal event,
+// so during a drain the client observes the outcome before the listener goes
+// away. A job counts "lost" only when its outcome could not be observed by
+// any means within the deadline.
+func fireJob(client *http.Client, base string, cfg flips.SimulationConfig, timeout time.Duration) outcome {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return outcome{state: "rejected"}
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return outcome{state: "rejected"}
+	}
+	var sub submitResponse
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sub)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || decodeErr != nil || sub.ID == "" {
+		return outcome{state: "rejected"}
+	}
+
+	deadline := time.Now().Add(timeout)
+	// The stream replays before following, so reconnecting after a broken
+	// stream loses nothing. Retry connects briefly: during a drain the
+	// listener outlives the jobs, but a blip shouldn't orphan the job.
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		if state, ok := followStream(client, base, sub.ID, deadline); ok {
+			return outcome{state: state, latency: time.Since(start)}
+		}
+		// Stream unavailable — fall back to one status poll before retrying.
+		if state, ok := pollStatus(client, base, sub.ID); ok {
+			return outcome{state: state, latency: time.Since(start)}
+		}
+		if attempt >= 4 {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return outcome{state: "lost"}
+}
+
+// followStream reads the job's NDJSON stream until the terminal event.
+// Returns ok=false when the stream could not be opened or ended without a
+// terminal event.
+func followStream(client *http.Client, base, id string, deadline time.Time) (string, bool) {
+	req, err := http.NewRequest(http.MethodGet, base+"/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return "", false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		if time.Now().After(deadline) {
+			return "", false
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev streamEvent
+		if json.Unmarshal([]byte(line), &ev) != nil {
+			continue
+		}
+		if ev.Done {
+			if ev.State == "done" {
+				return "done", true
+			}
+			return "failed", true
+		}
+	}
+	return "", false
+}
+
+// pollStatus makes one GET /jobs/{id}; terminal states resolve the job.
+func pollStatus(client *http.Client, base, id string) (string, bool) {
+	resp, err := client.Get(base + "/jobs/" + id)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	var st struct {
+		State string
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st) != nil {
+		return "", false
+	}
+	switch st.State {
+	case "done", "failed":
+		return st.State, true
+	}
+	return "", false
+}

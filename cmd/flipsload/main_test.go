@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flips"
+	"flips/internal/server"
+)
+
+// TestLoadRunAgainstRealServer drives flipsload end to end against the real
+// job server with the real simulation runner: every job must be accepted,
+// finish, and be observed — the exact path the CI SLO smoke exercises.
+func TestLoadRunAgainstRealServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	t.Parallel()
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-jobs", "8", "-concurrency", "4",
+		"-rounds", "2", "-parties", "6",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("flipsload failed: %v\n%s", err, out.String())
+	}
+	var rep report
+	if jerr := json.Unmarshal(out.Bytes(), &rep); jerr != nil {
+		t.Fatalf("bad JSON report: %v\n%s", jerr, out.String())
+	}
+	if rep.Accepted != 8 || rep.Done != 8 || rep.Failed != 0 || rep.Lost != 0 {
+		t.Fatalf("unexpected outcomes: %+v", rep)
+	}
+	if rep.P99Seconds <= 0 {
+		t.Fatalf("latency percentiles not populated: %+v", rep)
+	}
+	if rep.ArrivalsPerSec <= 0 {
+		t.Fatalf("arrival rate not populated: %+v", rep)
+	}
+}
+
+// TestLoadRunGatesOnFailedJobs wires a runner that fails every job: the gate
+// must trip (non-zero) even though all jobs were accepted and observed.
+func TestLoadRunGatesOnFailedJobs(t *testing.T) {
+	t.Parallel()
+	srv := server.New(server.Config{
+		Workers: 2,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			return nil, fmt.Errorf("injected failure")
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	var out bytes.Buffer
+	err := run([]string{"-addr", ts.URL, "-jobs", "3", "-concurrency", "3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "jobs failed") {
+		t.Fatalf("failed jobs did not trip the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "failed=3") {
+		t.Fatalf("report does not show the failures:\n%s", out.String())
+	}
+}
+
+// TestLoadRunGatesOnLatencySLO uses an instant fake runner and a 1ns p99
+// bound, so any observed latency violates the SLO.
+func TestLoadRunGatesOnLatencySLO(t *testing.T) {
+	t.Parallel()
+	srv := server.New(server.Config{
+		Workers: 2,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	var out bytes.Buffer
+	err := run([]string{"-addr", ts.URL, "-jobs", "3", "-concurrency", "3", "-slo-p99", "1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds SLO") {
+		t.Fatalf("latency SLO did not trip the gate: %v\n%s", err, out.String())
+	}
+}
+
+// TestLoadRunRejectsBadFlags covers the flag surface.
+func TestLoadRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-jobs", "0"}, &out); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if err := run([]string{"-concurrency", "-1"}, &out); err == nil {
+		t.Fatal("negative concurrency accepted")
+	}
+}

@@ -139,6 +139,51 @@ func TestRunSimulationDefaults(t *testing.T) {
 	}
 }
 
+// TestRunSimulationStreamMatchesHistory pins the streaming surface: the
+// hook must observe exactly the rounds the final history reports, in order,
+// with identical values.
+func TestRunSimulationStreamMatchesHistory(t *testing.T) {
+	var streamed []RoundPoint
+	res, err := RunSimulationStream(SimulationConfig{
+		Dataset: "mit-bih-ecg",
+		Rounds:  8,
+		Parties: 24,
+		Seed:    5,
+	}, func(p RoundPoint) {
+		p.PerLabel = append([]float64(nil), p.PerLabel...)
+		streamed = append(streamed, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.History) {
+		t.Fatalf("streamed %d rounds, history has %d", len(streamed), len(res.History))
+	}
+	for i, p := range streamed {
+		h := res.History[i]
+		if p.Round != h.Round || p.Accuracy != h.Accuracy || p.SimTime != h.SimTime ||
+			p.Invited != h.Invited || p.Completed != h.Completed {
+			t.Fatalf("streamed round %d = %+v, history %+v", i, p, h)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigsWithoutRunning(t *testing.T) {
+	if err := (SimulationConfig{Dataset: "mit-bih-ecg", Rounds: 4, Parties: 8}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, cfg := range []SimulationConfig{
+		{Dataset: "cifar-zillion"},
+		{Dataset: "mit-bih-ecg", Aggregation: "bogus"},
+		{Dataset: "mit-bih-ecg", Strategy: "psychic"},
+		{Dataset: "mit-bih-ecg", DeviceProfile: "quantum"},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v validated", cfg)
+		}
+	}
+}
+
 func TestRunSimulationUnknownDataset(t *testing.T) {
 	if _, err := RunSimulation(SimulationConfig{Dataset: "cifar-zillion"}); err == nil {
 		t.Fatal("unknown dataset accepted")

@@ -443,6 +443,16 @@ func buildAlgorithm(name string, sgd model.SGDConfig) (fl.ServerOptimizer, model
 // past the requested concurrency. The across-seed reduction always folds in
 // repeat order, so the averages are bit-identical at every width.
 func RunSetting(setting Setting, scale Scale) (*fl.Result, error) {
+	return RunSettingStream(setting, scale, nil)
+}
+
+// RunSettingStream is RunSetting with a per-round streaming hook: onRound,
+// when non-nil, receives every evaluated RoundStats of the *first* repeat as
+// it happens (later repeats re-run the same cell under different seeds only
+// to average the headline numbers, so streaming them would interleave
+// unrelated trajectories). The hook runs on the first repeat's engine
+// goroutine; see fl.Config.OnRound for its retention contract.
+func RunSettingStream(setting Setting, scale Scale, onRound func(fl.RoundStats)) (*fl.Result, error) {
 	repeats := max(scale.Repeats, 1)
 	budget := parallel.New(scale.Parallelism).Width()
 	repWidth := min(budget, repeats)
@@ -458,6 +468,9 @@ func RunSetting(setting Setting, scale Scale) (*fl.Result, error) {
 		built, err := Build(s, innerScale)
 		if err != nil {
 			return repOut{err: err}
+		}
+		if rep == 0 {
+			built.Config.OnRound = onRound
 		}
 		res, err := fl.Run(built.Config)
 		return repOut{res: res, err: err}

@@ -73,6 +73,13 @@ type Config struct {
 	CheckpointSink func(*Checkpoint)
 	// EvalEvery evaluates the global model every k rounds (default 1).
 	EvalEvery int
+	// OnRound, when non-nil, receives every evaluated round's RoundStats the
+	// moment it is appended to the history — the streaming hook the job
+	// server uses to push per-round progress to clients while a job runs.
+	// It is called on the engine's goroutine, so it must not block for long;
+	// the PerLabel slice is owned by the history entry and must be copied if
+	// retained past the call.
+	OnRound func(RoundStats)
 	// TargetAccuracy records the first round whose balanced accuracy
 	// reaches this value (the paper's rounds-to-target metric).
 	TargetAccuracy float64

@@ -460,6 +460,9 @@ func (c *eventCore) maybeEval(step, invited, completed int, commBytes int64, mea
 	stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)
 	stats.PerLabel = metrics.PerLabelRecallFromCounts(correct, total)
 	c.res.History = append(c.res.History, stats)
+	if c.cfg.OnRound != nil {
+		c.cfg.OnRound(stats)
+	}
 	if stats.Accuracy > c.res.PeakAccuracy {
 		c.res.PeakAccuracy = stats.Accuracy
 	}

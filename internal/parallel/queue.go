@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Queue is the long-lived counterpart of Pool: a bounded work queue with a
+// fixed worker set, built for servers that accept work over time instead of
+// fanning out a known index range. Submission is non-blocking — when the
+// buffer is full the caller is told so and can shed load (the job server
+// turns that into HTTP 429) — and Drain gives the graceful-shutdown
+// primitive: stop accepting, then wait for every queued and running task.
+//
+// Tasks must not panic; as a last resort a panicking task is captured like
+// Pool's workers (first panic wins, wrapped in *panicError with its stack)
+// and re-panicked on the goroutine that calls Drain, so a programming error
+// cannot take a worker down silently.
+type Queue struct {
+	tasks   chan func()
+	workers sync.WaitGroup // worker goroutines
+	pending sync.WaitGroup // queued + running tasks
+
+	mu      sync.Mutex
+	closed  bool
+	failure *panicError
+}
+
+// NewQueue starts a queue with the given worker count (zero or less selects
+// GOMAXPROCS) and buffer capacity (minimum 1).
+func NewQueue(workers, capacity int) *Queue {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{tasks: make(chan func(), capacity)}
+	q.workers.Add(workers)
+	for w := 0; w < workers; w++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.workers.Done()
+	for fn := range q.tasks {
+		func() {
+			defer q.pending.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 64<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					q.mu.Lock()
+					if q.failure == nil {
+						q.failure = &panicError{value: r, stack: buf}
+					}
+					q.mu.Unlock()
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TrySubmit enqueues fn, reporting false without blocking when the buffer is
+// full or the queue is draining.
+func (q *Queue) TrySubmit(fn func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.pending.Add(1)
+	select {
+	case q.tasks <- fn:
+		return true
+	default:
+		q.pending.Done()
+		return false
+	}
+}
+
+// Depth reports how many tasks are queued but not yet picked up.
+func (q *Queue) Depth() int { return len(q.tasks) }
+
+// Drain stops accepting new tasks and blocks until every queued and running
+// task has finished and all workers have exited. Tasks already accepted are
+// never dropped. Drain is idempotent and safe to call concurrently; if any
+// task panicked, the first captured panic is re-raised here.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.tasks)
+	}
+	q.mu.Unlock()
+	q.pending.Wait()
+	q.workers.Wait()
+	q.mu.Lock()
+	failure := q.failure
+	q.mu.Unlock()
+	if failure != nil {
+		panic(failure)
+	}
+}

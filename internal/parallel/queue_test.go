@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsEverythingAccepted(t *testing.T) {
+	t.Parallel()
+	q := NewQueue(4, 64)
+	var ran atomic.Int64
+	accepted := 0
+	for i := 0; i < 50; i++ {
+		if q.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		}
+	}
+	q.Drain()
+	if int(ran.Load()) != accepted {
+		t.Fatalf("ran %d of %d accepted tasks", ran.Load(), accepted)
+	}
+	if accepted != 50 {
+		t.Fatalf("accepted %d of 50 with a 64-deep buffer", accepted)
+	}
+}
+
+func TestQueueShedsLoadWhenFull(t *testing.T) {
+	t.Parallel()
+	q := NewQueue(1, 2)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	ok := q.TrySubmit(func() { started.Done(); <-release })
+	if !ok {
+		t.Fatal("first submit rejected")
+	}
+	started.Wait() // worker busy; buffer now empty
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if q.TrySubmit(func() { <-release }) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d with a 2-deep buffer and a busy worker, want 2", accepted)
+	}
+	close(release)
+	q.Drain()
+	if q.TrySubmit(func() {}) {
+		t.Fatal("submit accepted after Drain")
+	}
+}
+
+// TestQueueDrainWaitsForQueuedTasks pins the no-job-lost drain contract:
+// tasks still sitting in the buffer when Drain begins must run to completion.
+func TestQueueDrainWaitsForQueuedTasks(t *testing.T) {
+	t.Parallel()
+	q := NewQueue(1, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		if !q.TrySubmit(func() {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		}) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	q.Drain()
+	if ran.Load() != 10 {
+		t.Fatalf("drain lost tasks: ran %d of 10", ran.Load())
+	}
+}
+
+func TestQueuePanicSurfacesInDrain(t *testing.T) {
+	t.Parallel()
+	q := NewQueue(2, 4)
+	q.TrySubmit(func() { panic("job bug") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Drain swallowed the task panic")
+		}
+		if !strings.Contains(r.(*panicError).Error(), "job bug") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	q.Drain()
+}
+
+func TestQueueConcurrentSubmitAndDrain(t *testing.T) {
+	t.Parallel()
+	q := NewQueue(4, 8)
+	var ran, acc atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if q.TrySubmit(func() { ran.Add(1) }) {
+					acc.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(500 * time.Microsecond)
+	q.Drain()
+	wg.Wait()
+	// Everything accepted before/while draining must have run.
+	if ran.Load() != acc.Load() {
+		t.Fatalf("ran %d != accepted %d", ran.Load(), acc.Load())
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// arrivalRateWindow is the sliding window of the arrivals/sec gauge.
+const arrivalRateWindow = 60 * time.Second
+
+// handleMetrics renders the service counters in the Prometheus text
+// exposition format (text/plain; version 0.0.4). Everything is computed
+// from the server's own state — no client library, no background samplers —
+// so a scrape costs one mutex hold plus one sort of the latency window.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	now := s.cfg.Now()
+	uptime := now.Sub(s.started).Seconds()
+	up := 1
+	if s.draining {
+		up = 0
+	}
+	depth := s.queue.Depth()
+	inFlight := s.inFlight
+	accepted, rejected := s.accepted, s.rejected
+	done, failed := s.doneCount, s.failedCount
+	roundsTotal := s.roundsTotal
+	arrivalRate := s.arrivalRateLocked(now)
+	p50 := s.latency.Quantile(0.50)
+	p90 := s.latency.Quantile(0.90)
+	p99 := s.latency.Quantile(0.99)
+	latCount := s.latStream.Count()
+	latSum := s.latStream.Mean() * float64(latCount)
+	shardMean := s.shardStream.Mean()
+	s.mu.Unlock()
+
+	var b strings.Builder
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, promFloat(v))
+	}
+	gauge("flipsd_up", "1 while accepting jobs, 0 once draining.", float64(up))
+	gauge("flipsd_uptime_seconds", "Seconds since the job server started.", uptime)
+	gauge("flipsd_queue_depth", "Jobs queued but not yet running.", float64(depth))
+	gauge("flipsd_queue_capacity", "Bound of the job queue.", float64(s.cfg.QueueDepth))
+	gauge("flipsd_jobs_inflight", "Jobs currently running.", float64(inFlight))
+	counter("flipsd_jobs_accepted_total", "Jobs accepted into the queue.", float64(accepted))
+	counter("flipsd_jobs_rejected_total", "Jobs rejected with 429 (queue full).", float64(rejected))
+	counter("flipsd_jobs_done_total", "Jobs finished successfully.", float64(done))
+	counter("flipsd_jobs_failed_total", "Jobs finished with an error.", float64(failed))
+	counter("flipsd_rounds_total", "Evaluated simulation rounds streamed across all jobs.", float64(roundsTotal))
+	gauge("flipsd_job_arrivals_per_sec", "Job arrival rate over the last 60s.", arrivalRate)
+	gauge("flipsd_round_shards_touched_mean", "Mean aggregation shards touched per evaluated round (shard locality).", shardMean)
+
+	const lat = "flipsd_job_latency_seconds"
+	fmt.Fprintf(&b, "# HELP %s Submission-to-completion job latency (queue wait included).\n# TYPE %s summary\n", lat, lat)
+	fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", lat, promFloat(p50))
+	fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %s\n", lat, promFloat(p90))
+	fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", lat, promFloat(p99))
+	fmt.Fprintf(&b, "%s_sum %s\n", lat, promFloat(latSum))
+	fmt.Fprintf(&b, "%s_count %d\n", lat, latCount)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// arrivalRateLocked counts arrivals inside the sliding window. The ring
+// holds the most recent arrivals, so a full ring whose oldest entry is still
+// inside the window underestimates only when more than the ring capacity
+// arrived within it — at which point the floor it reports is already high.
+func (s *Server) arrivalRateLocked(now time.Time) float64 {
+	cutoff := now.Add(-arrivalRateWindow)
+	n := 0
+	for _, t := range s.arrivals {
+		if t.After(cutoff) {
+			n++
+		}
+	}
+	window := arrivalRateWindow.Seconds()
+	if uptime := now.Sub(s.started).Seconds(); uptime > 0 && uptime < window {
+		window = uptime
+	}
+	if window <= 0 {
+		return 0
+	}
+	return float64(n) / window
+}
+
+// promFloat renders a float in the exposition format (NaN for empty
+// quantiles is legal and conventional).
+func promFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,537 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flips"
+)
+
+// validBody is a real, fast SimulationConfig: submissions go through the
+// genuine flips.SimulationConfig.Validate even when the runner is faked.
+func validBody(t *testing.T) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(flips.SimulationConfig{
+		Dataset: "mit-bih-ecg", Strategy: "random", Rounds: 2, Parties: 6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func submit(t *testing.T, ts *httptest.Server, body io.Reader) (JobStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %d", id, resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	t.Parallel()
+	s := New(Config{
+		Workers: 2,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			for i := 1; i <= 3; i++ {
+				onRound(flips.RoundPoint{Round: i, Accuracy: 0.2 * float64(i), ShardsTouched: 2})
+			}
+			return &flips.SimulationResult{PeakAccuracy: 0.6, RoundsToTarget: 3}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	st, resp := submit(t, ts, validBody(t))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit response %+v", st)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("final state %q (%s)", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.PeakAccuracy != 0.6 {
+		t.Fatalf("missing result: %+v", final)
+	}
+	if final.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", final.Rounds)
+	}
+	if final.StartedAt.IsZero() || final.FinishedAt.IsZero() {
+		t.Fatalf("missing phase timestamps: %+v", final)
+	}
+
+	// The listing carries the job without the heavy result payload.
+	resp2, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var list []JobStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID || list[0].Result != nil {
+		t.Fatalf("listing = %+v", list)
+	}
+}
+
+func TestJobFailureIsReported(t *testing.T) {
+	t.Parallel()
+	s := New(Config{
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			return nil, errors.New("synthetic engine failure")
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	st, _ := submit(t, ts, validBody(t))
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "synthetic engine failure") {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestJobPanicMarksJobFailed(t *testing.T) {
+	t.Parallel()
+	s := New(Config{
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			panic("runner bug")
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, _ := submit(t, ts, validBody(t))
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "runner bug") {
+		t.Fatalf("final = %+v", final)
+	}
+	// The worker survived the panic: the next job runs normally.
+	s.cfg.Run = func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+		return &flips.SimulationResult{}, nil
+	}
+	st2, _ := submit(t, ts, validBody(t))
+	if final := waitTerminal(t, ts, st2.ID); final.State != StateDone {
+		t.Fatalf("job after panic = %+v", final)
+	}
+	s.Drain()
+}
+
+func TestSubmitRejectsMalformedConfigs(t *testing.T) {
+	t.Parallel()
+	s := New(Config{
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	for _, body := range []string{
+		`{not json`,
+		`{"Dataset": "mit-bih-ecg", "Carburetor": true}`, // unknown field
+		`{"Dataset": "cifar-zillion"}`,                   // unknown dataset
+		`{"Dataset": "mit-bih-ecg", "Aggregation": "bogus"}`,
+		`{"Dataset": "mit-bih-ecg", "DeviceProfile": "quantum"}`,
+	} {
+		_, resp := submit(t, ts, strings.NewReader(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if got := s.Stats().Accepted; got != 0 {
+		t.Fatalf("malformed submissions were accepted: %d", got)
+	}
+}
+
+func TestSubmitShedsLoadWhenQueueFull(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	var once sync.Once
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 2,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			once.Do(started.Done)
+			<-release
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One job occupies the worker; the 2-deep buffer takes two more.
+	if _, resp := submit(t, ts, validBody(t)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	started.Wait()
+	code := func() int {
+		_, resp := submit(t, ts, validBody(t))
+		return resp.StatusCode
+	}
+	accepted, rejected := 0, 0
+	for i := 0; i < 5; i++ {
+		switch c := code(); c {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if accepted != 2 || rejected != 3 {
+		t.Fatalf("accepted %d rejected %d, want 2/3", accepted, rejected)
+	}
+	close(release)
+	s.Drain()
+	if st := s.Stats(); st.Done != 3 || st.Rejected != 3 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestDrainLosesNoJob pins graceful shutdown: every job accepted before (or
+// racing with) Drain reaches a terminal state, new submissions get 503, and
+// status endpoints keep serving during the drain.
+func TestDrainLosesNoJob(t *testing.T) {
+	t.Parallel()
+	var ran atomic.Int64
+	s := New(Config{
+		Workers:    2,
+		QueueDepth: 64,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			time.Sleep(3 * time.Millisecond)
+			ran.Add(1)
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 20; i++ {
+		st, resp := submit(t, ts, validBody(t))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+
+	// Once draining is visible, submissions must 503 — jobs are rejected at
+	// the edge, not silently dropped.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, resp := submit(t, ts, validBody(t)); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain hung")
+	}
+	if int(ran.Load()) != len(ids) {
+		t.Fatalf("drain lost jobs: ran %d of %d", ran.Load(), len(ids))
+	}
+	for _, id := range ids {
+		if st := getStatus(t, ts, id); st.State != StateDone {
+			t.Fatalf("job %s state %q after drain", id, st.State)
+		}
+	}
+}
+
+func TestStreamReplaysAndFollows(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	s := New(Config{
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			onRound(flips.RoundPoint{Round: 1, Accuracy: 0.3})
+			onRound(flips.RoundPoint{Round: 2, Accuracy: 0.5})
+			<-release // hold the job open so the stream must follow live
+			onRound(flips.RoundPoint{Round: 3, Accuracy: 0.7})
+			return &flips.SimulationResult{PeakAccuracy: 0.7}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	st, _ := submit(t, ts, validBody(t))
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var events []StreamEvent
+	readEvent := func() StreamEvent {
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v (have %d events)", sc.Err(), len(events))
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+		return ev
+	}
+	if ev := readEvent(); ev.Round == nil || ev.Round.Round != 1 {
+		t.Fatalf("event 0 = %+v", ev)
+	}
+	if ev := readEvent(); ev.Round == nil || ev.Round.Round != 2 {
+		t.Fatalf("event 1 = %+v", ev)
+	}
+	close(release) // now round 3 and the terminal event arrive live
+	if ev := readEvent(); ev.Round == nil || ev.Round.Round != 3 {
+		t.Fatalf("event 2 = %+v", ev)
+	}
+	final := readEvent()
+	if !final.Done || final.State != StateDone || final.Result == nil {
+		t.Fatalf("final = %+v", final)
+	}
+	if sc.Scan() {
+		t.Fatalf("stream continued past terminal event: %s", sc.Text())
+	}
+}
+
+func TestStreamSSE(t *testing.T) {
+	t.Parallel()
+	s := New(Config{
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			onRound(flips.RoundPoint{Round: 1})
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+
+	st, _ := submit(t, ts, validBody(t))
+	waitTerminal(t, ts, st.ID)
+	req, _ := http.NewRequest("GET", ts.URL+"/jobs/"+st.ID+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "data: {") || !strings.Contains(string(body), `"Done":true`) {
+		t.Fatalf("SSE body:\n%s", body)
+	}
+}
+
+func TestStreamUnknownJob404(t *testing.T) {
+	t.Parallel()
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain()
+	for _, path := range []string{"/jobs/job-999999", "/jobs/job-999999/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	t.Parallel()
+	now := time.Unix(1000, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		now = now.Add(100 * time.Millisecond)
+		return now
+	}
+	s := New(Config{
+		Now: clock,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			onRound(flips.RoundPoint{Round: 1, ShardsTouched: 4})
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		st, _ := submit(t, ts, validBody(t))
+		waitTerminal(t, ts, st.ID)
+	}
+	s.Drain()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"flipsd_up 0", // drained
+		"flipsd_queue_depth 0",
+		"flipsd_jobs_inflight 0",
+		"flipsd_jobs_accepted_total 3",
+		"flipsd_jobs_done_total 3",
+		"flipsd_jobs_failed_total 0",
+		"flipsd_rounds_total 3",
+		"flipsd_round_shards_touched_mean 4",
+		`flipsd_job_latency_seconds{quantile="0.5"}`,
+		`flipsd_job_latency_seconds{quantile="0.99"}`,
+		"flipsd_job_latency_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The fake clock advances 100ms per read, so latencies are positive and
+	// the p99 parses as a finite float.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `flipsd_job_latency_seconds{quantile="0.99"}`) {
+			var v float64
+			if _, err := fmt.Sscanf(strings.Fields(line)[1], "%g", &v); err != nil || v <= 0 {
+				t.Fatalf("p99 latency line %q: %v", line, err)
+			}
+		}
+	}
+}
+
+// TestEvictionKeepsActiveJobs pins retention: beyond RetainJobs, the oldest
+// finished jobs disappear from the index while unfinished ones survive.
+func TestEvictionKeepsActiveJobs(t *testing.T) {
+	t.Parallel()
+	release := make(chan struct{})
+	var blockFirst atomic.Bool
+	blockFirst.Store(true)
+	s := New(Config{
+		Workers:    2,
+		RetainJobs: 3,
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			if blockFirst.CompareAndSwap(true, false) {
+				<-release
+			}
+			return &flips.SimulationResult{}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first, _ := submit(t, ts, validBody(t)) // runs, blocked
+	var rest []string
+	for i := 0; i < 5; i++ {
+		st, resp := submit(t, ts, validBody(t))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		rest = append(rest, st.ID)
+		waitTerminal(t, ts, st.ID)
+	}
+	// 6 jobs total, retain 3: the blocked first job must still be present.
+	if resp, err := http.Get(ts.URL + "/jobs/" + first.ID); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("active job evicted: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	// The oldest *finished* job is gone.
+	resp, err := http.Get(ts.URL + "/jobs/" + rest[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("oldest finished job still present: %d", resp.StatusCode)
+	}
+	close(release)
+	s.Drain()
+}

@@ -5,9 +5,23 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"time"
 )
+
+// maxFrame bounds one newline-delimited JSON frame in either direction.
+// Requests and responses that exceed it are rejected with an explicit error
+// instead of silently corrupting the stream (see ErrFrameTooLarge).
+const maxFrame = 16 * 1024 * 1024
+
+// ErrFrameTooLarge reports a request or response exceeding the 16 MiB wire
+// frame limit. Clients see it from RemoteEnclave calls whose payload cannot
+// fit one frame; servers answer an oversized request with an error response
+// carrying the same text before closing the connection.
+var ErrFrameTooLarge = fmt.Errorf("frame exceeds %d-byte limit", maxFrame)
 
 // request is the single wire message type of the TEE service. Operations
 // mirror the enclave API; all byte fields are base64 via encoding/json.
@@ -42,10 +56,15 @@ type response struct {
 type Server struct {
 	enclave *Enclave
 
+	// ErrorLog receives transient accept-loop errors (one line per burst).
+	// Nil logs via the standard logger; set before Listen to redirect.
+	ErrorLog *log.Logger
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	done     chan struct{}
+	closed   bool
 	wg       sync.WaitGroup
 }
 
@@ -73,8 +92,23 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	// Transient Accept errors (EMFILE, ECONNABORTED, ...) back off
+	// exponentially instead of hot-spinning, and log once per burst: the
+	// first error of a burst is reported, later ones are counted silently
+	// until an accept succeeds again.
+	const minBackoff, maxBackoff = 5 * time.Millisecond, time.Second
+	backoff := minBackoff
+	inBurst := false
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -86,8 +120,24 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			if !inBurst {
+				s.logf("tee server: accept: %v (backing off)", err)
+				inBurst = true
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-s.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 			continue
 		}
+		backoff = minBackoff
+		inBurst = false
 		s.mu.Lock()
 		select {
 		case <-s.done:
@@ -114,7 +164,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxFrame)
 	enc := json.NewEncoder(conn)
 	for scanner.Scan() {
 		var req request
@@ -126,6 +176,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+		// The frame overflowed the scanner buffer mid-line, so the stream
+		// can no longer be re-framed: answer with an explicit error, then
+		// briefly drain whatever the client is still sending so the close
+		// is a clean FIN rather than an RST that could destroy the error
+		// response in flight.
+		_ = enc.Encode(response{Error: "request " + ErrFrameTooLarge.Error()})
+		_ = conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		_, _ = io.Copy(io.Discard, conn)
 	}
 }
 
@@ -176,19 +236,31 @@ func (s *Server) handle(req request) response {
 }
 
 // Close stops the listener, closes active connections, and waits for all
-// serving goroutines to exit.
+// serving goroutines to exit. Close is idempotent.
+//
+// Ordering matters: done is closed (under mu) and the listener shut down
+// *before* the connection set is snapshotted. The accept loop registers new
+// connections under the same mutex after re-checking done, so any connection
+// that wins registration against Close is already visible to the snapshot —
+// closing conns first would let a connection accepted mid-Close slip past
+// the snapshot and keep wg.Wait blocked on its serve goroutine forever.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	ln := s.listener
-	for conn := range s.conns {
-		conn.Close()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
 	}
+	ln := s.listener
 	s.mu.Unlock()
-	close(s.done)
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -201,7 +273,6 @@ type RemoteEnclave struct {
 	mu   sync.Mutex
 	conn net.Conn
 	sc   *bufio.Scanner
-	enc  *json.Encoder
 }
 
 var _ EnclaveAPI = (*RemoteEnclave)(nil)
@@ -213,21 +284,33 @@ func DialEnclave(addr string) (*RemoteEnclave, error) {
 		return nil, fmt.Errorf("tee dial: %w", err)
 	}
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &RemoteEnclave{addr: addr, conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+	sc.Buffer(make([]byte, 0, 64*1024), maxFrame)
+	return &RemoteEnclave{addr: addr, conn: conn, sc: sc}, nil
 }
 
 // Close closes the connection.
 func (r *RemoteEnclave) Close() error { return r.conn.Close() }
 
 func (r *RemoteEnclave) roundTrip(req request) (response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return response{}, fmt.Errorf("tee send: %w", err)
+	}
+	if len(payload)+1 > maxFrame {
+		// Sending the frame anyway would corrupt the server-side stream
+		// mid-line; fail fast with the same error the server would report.
+		return response{}, fmt.Errorf("tee send: request %w", ErrFrameTooLarge)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.enc.Encode(req); err != nil {
+	if _, err := r.conn.Write(append(payload, '\n')); err != nil {
 		return response{}, fmt.Errorf("tee send: %w", err)
 	}
 	if !r.sc.Scan() {
 		if err := r.sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return response{}, fmt.Errorf("tee recv: response %w", ErrFrameTooLarge)
+			}
 			return response{}, fmt.Errorf("tee recv: %w", err)
 		}
 		return response{}, fmt.Errorf("tee recv: connection closed")

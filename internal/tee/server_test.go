@@ -1,0 +1,223 @@
+package tee
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseUnblocksHeldOpenClients is the shutdown-race regression test:
+// clients that hold their connection open without ever sending a frame park
+// serveConn inside Scan, and more clients keep dialing while Close runs so
+// some connections register mid-Close. With the old ordering (conns snapshot
+// before close(done)) a connection accepted in that window was never closed
+// and wg.Wait blocked forever; Close must return within the deadline.
+func TestCloseUnblocksHeldOpenClients(t *testing.T) {
+	t.Parallel()
+	enclave, _ := newTestEnclave(t)
+	server := NewServer(enclave)
+	server.ErrorLog = log.New(io.Discard, "", 0)
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var conns []net.Conn
+	hold := func(c net.Conn) {
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+	}
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hold(c)
+	}
+
+	// Churn dialers race registration against Close until dialing fails.
+	var churn sync.WaitGroup
+	stopChurn := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for i := 0; i < 200; i++ {
+				select {
+				case <-stopChurn:
+					return
+				default:
+				}
+				c, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				hold(c)
+			}
+		}()
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- server.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Server.Close hung with held-open clients")
+	}
+	close(stopChurn)
+	churn.Wait()
+	mu.Lock()
+	for _, c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+}
+
+// transientErrListener always fails Accept with a transient error, counting
+// the calls — a stand-in for an EMFILE burst.
+type transientErrListener struct {
+	calls atomic.Int64
+}
+
+func (l *transientErrListener) Accept() (net.Conn, error) {
+	l.calls.Add(1)
+	return nil, fmt.Errorf("accept tcp: too many open files")
+}
+
+func (l *transientErrListener) Close() error   { return nil }
+func (l *transientErrListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// TestAcceptLoopBacksOffOnTransientErrors pins the accept-loop backoff: a
+// sustained burst of transient Accept errors must produce a handful of
+// retries (5ms→1s exponential), not a hot spin, and exactly one log line.
+func TestAcceptLoopBacksOffOnTransientErrors(t *testing.T) {
+	t.Parallel()
+	enclave, _ := newTestEnclave(t)
+	server := NewServer(enclave)
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	server.ErrorLog = log.New(writerFunc(func(p []byte) (int, error) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return logBuf.Write(p)
+	}), "", 0)
+
+	ln := &transientErrListener{}
+	server.wg.Add(1)
+	go server.acceptLoop(ln)
+	time.Sleep(300 * time.Millisecond)
+
+	if n := ln.calls.Load(); n > 20 {
+		t.Fatalf("accept loop retried %d times in 300ms; hot spin not backed off", n)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ln.calls.Load(); n == 0 {
+		t.Fatal("fake listener never polled")
+	}
+	logMu.Lock()
+	lines := strings.Count(logBuf.String(), "\n")
+	logMu.Unlock()
+	if lines != 1 {
+		t.Fatalf("want exactly one log line per error burst, got %d:\n%s", lines, logBuf.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestOversizedRequestGetsExplicitError sends a frame just past the 16 MiB
+// scanner limit over a raw connection: the server must answer with an
+// explicit frame-limit error response instead of silently hanging up.
+func TestOversizedRequestGetsExplicitError(t *testing.T) {
+	t.Parallel()
+	enclave, _ := newTestEnclave(t)
+	server := NewServer(enclave)
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// 64 KiB past the limit: the scanner overflows at 16 MiB and the small
+	// remainder fits kernel socket buffers, so the write completes even
+	// though the server stops consuming mid-line.
+	frame := bytes.Repeat([]byte{'a'}, maxFrame+64*1024)
+	frame[len(frame)-1] = '\n'
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(frame)
+		writeErr <- err
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("no response to oversized request: %v", sc.Err())
+	}
+	var resp response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "frame exceeds") {
+		t.Fatalf("response error = %q, want frame-limit error", resp.Error)
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatalf("oversized write failed before the error response: %v", err)
+	}
+}
+
+// TestRemoteOversizedSubmitFailsFast pins the client half: a ciphertext that
+// cannot fit one wire frame is rejected before any bytes are sent, the error
+// is identifiable as ErrFrameTooLarge, and the connection stays usable.
+func TestRemoteOversizedSubmitFailsFast(t *testing.T) {
+	t.Parallel()
+	enclave, _ := newTestEnclave(t)
+	server := NewServer(enclave)
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	remote, err := DialEnclave(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// maxFrame raw bytes base64-expand past the frame limit.
+	err = remote.Submit("some-session", make([]byte, maxFrame))
+	if err == nil {
+		t.Fatal("oversized submit accepted")
+	}
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("submit error = %v, want ErrFrameTooLarge", err)
+	}
+
+	// The frame was never sent, so the stream is still framed correctly.
+	resp, err := remote.roundTrip(request{Op: "quote", Nonce: []byte("n")})
+	if err != nil || !resp.OK {
+		t.Fatalf("connection unusable after rejected oversized submit: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"flips/internal/dataset"
 	"flips/internal/device"
 	"flips/internal/experiment"
+	"flips/internal/fl"
 )
 
 // SimulationConfig selects one evaluation cell of the paper's grid.
@@ -85,9 +86,20 @@ type RoundPoint struct {
 	Accuracy  float64 // balanced accuracy on the held-out global test set
 	PerLabel  []float64
 	CommBytes int64
-	// SimTime is the cumulative simulated wall-clock seconds through this
-	// round (device-model durations, or the legacy latency proxy).
-	SimTime float64
+	// Invited and Completed count this round's cohort: how many parties
+	// were dispatched and how many arrivals the aggregation step folded.
+	Invited   int
+	Completed int
+	// MeanLoss is the cohort's mean local training loss.
+	MeanLoss float64
+	// RoundTime is this round's simulated wall-clock seconds; SimTime is
+	// the cumulative simulated wall-clock through this round (device-model
+	// durations, or the legacy latency proxy).
+	RoundTime float64
+	SimTime   float64
+	// ShardsTouched counts the distinct aggregation shards this round's
+	// completed parties fell into — the streaming shard-locality metric.
+	ShardsTouched int
 }
 
 // SimulationResult summarizes a finished FL simulation.
@@ -181,8 +193,30 @@ func (c SimulationConfig) resolveDevice() (*device.Config, error) {
 	return &cfg, nil
 }
 
+// Validate checks the configuration without running it: unknown datasets,
+// strategies, device profiles, availability processes and aggregation modes
+// are reported immediately. The job server uses it to answer a malformed
+// submission with 400 instead of accepting a job doomed to fail.
+func (c SimulationConfig) Validate() error {
+	setting, scale, err := c.resolve()
+	if err != nil {
+		return err
+	}
+	_, err = experiment.Build(setting, scale)
+	return err
+}
+
 // RunSimulation executes one FL job and returns its convergence history.
 func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
+	return RunSimulationStream(cfg, nil)
+}
+
+// RunSimulationStream is RunSimulation with a live per-round hook: onRound,
+// when non-nil, receives every evaluated round as it completes — the
+// streaming surface behind the job server's NDJSON/SSE round feed. The hook
+// runs on the engine goroutine, so it should hand off quickly; the PerLabel
+// slice must be copied if retained.
+func RunSimulationStream(cfg SimulationConfig, onRound func(RoundPoint)) (*SimulationResult, error) {
 	setting, scale, err := cfg.resolve()
 	if err != nil {
 		return nil, err
@@ -191,7 +225,11 @@ func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := experiment.RunSetting(setting, scale)
+	var hook func(fl.RoundStats)
+	if onRound != nil {
+		hook = func(h fl.RoundStats) { onRound(roundPoint(h)) }
+	}
+	res, err := experiment.RunSettingStream(setting, scale, hook)
 	if err != nil {
 		return nil, err
 	}
@@ -205,15 +243,25 @@ func RunSimulation(cfg SimulationConfig) (*SimulationResult, error) {
 		NumClusters:    len(built.Clusters),
 	}
 	for _, h := range res.History {
-		out.History = append(out.History, RoundPoint{
-			Round:     h.Round,
-			Accuracy:  h.Accuracy,
-			PerLabel:  h.PerLabel,
-			CommBytes: h.CommBytes,
-			SimTime:   h.SimTime,
-		})
+		out.History = append(out.History, roundPoint(h))
 	}
 	return out, nil
+}
+
+// roundPoint maps the engine's RoundStats onto the public round shape.
+func roundPoint(h fl.RoundStats) RoundPoint {
+	return RoundPoint{
+		Round:         h.Round,
+		Accuracy:      h.Accuracy,
+		PerLabel:      h.PerLabel,
+		CommBytes:     h.CommBytes,
+		Invited:       h.Invited,
+		Completed:     h.Completed,
+		MeanLoss:      h.MeanLoss,
+		RoundTime:     h.RoundTime,
+		SimTime:       h.SimTime,
+		ShardsTouched: h.ShardsTouched,
+	}
 }
 
 // RunTable regenerates one of the paper's Tables 1–24 and writes it to w.
