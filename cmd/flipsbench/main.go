@@ -8,6 +8,8 @@
 //	flipsbench -exp het                    # device-heterogeneity time-to-accuracy sweep
 //	flipsbench -exp async                  # aggregation-mode (sync/buffered/semisync) sweep
 //	flipsbench -exp async -trace t.csv     # ... replaying a real-world availability trace
+//	flipsbench -exp chaos                  # fault-matrix sweep (outages, surges, byzantine × folds)
+//	flipsbench -exp chaos -chaos-matrix m.json  # ... with a custom declarative fault matrix
 //	flipsbench -exp tee                    # TEE clustering overhead
 //	flipsbench -exp scale -shards 64       # fleet-scale sweep (1k/10k/100k parties)
 //	flipsbench -exp all-tables             # every table (12 grids)
@@ -30,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"flips/internal/chaos"
 	"flips/internal/device"
 	"flips/internal/experiment"
 )
@@ -43,8 +46,9 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flipsbench", flag.ContinueOnError)
-	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, tee, all-tables, all-figures, all")
+	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, chaos, tee, all-tables, all-figures, all")
 	tracePath := fs.String("trace", "", "CSV/JSON device availability trace replayed by the async sweep (one row of 0/1 slots per device, mapped onto parties by ID)")
+	chaosMatrix := fs.String("chaos-matrix", "", "JSON fault-matrix file for the chaos sweep (fault arms × folds × strategies; default: built-in matrix)")
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	par := fs.Int("parallel", 0, "worker-pool width for grid cells, repeats, local training and eval shards (0 = GOMAXPROCS, 1 = sequential; results are identical at every width)")
@@ -116,6 +120,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	var matrix *chaos.Matrix
+	if *chaosMatrix != "" {
+		matrix, err = chaos.LoadMatrixFile(*chaosMatrix)
+		if err != nil {
+			return err
+		}
+		hasChaos := false
+		for _, id := range ids {
+			hasChaos = hasChaos || id == "chaos"
+		}
+		if !hasChaos {
+			return fmt.Errorf("-chaos-matrix applies to the chaos sweep; add chaos to -exp")
+		}
+	}
+
 	progress := func(msg string) {
 		if !*quiet {
 			fmt.Fprintln(stderr, "  "+msg)
@@ -168,6 +187,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		case id == "async":
 			fmt.Fprintln(stderr, "running aggregation-mode sweep (5 arms x 3 strategies)...")
 			table, err := experiment.RunAsync(scale, *seed, trace, progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
+		case id == "chaos":
+			fmt.Fprintln(stderr, "running chaos fault-matrix sweep (faults x folds x strategies)...")
+			table, err := experiment.RunChaos(scale, *seed, matrix, progress)
 			if err != nil {
 				return err
 			}
@@ -227,6 +254,7 @@ func expandExperiments(spec string) ([]string, error) {
 			}
 			add("het")
 			add("async")
+			add("chaos")
 			add("scale")
 			add("tee")
 		case "all-tables":
@@ -244,7 +272,8 @@ func expandExperiments(spec string) ([]string, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no experiments selected")
 	}
-	// Stable order: tables numerically, then figures, then het, async, tee.
+	// Stable order: tables numerically, then figures, then het, async,
+	// chaos, scale, tee.
 	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
 	return out, nil
 }
@@ -263,6 +292,9 @@ func expRank(id string) int {
 	}
 	if id == "async" {
 		return 160
+	}
+	if id == "chaos" {
+		return 165
 	}
 	if id == "scale" {
 		return 170

@@ -13,7 +13,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1+1+1+1 {
+	if len(ids) != 24+10+1+1+1+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -22,11 +22,14 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
 	}
-	if ids[len(ids)-4] != "het" {
-		t.Fatalf("het not before async: %v", ids[len(ids)-4])
+	if ids[len(ids)-5] != "het" {
+		t.Fatalf("het not before async: %v", ids[len(ids)-5])
 	}
-	if ids[len(ids)-3] != "async" {
-		t.Fatalf("async not before scale: %v", ids[len(ids)-3])
+	if ids[len(ids)-4] != "async" {
+		t.Fatalf("async not before chaos: %v", ids[len(ids)-4])
+	}
+	if ids[len(ids)-3] != "chaos" {
+		t.Fatalf("chaos not before scale: %v", ids[len(ids)-3])
 	}
 	if ids[len(ids)-2] != "scale" {
 		t.Fatalf("scale not before tee: %v", ids[len(ids)-2])
@@ -115,6 +118,48 @@ func TestParseIntList(t *testing.T) {
 	}
 	if _, err := parseIntList("0"); err == nil {
 		t.Fatal("accepted zero population")
+	}
+}
+
+func TestRunChaosExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep runs FL jobs at laptop scale")
+	}
+	dir := t.TempDir()
+	matrix := filepath.Join(dir, "matrix.json")
+	spec := `{
+		"faults": [
+			{"name": "clean"},
+			{"name": "byzantine-20", "spec": {"seed": 3, "faultFraction": 0.2, "fault": "byzantine"}}
+		],
+		"folds": ["mean", "median"],
+		"strategies": ["random"]
+	}`
+	if err := os.WriteFile(matrix, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "chaos", "-chaos-matrix", matrix, "-q"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Chaos fault-matrix sweep", "byzantine-20", "median"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestChaosMatrixRequiresChaosExperiment(t *testing.T) {
+	dir := t.TempDir()
+	matrix := filepath.Join(dir, "matrix.json")
+	if err := os.WriteFile(matrix, []byte(`{"faults":[{"name":"clean"}],"folds":["mean"],"strategies":["random"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-exp", "tee", "-chaos-matrix", matrix}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("err = %v, want -chaos-matrix gating error", err)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 
 	"flips"
 	"flips/internal/experiment"
+	"flips/internal/fl"
 	"flips/internal/server"
 	"flips/internal/tee"
 )
@@ -76,23 +77,28 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	seed := fs.Uint64("seed", 1, "random seed for -selftest")
 	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
 	shards := fs.Int("shards", 0, "-selftest aggregation shard count (0 = single shard; results are identical at every value)")
+	fold := fs.String("fold", "", "-selftest aggregation fold: mean (default), trimmed-mean, median or krum — smoke the robust fold a deployment will run")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// Fail fast on a bad execution model instead of deep inside the run.
+	// Fail fast on a bad execution model or fold instead of deep inside the
+	// run.
 	switch *aggregation {
 	case "sync", "buffered", "semisync":
 	default:
 		return fmt.Errorf("unknown -aggregation %q (valid: sync, buffered, semisync)", *aggregation)
+	}
+	if _, err := fl.FoldByName(*fold); err != nil {
+		return fmt.Errorf("-fold: %w", err)
 	}
 
 	if *selftest {
 		// The CPU cap is applied exactly once: as the simulation's
 		// worker-pool width. (The serve modes below use GOMAXPROCS instead;
 		// doing both here used to double-apply the cap.)
-		return runSelftest(stdout, *seed, *par, *aggregation, *shards)
+		return runSelftest(stdout, *seed, *par, *aggregation, *shards, *fold)
 	}
 
 	if *par > 0 {
@@ -200,7 +206,7 @@ func serveTEE(stdout io.Writer, listen string, maxK, repeats int, version string
 // picks the execution model ("sync" rounds with a 3s deadline, "buffered"
 // FedBuff-style async, or "semisync" 3s windows), so a deployment can smoke
 // whichever mode it will run.
-func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int) error {
+func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int, fold string) error {
 	cfg := flips.SimulationConfig{
 		Dataset:       "mit-bih-ecg",
 		Strategy:      "flips",
@@ -212,6 +218,7 @@ func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, sha
 		Parties:       24,
 		Parallelism:   par,
 		Shards:        shards,
+		Fold:          fold,
 		Seed:          seed,
 	}
 	if aggregation == "buffered" {
@@ -221,7 +228,11 @@ func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, sha
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, %s aggregation)\n", aggregation)
+	foldNote := ""
+	if fold != "" {
+		foldNote = ", " + fold + " fold"
+	}
+	fmt.Fprintf(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, %s aggregation%s)\n", aggregation, foldNote)
 	fmt.Fprintf(stdout, "  clusters:            %d\n", res.NumClusters)
 	fmt.Fprintf(stdout, "  peak accuracy:       %.2f%%\n", 100*res.PeakAccuracy)
 	fmt.Fprintf(stdout, "  simulated job time:  %s\n", experiment.FormatSimDuration(res.SimTime))

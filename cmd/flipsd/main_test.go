@@ -78,6 +78,20 @@ func TestRunRejectsUnknownAggregation(t *testing.T) {
 	}
 }
 
+// TestRunRejectsUnknownFold pins the same fail-fast contract for the
+// aggregation fold name.
+func TestRunRejectsUnknownFold(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-selftest", "-fold", "geometric"}, &out, &errBuf, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "-fold") {
+		t.Fatalf("unknown fold not rejected at flag time: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("selftest ran before validation:\n%s", out.String())
+	}
+}
+
 // TestServeAndShutdown boots the TEE daemon on an ephemeral port and stops it
 // via the signal channel, checking the provisioning banner and the wipe
 // message — the full lifecycle short of real TCP clients (covered by
@@ -208,6 +222,23 @@ func TestSelftestReportsTimeToAccuracy(t *testing.T) {
 	}
 	if strings.Contains(o, "simulated job time:  0s") {
 		t.Fatalf("selftest accumulated no simulated time:\n%s", o)
+	}
+}
+
+// TestSelftestRunsRobustFold smokes the -fold flag end to end: the selftest
+// must thread the fold through the public config and say so in its banner.
+func TestSelftestRunsRobustFold(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-selftest", "-seed", "3", "-fold", "median"}, &out, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "median fold") {
+		t.Fatalf("selftest banner missing the fold:\n%s", o)
+	}
+	if !strings.Contains(o, "selftest: ok") {
+		t.Fatalf("selftest with a robust fold did not finish:\n%s", o)
 	}
 }
 

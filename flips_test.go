@@ -177,6 +177,11 @@ func TestValidateRejectsBadConfigsWithoutRunning(t *testing.T) {
 		{Dataset: "mit-bih-ecg", Aggregation: "bogus"},
 		{Dataset: "mit-bih-ecg", Strategy: "psychic"},
 		{Dataset: "mit-bih-ecg", DeviceProfile: "quantum"},
+		{Dataset: "mit-bih-ecg", Fold: "geometric"},
+		{Dataset: "mit-bih-ecg", FaultModel: "gremlins"},
+		{Dataset: "mit-bih-ecg", FaultModel: "byzantine"},      // no FaultFraction
+		{Dataset: "mit-bih-ecg", FaultFraction: 0.2},           // no FaultModel
+		{Dataset: "mit-bih-ecg", FaultModel: "byzantine", FaultFraction: 2},
 	} {
 		if err := cfg.Validate(); err == nil {
 			t.Fatalf("config %+v validated", cfg)
@@ -478,6 +483,60 @@ func TestRunSimulationAggregationValidation(t *testing.T) {
 
 // TestRunAsyncWritesTable smoke-tests the public aggregation-mode sweep
 // entry point.
+// TestRunSimulationRobustFoldUnderFaults drives the chaos seam through the
+// public API: a byzantine minority with a coordinate-wise median fold must
+// run to completion, stay bit-reproducible across parallelism widths, and
+// beat the plain mean under the same attack.
+func TestRunSimulationRobustFoldUnderFaults(t *testing.T) {
+	t.Parallel()
+	run := func(fold string, par int) *SimulationResult {
+		res, err := RunSimulation(SimulationConfig{
+			Dataset:       "mit-bih-ecg",
+			Algorithm:     "fedavg",
+			Strategy:      "random",
+			Fold:          fold,
+			FaultModel:    "byzantine",
+			FaultFraction: 0.25,
+			Rounds:        8,
+			Parties:       16,
+			Parallelism:   par,
+			Seed:          9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run("median", 1), run("median", 8)
+	if len(seq.History) == 0 || seq.PeakAccuracy <= 0 || seq.PeakAccuracy > 1 {
+		t.Fatalf("degenerate result: %+v", seq)
+	}
+	if math.Float64bits(seq.PeakAccuracy) != math.Float64bits(par.PeakAccuracy) {
+		t.Fatalf("faulty run diverges across widths: %v vs %v", seq.PeakAccuracy, par.PeakAccuracy)
+	}
+	mean := run("", 1)
+	if seq.PeakAccuracy <= mean.PeakAccuracy {
+		t.Fatalf("median peak %.3f should beat mean peak %.3f under byzantine corruption",
+			seq.PeakAccuracy, mean.PeakAccuracy)
+	}
+}
+
+func TestRunChaosWritesTable(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("chaos sweep runs the full fault matrix at laptop scale")
+	}
+	var buf bytes.Buffer
+	if err := RunChaos(&buf, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Chaos fault-matrix sweep", "byzantine-20", "krum", "clean"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestRunAsyncWritesTable(t *testing.T) {
 	t.Parallel()
 	if testing.Short() {

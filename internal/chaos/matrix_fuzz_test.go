@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzChaosMatrix fuzzes the fault-matrix config parser — the second
+// external-file loader in the repository (after device traces). The
+// invariants: ParseMatrix never panics; an accepted matrix is fully valid
+// (non-empty unique arm names, every spec passes Validate, injectors build
+// from every arm); and an accepted matrix survives a marshal/re-parse
+// round-trip unchanged.
+func FuzzChaosMatrix(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"faults": [{"name": "clean", "spec": {}}]}`))
+	f.Add([]byte(`{"faults": [{"name": "byz", "spec": {"faultFraction": 0.2, "fault": "byzantine"}}], "folds": ["median"], "strategies": ["random"]}`))
+	f.Add([]byte(`{"faults": [{"name": "out", "spec": {"regions": 4, "outageProb": 0.5, "outageLen": 2, "degradedProb": 0.2}}]}`))
+	f.Add([]byte(`{"faults": [{"name": "surge", "spec": {"surgeEvery": 10, "surgeLen": 3, "surgeFactor": 2.5}}]}`))
+	f.Add([]byte(`{"faults": [{"name": "a", "spec": {"fault": "meteor"}}]}`))
+	f.Add([]byte(`{"faults": [{"name": "a", "spec": {"outageProb": 2}}]}`))
+	f.Add([]byte(`{"faults": [{"name": "a"}, {"name": "a"}]}`))
+	f.Add([]byte(`{"folds": ["mean", "mean"]}`))
+	f.Add([]byte(`{"unknown": 1}`))
+	f.Add([]byte(`{} trailing`))
+	f.Add([]byte("\xef\xbb\xbf{}"))
+	f.Add([]byte(`{"faults": [{"name": "big", "spec": {"seed": 18446744073709551615, "regions": 1000000}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMatrix(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("ParseMatrix returned both a matrix and an error")
+			}
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails Validate: %v", err)
+		}
+		// Every accepted arm must build a working injector.
+		for _, arm := range m.Faults {
+			in, err := New(arm.Spec, 16)
+			if err != nil {
+				t.Fatalf("accepted arm %q cannot build an injector: %v", arm.Name, err)
+			}
+			in.ForceOffline(0, 0)
+			in.LatencyFactor(0, 0)
+			in.CohortTarget(0, 4)
+		}
+		// Marshal / re-parse round-trip.
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted matrix does not marshal: %v", err)
+		}
+		again, err := ParseMatrix(out)
+		if err != nil {
+			t.Fatalf("re-parsing a marshaled matrix failed: %v", err)
+		}
+		if len(again.Faults) != len(m.Faults) || len(again.Folds) != len(m.Folds) || len(again.Strategies) != len(m.Strategies) {
+			t.Fatal("round-trip changed matrix shape")
+		}
+		for i := range m.Faults {
+			if again.Faults[i] != m.Faults[i] {
+				t.Fatalf("round-trip changed arm %d: %+v != %+v", i, again.Faults[i], m.Faults[i])
+			}
+		}
+	})
+}

@@ -290,6 +290,17 @@ func (d *Device) Online(round int, r *rng.Source) bool {
 	return r.Float64() < p
 }
 
+// LatencyAt returns the device's duration multiplier at the given round:
+// the trace slot's latency value under the Trace kind (brownouts and
+// speedups recorded alongside availability), 1 everywhere else.
+// Deterministic, with no RNG consumption.
+func (d *Device) LatencyAt(round int) float64 {
+	if d.Avail.Kind == Trace {
+		return d.Avail.Trace.Latency(d.TraceRow, round)
+	}
+	return 1
+}
+
 // RoundDuration returns the simulated wall-clock seconds this device needs
 // for one FL round: download the global model, train epochs passes over
 // samples local examples, upload the update. Model transfers are modelBytes

@@ -4,30 +4,43 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 )
 
-// TraceSet is a replayed real-world availability trace: one row of binary
-// online/offline slots per traced device (e.g. exported from the FLASH/Oort
-// user-behavior traces). Traces replace the synthetic churn/diurnal
-// processes with measured behavior: a fleet larger than the trace wraps
-// rows (party ID modulo trace size), and a job longer than a row wraps
-// slots, so any (parties, rounds) shape replays deterministically.
+// TraceSet is a replayed real-world availability trace: one row of slots per
+// traced device (e.g. exported from the FLASH/Oort user-behavior traces).
+// A slot value of 0 means offline; any positive value means online with that
+// latency multiplier applied to the device's round duration (1 = nominal
+// speed, 3 = a 3x brownout, 0.5 = a temporarily fast device). The historical
+// binary form — slots of exactly 0/1 — is the degenerate case where every
+// online slot runs at nominal speed. Traces replace the synthetic
+// churn/diurnal processes with measured behavior: a fleet larger than the
+// trace wraps rows (party ID modulo trace size), and a job longer than a row
+// wraps slots, so any (parties, rounds) shape replays deterministically.
 //
 // Mapping is by party ID alone — no RNG is consumed — so a traced fleet's
-// availability is a pure function of the trace file and the party IDs,
-// independent of seed, engine parallelism and aggregation policy.
+// availability and slowdowns are a pure function of the trace file and the
+// party IDs, independent of seed, engine parallelism and aggregation policy.
 type TraceSet struct {
-	rows [][]bool
+	rows [][]float64
 }
+
+// utf8BOM is the UTF-8 byte-order mark some exporters prepend; it must be
+// stripped before format auto-detection or a BOM-prefixed JSON trace is
+// misrouted to the CSV parser.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
 
 // ParseTrace parses a trace from its serialized form, auto-detecting the
 // format: JSON ({"devices": [[1,0,1], ...]}, one inner array per device,
-// slots 0/1) when the first non-space byte is '{', otherwise CSV (one line
-// per device, comma-separated 0/1 slots; blank lines and #-comments
-// skipped). Rows may have different lengths; each wraps independently.
+// slots 0 or positive latency multipliers) when the first non-space byte is
+// '{', otherwise CSV (one line per device, comma-separated slots; blank
+// lines and #-comments skipped). A leading UTF-8 BOM is ignored. Rows may
+// have different lengths; each wraps independently.
 func ParseTrace(data []byte) (*TraceSet, error) {
+	data = bytes.TrimPrefix(data, utf8BOM)
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) > 0 && trimmed[0] == '{' {
 		return parseTraceJSON(trimmed)
@@ -50,61 +63,64 @@ func LoadTraceFile(path string) (*TraceSet, error) {
 
 func parseTraceJSON(data []byte) (*TraceSet, error) {
 	var doc struct {
-		Devices [][]int `json:"devices"`
+		Devices [][]float64 `json:"devices"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("device: trace JSON: %w", err)
 	}
-	rows := make([][]bool, 0, len(doc.Devices))
 	for i, dev := range doc.Devices {
-		row, err := toRow(i, dev)
-		if err != nil {
-			return nil, err
+		for j, v := range dev {
+			if err := checkSlot(v); err != nil {
+				return nil, fmt.Errorf("device: trace device %d slot %d: %w", i, j, err)
+			}
 		}
-		rows = append(rows, row)
 	}
-	return newTraceSet(rows)
+	return newTraceSet(doc.Devices)
 }
 
 func parseTraceCSV(data []byte) (*TraceSet, error) {
-	var rows [][]bool
+	var rows [][]float64
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Split(line, ",")
-		row := make([]bool, 0, len(fields))
+		row := make([]float64, 0, len(fields))
 		for _, f := range fields {
-			switch strings.TrimSpace(f) {
-			case "0":
-				row = append(row, false)
+			f = strings.TrimSpace(f)
+			var v float64
+			switch f {
+			case "0": // fast paths for the common binary form
 			case "1":
-				row = append(row, true)
+				v = 1
 			default:
-				return nil, fmt.Errorf("device: trace CSV line %d: slot %q is not 0 or 1", lineNo+1, strings.TrimSpace(f))
+				parsed, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("device: trace CSV line %d: slot %q is not a number", lineNo+1, f)
+				}
+				v = parsed
 			}
+			if err := checkSlot(v); err != nil {
+				return nil, fmt.Errorf("device: trace CSV line %d: slot %q: %w", lineNo+1, f, err)
+			}
+			row = append(row, v)
 		}
 		rows = append(rows, row)
 	}
 	return newTraceSet(rows)
 }
 
-func toRow(i int, slots []int) ([]bool, error) {
-	row := make([]bool, len(slots))
-	for j, v := range slots {
-		switch v {
-		case 0:
-		case 1:
-			row[j] = true
-		default:
-			return nil, fmt.Errorf("device: trace device %d slot %d: %d is not 0 or 1", i, j, v)
-		}
+// checkSlot validates one trace slot: 0 (offline) or a positive finite
+// latency multiplier.
+func checkSlot(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("value %v is not 0 or a positive latency multiplier", v)
 	}
-	return row, nil
+	return nil
 }
 
-func newTraceSet(rows [][]bool) (*TraceSet, error) {
+func newTraceSet(rows [][]float64) (*TraceSet, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("device: trace has no devices")
 	}
@@ -127,7 +143,18 @@ func (t *TraceSet) rowLen(row int) int { return len(t.rows[mod(row, len(t.rows))
 // online at slot `slot` (wrapped modulo the row length).
 func (t *TraceSet) Online(row, slot int) bool {
 	r := t.rows[mod(row, len(t.rows))]
-	return r[mod(slot, len(r))]
+	return r[mod(slot, len(r))] > 0
+}
+
+// Latency returns the latency multiplier of trace row `row` at slot `slot`
+// (both wrapped like Online). Offline slots report 1: a duration multiplier
+// is only meaningful while the device participates.
+func (t *TraceSet) Latency(row, slot int) float64 {
+	r := t.rows[mod(row, len(t.rows))]
+	if v := r[mod(slot, len(r))]; v > 0 {
+		return v
+	}
+	return 1
 }
 
 func mod(a, n int) int {

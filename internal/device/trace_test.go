@@ -44,16 +44,99 @@ func TestParseTraceJSON(t *testing.T) {
 func TestParseTraceErrors(t *testing.T) {
 	t.Parallel()
 	for _, bad := range []string{
-		"",                       // no devices
-		"1,2,0",                  // non-binary slot
-		`{"devices": []}`,        // no devices
-		`{"devices": [[1],[2]]}`, // non-binary slot
-		`{"devices": [[1],[]]}`,  // empty row
-		`{"devices": [[1]`,       // malformed JSON
+		"",                           // no devices
+		"1,x,0",                      // non-numeric slot
+		"1,-2,0",                     // negative multiplier
+		"1,NaN,0",                    // non-finite multiplier
+		"1,+Inf",                     // non-finite multiplier
+		`{"devices": []}`,            // no devices
+		`{"devices": [[1],[-0.5]]}`,  // negative multiplier
+		`{"devices": [[1],[1e309]]}`, // overflows float64
+		`{"devices": [[1],[]]}`,      // empty row
+		`{"devices": [[1]`,           // malformed JSON
 	} {
 		if _, err := ParseTrace([]byte(bad)); err == nil {
 			t.Fatalf("trace %q accepted", bad)
 		}
+	}
+}
+
+// TestParseTraceLatency pins the duration-carrying extension: positive
+// non-1 slots are online with that latency multiplier, 0 stays offline, and
+// offline slots report a neutral multiplier.
+func TestParseTraceLatency(t *testing.T) {
+	t.Parallel()
+	ts, err := ParseTrace([]byte("1, 2.5, 0\n0.5,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Online(0, 0) || !ts.Online(0, 1) || ts.Online(0, 2) {
+		t.Fatal("multiplier slots misread as offline")
+	}
+	if got := ts.Latency(0, 1); got != 2.5 {
+		t.Fatalf("Latency(0,1) = %v, want 2.5", got)
+	}
+	if got := ts.Latency(0, 0); got != 1 {
+		t.Fatalf("Latency(0,0) = %v, want 1", got)
+	}
+	if got := ts.Latency(0, 2); got != 1 { // offline slot: neutral multiplier
+		t.Fatalf("Latency(0,2) = %v, want 1", got)
+	}
+	if got := ts.Latency(1, 0); got != 0.5 { // speedups < 1 allowed
+		t.Fatalf("Latency(1,0) = %v, want 0.5", got)
+	}
+
+	js, err := ParseTrace([]byte(`{"devices": [[1, 3, 0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := js.Latency(0, 1); got != 3 {
+		t.Fatalf("JSON Latency(0,1) = %v, want 3", got)
+	}
+}
+
+// TestParseTraceBOM pins the satellite bugfix: a UTF-8-BOM-prefixed JSON
+// trace must still be detected as JSON (previously it fell through to the
+// CSV parser and errored), and a BOM-prefixed CSV must parse too.
+func TestParseTraceBOM(t *testing.T) {
+	t.Parallel()
+	bom := string([]byte{0xEF, 0xBB, 0xBF})
+	ts, err := ParseTrace([]byte(bom + `{"devices": [[1,0]]}`))
+	if err != nil {
+		t.Fatalf("BOM-prefixed JSON rejected: %v", err)
+	}
+	if ts.NumDevices() != 1 || !ts.Online(0, 0) || ts.Online(0, 1) {
+		t.Fatal("BOM-prefixed JSON misparsed")
+	}
+	csv, err := ParseTrace([]byte(bom + "1,0\n"))
+	if err != nil {
+		t.Fatalf("BOM-prefixed CSV rejected: %v", err)
+	}
+	if !csv.Online(0, 0) || csv.Online(0, 1) {
+		t.Fatal("BOM-prefixed CSV misparsed")
+	}
+}
+
+// TestDeviceLatencyAt checks the Device integration of trace latency
+// multipliers: trace devices report their slot's multiplier (wrapped like
+// Online), every other kind reports 1.
+func TestDeviceLatencyAt(t *testing.T) {
+	t.Parallel()
+	ts, err := ParseTrace([]byte("1,4,0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Uniform()
+	cfg.Availability = Availability{Kind: Trace, Trace: ts}
+	d := NewForParty(cfg, 0, rng.New(1))
+	for round, want := range []float64{1, 4, 1, 1, 4} { // slot 3 wraps to 0
+		if got := d.LatencyAt(round); got != want {
+			t.Fatalf("LatencyAt(%d) = %v, want %v", round, got, want)
+		}
+	}
+	plain := NewForParty(Lognormal(), 0, rng.New(2))
+	if got := plain.LatencyAt(5); got != 1 {
+		t.Fatalf("non-trace LatencyAt = %v, want 1", got)
 	}
 }
 

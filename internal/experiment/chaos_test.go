@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"flips/internal/chaos"
+	"flips/internal/dataset"
+	"flips/internal/fl"
+)
+
+// smokeMatrix is a 2-arm × 2-fold × 1-strategy matrix small enough for the
+// unit-test budget.
+func smokeMatrix() *chaos.Matrix {
+	return &chaos.Matrix{
+		Faults: []chaos.Arm{
+			{Name: "clean"},
+			{Name: "byz", Spec: chaos.Spec{Seed: 3, FaultFraction: 0.2, Fault: chaos.FaultByzantine}},
+		},
+		Folds:      []string{"mean", "median"},
+		Strategies: []string{StrategyRandom},
+	}
+}
+
+func TestRunChaosSweepSmoke(t *testing.T) {
+	t.Parallel()
+	var lines []string
+	table, err := RunChaos(tinyScale(), 17, smokeMatrix(), func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if len(row.Cells) != 2 {
+			t.Fatalf("arm %q has %d cells, want 2 (folds × strategies)", row.Arm, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			if c.PeakAccuracy <= 0 || c.PeakAccuracy > 1 {
+				t.Fatalf("cell %s/%s/%s peak accuracy %v", c.Fault, c.Fold, c.Strategy, c.PeakAccuracy)
+			}
+			if c.SimTime <= 0 {
+				t.Fatalf("cell %s/%s/%s sim time %v", c.Fault, c.Fold, c.Strategy, c.SimTime)
+			}
+		}
+	}
+	// The clean arm is its own degradation baseline: ×1 where the target was
+	// reached, NaN where the clean cell itself never got there.
+	for _, c := range table.Rows[0].Cells {
+		if c.TimeToTarget > 0 && c.Degradation != 1 {
+			t.Fatalf("clean cell %s/%s degradation %v, want 1", c.Fold, c.Strategy, c.Degradation)
+		}
+		if c.TimeToTarget < 0 && !math.IsNaN(c.Degradation) {
+			t.Fatalf("unreached clean cell %s/%s degradation %v, want NaN", c.Fold, c.Strategy, c.Degradation)
+		}
+	}
+	if len(lines) != 4 {
+		t.Fatalf("progress reported %d cells, want 4", len(lines))
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Chaos fault-matrix sweep", "clean", "byz", "median"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunChaosIsDeterministic pins the sweep's reproducibility: two runs at
+// different parallelism must produce bit-identical tables.
+func TestRunChaosIsDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(parallelism int) *ChaosTable {
+		scale := tinyScale()
+		scale.Parallelism = parallelism
+		table, err := RunChaos(scale, 17, smokeMatrix(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	a, b := run(1), run(4)
+	for r := range a.Rows {
+		for c := range a.Rows[r].Cells {
+			x, y := a.Rows[r].Cells[c], b.Rows[r].Cells[c]
+			if math.Float64bits(x.PeakAccuracy) != math.Float64bits(y.PeakAccuracy) ||
+				math.Float64bits(x.TimeToTarget) != math.Float64bits(y.TimeToTarget) ||
+				x.Rejected != y.Rejected {
+				t.Fatalf("cell %s/%s/%s diverges across parallelism: %+v vs %+v", x.Fault, x.Fold, x.Strategy, x, y)
+			}
+		}
+	}
+}
+
+// TestByzantineRobustFoldAcceptance is ISSUE 7's headline acceptance pin:
+// with 20% of parties byzantine, at least one robust fold still reaches the
+// dataset's target accuracy while plain FedAvg averaging does not — the
+// byzantine minority owns enough of every weighted average to keep the mean
+// away from the target, and the coordinate-wise median discards it.
+func TestByzantineRobustFoldAcceptance(t *testing.T) {
+	t.Parallel()
+	scale := Scale{Parties: 20, Rounds: 60, TrainSize: 3000, TestSize: 400, Repeats: 1, EvalEvery: 2, Parallelism: 4}
+	byz := chaos.Spec{Seed: 3, FaultFraction: 0.2, Fault: chaos.FaultByzantine}
+	target := TargetFor(dataset.ECG())
+	run := func(fold string) float64 {
+		s := Setting{
+			Spec:           dataset.ECG(),
+			Algorithm:      AlgoFedAvg,
+			Alpha:          0.6,
+			PartyFraction:  0.5,
+			Strategy:       StrategyRandom,
+			Fold:           fold,
+			Chaos:          &byz,
+			TargetAccuracy: target,
+			Seed:           11,
+		}
+		res, err := RunSetting(s, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PeakAccuracy
+	}
+	mean, median := run("mean"), run("median")
+	if mean >= target {
+		t.Fatalf("plain FedAvg mean reached %.3f under 20%% byzantine parties — the attack should keep it below the %.2f target", mean, target)
+	}
+	if median < target {
+		t.Fatalf("coordinate-wise median peaked at %.3f under 20%% byzantine parties, below the %.2f target", median, target)
+	}
+	if median <= mean {
+		t.Fatalf("median (%.3f) should beat mean (%.3f) under byzantine corruption", median, mean)
+	}
+}
+
+// TestBuildWiresFoldAndChaos pins the Setting plumbing: fold and injector
+// reach fl.Config, and a label-flip scenario rewrites exactly the faulty
+// parties' labels at build time.
+func TestBuildWiresFoldAndChaos(t *testing.T) {
+	t.Parallel()
+	spec := chaos.Spec{Seed: 5, FaultFraction: 0.25, Fault: chaos.FaultLabelFlip}
+	s := Setting{
+		Spec: dataset.ECG(), Algorithm: AlgoFedAvg, Alpha: 0.3,
+		PartyFraction: 0.2, Strategy: StrategyRandom, Fold: "trimmed-mean",
+		Chaos: &spec, Seed: 23,
+	}
+	poisoned, err := Build(s, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poisoned.Config.Fold.Kind != fl.FoldTrimmedMean {
+		t.Fatalf("fold kind %v not threaded", poisoned.Config.Fold.Kind)
+	}
+	if poisoned.Config.Faults == nil {
+		t.Fatal("chaos injector not threaded into fl.Config")
+	}
+	s.Chaos = nil
+	s.Fold = ""
+	clean, err := Build(s, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := chaos.New(spec, len(clean.Parties))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := make(map[int]bool)
+	for _, id := range inj.FaultyParties() {
+		faulty[id] = true
+	}
+	if len(faulty) == 0 {
+		t.Fatal("label-flip scenario drew no faulty parties")
+	}
+	for id := range clean.Parties {
+		differs := false
+		for i := range clean.Parties[id].Data {
+			if clean.Parties[id].Data[i].Y != poisoned.Parties[id].Data[i].Y {
+				differs = true
+				break
+			}
+		}
+		if differs != faulty[id] {
+			t.Fatalf("party %d: labels differ=%v but faulty=%v", id, differs, faulty[id])
+		}
+	}
+	// Bad fold and bad chaos specs are rejected at build time.
+	s.Fold = "geometric"
+	if _, err := Build(s, tinyScale()); err == nil {
+		t.Fatal("unknown fold accepted")
+	}
+	s.Fold = ""
+	s.Chaos = &chaos.Spec{OutageProb: 2}
+	if _, err := Build(s, tinyScale()); err == nil {
+		t.Fatal("invalid chaos spec accepted")
+	}
+}

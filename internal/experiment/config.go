@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 
+	"flips/internal/chaos"
 	"flips/internal/core"
 	"flips/internal/dataset"
 	"flips/internal/device"
@@ -125,6 +126,16 @@ type Setting struct {
 	// fleet-scale aggregation (see fl.Config.Shards); results are
 	// bit-identical at every value. 0 keeps a single shard.
 	Shards int
+	// Fold names the aggregation fold: "" or "mean" (weighted FedAvg),
+	// "trimmed-mean", "median", "krum" (see fl.FoldByName). The robust folds
+	// are what the chaos sweep stresses against byzantine parties.
+	Fold string
+	// Chaos, when non-nil, attaches a chaos fault-injection scenario to the
+	// run: correlated regional outages, brownouts, flash-crowd surges and
+	// faulty parties (see chaos.Spec). Label-flip scenarios poison the faulty
+	// parties' training data at build time; the other fault models act at the
+	// engine's fault seam.
+	Chaos *chaos.Spec
 	// TargetAccuracy defines the rounds-to-target metric for this dataset.
 	TargetAccuracy float64
 	// Seed fixes all randomness for the run.
@@ -312,6 +323,26 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	fold, err := fl.FoldByName(setting.Fold)
+	if err != nil {
+		return nil, err
+	}
+	var faults fl.FaultInjector
+	if setting.Chaos != nil {
+		inj, err := chaos.New(*setting.Chaos, scale.Parties)
+		if err != nil {
+			return nil, err
+		}
+		// Label flips poison the faulty parties' data once, here at build
+		// time (party Data slices hold per-party Sample copies, so only the
+		// flipped party sees its labels move); the injector's other hooks
+		// fire inside the engine. A FaultNone spec still passes through so
+		// outage/surge-only scenarios work.
+		for _, id := range inj.FaultyParties() {
+			inj.FlipLabels(id, parties[id].Data, classes)
+		}
+		faults = inj
+	}
 	cfg := fl.Config{
 		Parties:         parties,
 		Test:            test.Samples,
@@ -333,6 +364,8 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 		Parallelism:     scale.Parallelism,
 		Shards:          shards,
 		Aggregation:     policy,
+		Fold:            fold,
+		Faults:          faults,
 		Seed:            setting.Seed,
 	}
 	return &BuildResult{

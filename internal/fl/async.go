@@ -84,11 +84,14 @@ func (p Buffered) run(c *eventCore) error {
 		c.decayLR(step)
 		prevClock := c.clock
 
-		// Refill the training pipeline to PartiesPerRound reserved parties
-		// (best-effort: stop on the first wave that dispatches nobody new —
-		// arrivals will free up parties for later cycles).
-		for c.inFlightCount < cfg.PartiesPerRound {
-			n, err := c.dispatchWave(step, cfg.PartiesPerRound-c.inFlightCount)
+		// Refill the training pipeline to the step's cohort target (the
+		// nominal PartiesPerRound, or a chaos flash-crowd surge of it) of
+		// reserved parties (best-effort: stop on the first wave that
+		// dispatches nobody new — arrivals will free up parties for later
+		// cycles).
+		m := c.cohortTarget(step)
+		for c.inFlightCount < m {
+			n, err := c.dispatchWave(step, m-c.inFlightCount)
 			if err != nil {
 				return err
 			}
@@ -106,9 +109,9 @@ func (p Buffered) run(c *eventCore) error {
 		buffer = buffer[:0]
 		for len(buffer) < k {
 			// Top-up waves ask only for the residual pipeline capacity, so
-			// concurrency never exceeds the FedBuff M = PartiesPerRound cap
-			// (buffered-but-unaggregated parties still hold their slots).
-			if err := c.ensureQueued(step, cfg.PartiesPerRound-c.inFlightCount); err != nil {
+			// concurrency never exceeds the FedBuff M cap (the step's cohort
+			// target; buffered-but-unaggregated parties still hold slots).
+			if err := c.ensureQueued(step, m-c.inFlightCount); err != nil {
 				return err
 			}
 			buffer = append(buffer, c.popArrival())
@@ -157,7 +160,7 @@ func (p SemiSync) run(c *eventCore) error {
 
 		// One selection wave per window; parties still training from
 		// earlier windows stay in flight and are not re-invited.
-		if _, err := c.dispatchWave(round, cfg.PartiesPerRound); err != nil {
+		if _, err := c.dispatchWave(round, c.cohortTarget(round)); err != nil {
 			return err
 		}
 
@@ -212,7 +215,7 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 	wave := c.waves
 	c.waves++
 	wr := c.root.Split(uint64(wave) + 1)
-	ids, err := c.selectParties(step, c.cfg.PartiesPerRound)
+	ids, err := c.selectParties(step, c.cohortTarget(step))
 	if err != nil {
 		return 0, err
 	}
@@ -229,6 +232,16 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 			break
 		}
 		if c.inFlight.get(id) {
+			continue
+		}
+		// Chaos-forced outages count as offline invitees, like a failed
+		// availability draw; the party's draw stream is simply not consumed
+		// (per-party streams are independent).
+		if c.cfg.Faults != nil && c.cfg.Faults.ForceOffline(step, id) {
+			if !c.offlineMark.get(id) {
+				c.offlineMark.set(id, true)
+				c.cycleOffline = append(c.cycleOffline, id)
+			}
 			continue
 		}
 		if c.useDevices && !c.cfg.Parties[id].Device.Online(step, ar.Split(uint64(id)+1)) {
@@ -254,11 +267,15 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 		} else {
 			d = c.cfg.Parties[id].Latency * float64(lr.Steps)
 		}
+		d = perturbDuration(c.cfg, c.cfg.Parties[id], step, id, d)
 		// The pending update carries the dispatch-time delta: by the time it
 		// aggregates, the global model has moved on. lr.Params is a fresh
 		// clone, safe to mutate in place.
 		delta := lr.Params
 		delta.SubInPlace(c.globalParams)
+		if c.cfg.Faults != nil && c.cfg.Faults.Corrupts(id) {
+			c.cfg.Faults.CorruptDelta(step, id, delta)
+		}
 		up := &pendingUpdate{
 			party:    id,
 			update:   delta,
@@ -339,8 +356,7 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 		staleness := c.version - up.version
 		c.markShard(id)
 		c.completed = append(c.completed, id)
-		c.updates = append(c.updates, up.update)
-		c.weights = append(c.weights, up.weight*stalenessDiscount(staleness, halfLife))
+		c.admitUpdate(up.update, up.weight*stalenessDiscount(staleness, halfLife))
 		c.fb.MeanLoss[id] = up.meanLoss
 		c.fb.SqLoss[id] = up.sqLoss
 		c.fb.Duration[id] = up.duration

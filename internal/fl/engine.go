@@ -102,6 +102,19 @@ type Config struct {
 	// parallelism. Zero or 1 keeps a single shard; values above the party
 	// count are clamped.
 	Shards int
+	// Fold selects the aggregation fold combining each cycle's local
+	// updates into the global delta: the zero value is the weighted FedAvg
+	// mean, FoldTrimmedMean / FoldMedian / FoldKrum are the byzantine-robust
+	// alternatives (see robust.go). The robust folds deliberately ignore
+	// aggregation weights — sample counts and staleness discounts — since
+	// claimed weights are themselves an attack surface.
+	Fold FoldConfig
+	// Faults is the optional chaos seam: a fault injector perturbing
+	// availability (regional outages), durations (latency factors),
+	// selection targets (flash crowds) and reported update deltas
+	// (scaled/sign-flipped/byzantine corruption). Nil runs a clean fleet.
+	// See faults.go for the determinism contract.
+	Faults FaultInjector
 	// Aggregation selects the execution model: SyncRounds (nil default,
 	// classic synchronization rounds — the paper's setting), Buffered
 	// (FedBuff-style asynchronous aggregation every K arrivals) or SemiSync
@@ -150,6 +163,9 @@ func (c *Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("fl: negative shard count %d", c.Shards)
+	}
+	if err := c.Fold.validate(); err != nil {
+		return err
 	}
 	withDevice := 0
 	for _, p := range c.Parties {
@@ -229,6 +245,11 @@ type RoundStats struct {
 	// sharded engine. With a single shard (Shards <= 1) it is 1 whenever
 	// anything completed and 0 otherwise.
 	ShardsTouched int
+	// Rejected counts this cycle's non-finite (NaN/Inf) local updates
+	// dropped at the fold boundary instead of being folded into the global
+	// model. The parties still count as Completed — they trained and
+	// uploaded — but their poison never reaches the server optimizer.
+	Rejected int
 }
 
 // Result summarizes a finished FL job.
@@ -300,12 +321,21 @@ func Run(cfg Config) (*Result, error) {
 func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramBytes int64, round int, r *rng.Source, completed, stragglers []int, durations *shardedSlice[float64]) (completedOut, stragglersOut []int, downloads int) {
 	for _, id := range invited {
 		party := cfg.Parties[id]
+		// A chaos-forced outage looks exactly like a failed availability
+		// draw: the party never contacts the server. Its per-party stream is
+		// simply not drawn — streams are independent, so no other party's
+		// draw shifts.
+		if cfg.Faults != nil && cfg.Faults.ForceOffline(round, id) {
+			stragglers = append(stragglers, id)
+			continue
+		}
 		if !party.Device.Online(round, r.Split(uint64(id)+1)) {
 			stragglers = append(stragglers, id)
 			continue
 		}
 		downloads++
 		d := party.Device.RoundDuration(party.NumSamples(), sgd.LocalEpochs, paramBytes)
+		d = perturbDuration(cfg, party, round, id, d)
 		if cfg.Deadline > 0 && d > cfg.Deadline {
 			stragglers = append(stragglers, id)
 			continue
@@ -314,6 +344,25 @@ func simulateDeviceRound(cfg *Config, invited []int, sgd model.SGDConfig, paramB
 		completed = append(completed, id)
 	}
 	return completed, stragglers, downloads
+}
+
+// perturbDuration applies the duration multipliers layered on top of the
+// analytic device round time: the trace slot's latency multiplier (device
+// layer) and the fault injector's latency factor (chaos layer). Both are
+// guarded against the neutral 1 so an unperturbed run's float bits cannot
+// move.
+func perturbDuration(cfg *Config, party *Party, round, id int, d float64) float64 {
+	if party.Device != nil {
+		if m := party.Device.LatencyAt(round); m != 1 {
+			d *= m
+		}
+	}
+	if cfg.Faults != nil {
+		if f := cfg.Faults.LatencyFactor(round, id); f != 1 {
+			d *= f
+		}
+	}
+	return d
 }
 
 // pickStragglers drops StragglerRate of the invited parties, biased toward

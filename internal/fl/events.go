@@ -219,6 +219,10 @@ type eventCore struct {
 	shardMark    []bool
 	shardTouched int
 
+	// cycleRejected counts this cycle's non-finite updates dropped at the
+	// fold boundary (Rejected in RoundStats).
+	cycleRejected int
+
 	// Async bookkeeping: which parties are reserved (training, or arrived
 	// but not yet aggregated — their arrival event is or was queued), and
 	// the selection/offline/bytes accumulators for the current aggregation
@@ -290,6 +294,7 @@ func (c *eventCore) markShard(id int) {
 }
 
 func (c *eventCore) resetShards() {
+	c.cycleRejected = 0
 	if c.shardTouched == 0 {
 		return
 	}
@@ -297,16 +302,55 @@ func (c *eventCore) resetShards() {
 	c.shardTouched = 0
 }
 
+// cohortTarget maps the nominal selection target through the fault
+// injector's flash-crowd hook, clamped to [1, parties].
+func (c *eventCore) cohortTarget(step int) int {
+	t := c.cfg.PartiesPerRound
+	if c.cfg.Faults == nil {
+		return t
+	}
+	t = c.cfg.Faults.CohortTarget(step, t)
+	if t < 1 {
+		t = 1
+	}
+	if n := len(c.cfg.Parties); t > n {
+		t = n
+	}
+	return t
+}
+
+// admitUpdate is the fold boundary's finiteness gate: a non-finite update
+// (NaN/Inf anywhere in the vector) is counted as rejected and kept out of
+// the fold — one poisoned delta would otherwise corrupt the global model
+// permanently through the server optimizer's moment state.
+func (c *eventCore) admitUpdate(update tensor.Vec, weight float64) {
+	if !isFiniteVec(update) {
+		c.cycleRejected++
+		return
+	}
+	c.updates = append(c.updates, update)
+	c.weights = append(c.weights, weight)
+}
+
 // foldAverageDelta folds raw trained parameters (sync semantics: the current
 // global model is subtracted inside) into c.delta across the configured
 // shard count; foldDelta folds pre-computed dispatch-time deltas (async
 // semantics). Both are bit-identical to the sequential fold at every shard
-// count and parallelism.
+// count and parallelism. A non-mean Config.Fold routes both through the
+// robust folds (robust.go), which carry the same invariance contract.
 func (c *eventCore) foldAverageDelta() {
+	if c.cfg.Fold.Kind != FoldMean {
+		RobustDeltaShardedInto(c.cfg.Fold, c.delta, c.globalParams, c.updates, c.pool, foldShards(c.space.count(), len(c.delta)))
+		return
+	}
 	WeightedAverageDeltaShardedInto(c.delta, c.globalParams, c.updates, c.weights, c.pool, foldShards(c.space.count(), len(c.delta)))
 }
 
 func (c *eventCore) foldDelta() {
+	if c.cfg.Fold.Kind != FoldMean {
+		RobustDeltaShardedInto(c.cfg.Fold, c.delta, nil, c.updates, c.pool, foldShards(c.space.count(), len(c.delta)))
+		return
+	}
 	WeightedDeltaShardedInto(c.delta, c.updates, c.weights, c.pool, foldShards(c.space.count(), len(c.delta)))
 }
 
@@ -455,6 +499,7 @@ func (c *eventCore) maybeEval(step, invited, completed int, commBytes int64, mea
 		RoundTime:     roundTime,
 		SimTime:       c.res.SimTime,
 		ShardsTouched: c.shardTouched,
+		Rejected:      c.cycleRejected,
 	}
 	correct, total := metrics.ShardedClassCounts(c.global, c.cfg.Test, c.cfg.NumClasses, c.pool)
 	stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)

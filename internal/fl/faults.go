@@ -1,0 +1,47 @@
+package fl
+
+import "flips/internal/tensor"
+
+// FaultInjector is the engine's chaos seam (ISSUE 7): an optional Config
+// hook through which a scenario engine perturbs a run without the engine
+// knowing anything about fault taxonomies. The concrete injector lives in
+// internal/chaos; the interface lives here so the engine depends only on
+// the seam (and so internal/fl tests can stub it).
+//
+// Determinism contract: every method is invoked on the policy goroutine in
+// deterministic dispatch order — ForceOffline and LatencyFactor per invited
+// party in invitation order, CohortTarget once per selection target,
+// CorruptDelta per corrupted party in schedule order. An injector whose
+// methods are pure functions of their arguments (plus immutable
+// construction-time state) therefore keeps runs bit-identical at every
+// engine parallelism and shard count, exactly like the engine's own
+// pre-split RNG streams. Injectors must not retain or mutate engine state
+// beyond the delta vector passed to CorruptDelta.
+type FaultInjector interface {
+	// ForceOffline reports whether the fault process makes party id
+	// unreachable at aggregation step round — e.g. a correlated regional
+	// outage. A forced-offline party is treated exactly like a device that
+	// failed its availability draw: it becomes a straggler and never
+	// downloads the model.
+	ForceOffline(round, id int) bool
+
+	// LatencyFactor returns a multiplier applied to party id's simulated
+	// round duration at step round (1 = unperturbed). It composes with
+	// trace-slot latency multipliers from the device layer.
+	LatencyFactor(round, id int) float64
+
+	// CohortTarget maps the nominal selection target for step round to the
+	// faulted one — e.g. a flash-crowd surge multiplying arrivals. The
+	// engine clamps the result to [1, len(Parties)].
+	CohortTarget(round, target int) int
+
+	// Corrupts reports whether party id misbehaves at the update level
+	// (scaled/sign-flipped/byzantine models). Dataset-level faults such as
+	// label flips are applied at build time and report false here.
+	Corrupts(id int) bool
+
+	// CorruptDelta rewrites, in place, the model delta a corrupt party
+	// reports at step round. The vector is the party's x_i − m^(v) in every
+	// aggregation mode; the engine re-bases it as needed afterwards.
+	CorruptDelta(round, id int, delta tensor.Vec)
+}

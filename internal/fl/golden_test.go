@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"flips/internal/chaos"
 	"flips/internal/device"
 	"flips/internal/model"
 	"flips/internal/rng"
@@ -34,6 +35,7 @@ type goldenRound struct {
 	PerLabel  []uint64 `json:"perLabelBits"`
 	Invited   int      `json:"invited"`
 	Completed int      `json:"completed"`
+	Rejected  int      `json:"rejected,omitempty"`
 	CommBytes int64    `json:"commBytes"`
 	MeanLoss  uint64   `json:"meanLossBits"`
 	RoundTime uint64   `json:"roundTimeBits"`
@@ -64,6 +66,7 @@ func toGolden(res *Result) *goldenRun {
 			Accuracy:  math.Float64bits(h.Accuracy),
 			Invited:   h.Invited,
 			Completed: h.Completed,
+			Rejected:  h.Rejected,
 			CommBytes: h.CommBytes,
 			MeanLoss:  math.Float64bits(h.MeanLoss),
 			RoundTime: math.Float64bits(h.RoundTime),
@@ -154,7 +157,7 @@ func checkGolden(t *testing.T, name string, cfg Config) {
 	}
 	for i := range want.History {
 		w, g := want.History[i], got.History[i]
-		if w.Round != g.Round || w.Invited != g.Invited || w.Completed != g.Completed || w.CommBytes != g.CommBytes {
+		if w.Round != g.Round || w.Invited != g.Invited || w.Completed != g.Completed || w.Rejected != g.Rejected || w.CommBytes != g.CommBytes {
 			t.Errorf("round %d counters diverge from golden: got %+v want %+v", w.Round, g, w)
 		}
 		if w.Accuracy != g.Accuracy || w.MeanLoss != g.MeanLoss || w.RoundTime != g.RoundTime || w.SimTime != g.SimTime {
@@ -211,6 +214,58 @@ func goldenSemiSyncConfig(t *testing.T) Config {
 	return cfg
 }
 
+// strideSelector rotates through the pool one ID at a time — a pure function
+// of the round, like rotatingSelector, but with a stride coprime to every
+// pool size so a larger target always yields more distinct invitees.
+type strideSelector struct{ n int }
+
+func (s *strideSelector) Name() string { return "stride" }
+
+func (s *strideSelector) Select(round, target int) []int {
+	out := make([]int, 0, target)
+	for i := 0; i < target && i < s.n; i++ {
+		out = append(out, (round*5+i)%s.n)
+	}
+	return out
+}
+
+func (s *strideSelector) Observe(RoundFeedback) {}
+
+// goldenChaosConfig is the chaos pin (ISSUE 7): the device-model churn fleet
+// under a full chaos scenario — correlated regional outages, brownouts, a
+// flash crowd every third round and 25% byzantine parties — aggregated by the
+// trimmed-mean robust fold. It freezes the injector's pure-function weather
+// draws, the robust fold's per-coordinate reduction and the Rejected
+// accounting in one trajectory, so a chaos-layer or robust-fold change cannot
+// drift silently.
+func goldenChaosConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := goldenDeviceConfig(t)
+	// Stride-1 rotation: the flash-crowd surge doubles the cohort target, and
+	// a stride-1 selector turns that into genuinely more distinct invitees
+	// (rotatingSelector's stride-2 walk collapses a doubled target back to
+	// the same six parties under dedupe, hiding the surge from the golden).
+	cfg.Selector = &strideSelector{n: len(cfg.Parties)}
+	cfg.Fold = FoldConfig{Kind: FoldTrimmedMean}
+	inj, err := chaos.New(chaos.Spec{
+		Seed:          7,
+		Regions:       4,
+		OutageProb:    0.3,
+		OutageLen:     2,
+		DegradedProb:  0.2,
+		SurgeEvery:    3,
+		SurgeFactor:   2,
+		FaultFraction: 0.25,
+		Fault:         chaos.FaultByzantine,
+		FaultScale:    5,
+	}, len(cfg.Parties))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = inj
+	return cfg
+}
+
 // goldenConfigs enumerates every pinned trajectory by testdata file name.
 func goldenConfigs() map[string]func(*testing.T) Config {
 	return map[string]func(*testing.T) Config{
@@ -218,6 +273,7 @@ func goldenConfigs() map[string]func(*testing.T) Config {
 		"golden_device.json":   goldenDeviceConfig,
 		"golden_async.json":    goldenAsyncConfig,
 		"golden_semisync.json": goldenSemiSyncConfig,
+		"golden_chaos.json":    goldenChaosConfig,
 	}
 }
 
@@ -262,12 +318,17 @@ func TestGoldenDeviceRun(t *testing.T) {
 	checkGolden(t, "golden_device.json", goldenDeviceConfig(t))
 }
 
+func TestGoldenChaosRun(t *testing.T) {
+	t.Parallel()
+	checkGolden(t, "golden_chaos.json", goldenChaosConfig(t))
+}
+
 // TestGoldenRunsAreParallelismInvariant ties the golden pins to the
 // determinism contract: the parallel engine must reproduce the committed
 // sequential goldens at width 8 too.
 func TestGoldenRunsAreParallelismInvariant(t *testing.T) {
 	t.Parallel()
-	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig, goldenSemiSyncConfig} {
+	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig, goldenSemiSyncConfig, goldenChaosConfig} {
 		seq := mk(t)
 		seq.Parallelism = 1
 		par := mk(t)

@@ -44,7 +44,7 @@ func (p SyncRounds) run(c *eventCore) error {
 		}
 		c.decayLR(round)
 
-		invited, err := c.selectParties(round, cfg.PartiesPerRound)
+		invited, err := c.selectParties(round, c.cohortTarget(round))
 		if err != nil {
 			return err
 		}
@@ -60,6 +60,17 @@ func (p SyncRounds) run(c *eventCore) error {
 			c.stragglers = pickStragglers(*cfg, invited, roundRng.Split(0x5A), c.stragglers)
 			for _, id := range c.stragglers {
 				c.isStraggler.set(id, true)
+			}
+			// Chaos outages stack on the legacy coin-flip: forced-offline
+			// parties straggle too (after the flip so the legacy RNG stream
+			// is untouched on clean runs).
+			if cfg.Faults != nil {
+				for _, id := range invited {
+					if !c.isStraggler.get(id) && cfg.Faults.ForceOffline(round, id) {
+						c.isStraggler.set(id, true)
+						c.stragglers = append(c.stragglers, id)
+					}
+				}
 			}
 			for _, id := range invited {
 				if !c.isStraggler.get(id) {
@@ -92,9 +103,20 @@ func (p SyncRounds) run(c *eventCore) error {
 		c.pendingPool = c.pendingPool[:len(completed)]
 		for i, id := range completed {
 			lr := c.locals[i]
+			// A corrupt party reports an attacked update: its trained delta
+			// is rewritten in place (lr.Params is a per-party clone) and
+			// re-based onto the current global model, so the raw-parameter
+			// sync fold sees global + corrupted-delta. Clean parties are
+			// never touched — their float bits cannot move.
+			if cfg.Faults != nil && cfg.Faults.Corrupts(id) {
+				lr.Params.SubInPlace(c.globalParams)
+				cfg.Faults.CorruptDelta(round, id, lr.Params)
+				lr.Params.AddInPlace(c.globalParams)
+			}
 			d := c.durations.get(id)
 			if !c.useDevices {
 				d = cfg.Parties[id].Latency * float64(lr.Steps)
+				d = perturbDuration(cfg, cfg.Parties[id], round, id, d)
 				c.durations.set(id, d)
 			}
 			c.pendingPool[i] = pendingUpdate{
@@ -141,8 +163,7 @@ func (p SyncRounds) run(c *eventCore) error {
 			if cfg.FedDynAlpha > 0 {
 				params = applyFedDyn(c.dynState, id, params, c.globalParams, cfg.FedDynAlpha)
 			}
-			c.updates = append(c.updates, params)
-			c.weights = append(c.weights, up.weight)
+			c.admitUpdate(params, up.weight)
 			c.fb.MeanLoss[id] = up.meanLoss
 			c.fb.SqLoss[id] = up.sqLoss
 			c.fb.Duration[id] = up.duration

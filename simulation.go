@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"flips/internal/chaos"
 	"flips/internal/dataset"
 	"flips/internal/device"
 	"flips/internal/experiment"
@@ -76,6 +77,24 @@ type SimulationConfig struct {
 	// every value (see DESIGN.md, "Sharded aggregation"); raise it for
 	// 100k+-party populations. Zero keeps a single shard.
 	Shards int
+	// Fold selects the aggregation fold: "" or "mean" (the paper's
+	// example-weighted FedAvg average), "trimmed-mean", "median" or "krum".
+	// The robust folds discard outlier updates and are what stands between
+	// a byzantine minority and the global model (see DESIGN.md, "Chaos
+	// engine").
+	Fold string
+	// FaultModel turns a fraction of the fleet faulty: "" or "none",
+	// "label-flip" (training labels rewritten to a fixed wrong class),
+	// "scaled" (deltas multiplied by FaultScale), "sign-flip" (deltas
+	// negated) or "byzantine" (deltas replaced with FaultScale-scaled
+	// Gaussian noise). The faulty set is drawn deterministically from Seed.
+	FaultModel string
+	// FaultFraction is the fraction of parties that misbehave under
+	// FaultModel; required positive when FaultModel is set.
+	FaultFraction float64
+	// FaultScale scales "scaled" deltas and "byzantine" noise (0 uses the
+	// default of 10).
+	FaultScale float64
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -100,6 +119,9 @@ type RoundPoint struct {
 	// ShardsTouched counts the distinct aggregation shards this round's
 	// completed parties fell into — the streaming shard-locality metric.
 	ShardsTouched int
+	// Rejected counts completed updates this aggregation step refused to
+	// fold because they carried non-finite (NaN/Inf) coordinates.
+	Rejected int
 }
 
 // SimulationResult summarizes a finished FL simulation.
@@ -151,8 +173,26 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 		BufferSize:        c.BufferSize,
 		StalenessHalfLife: c.StalenessHalfLife,
 		Shards:            c.Shards,
+		Fold:              c.Fold,
 		TargetAccuracy:    experiment.TargetFor(spec),
 		Seed:              c.Seed,
+	}
+	fault, err := chaos.FaultModelByName(c.FaultModel)
+	if err != nil {
+		return experiment.Setting{}, experiment.Scale{}, fmt.Errorf("flips: %w", err)
+	}
+	if fault != chaos.FaultNone {
+		if c.FaultFraction <= 0 {
+			return experiment.Setting{}, experiment.Scale{}, fmt.Errorf("flips: fault model %q requires a positive FaultFraction", c.FaultModel)
+		}
+		setting.Chaos = &chaos.Spec{
+			Seed:          c.Seed,
+			Fault:         fault,
+			FaultFraction: c.FaultFraction,
+			FaultScale:    c.FaultScale,
+		}
+	} else if c.FaultFraction != 0 {
+		return experiment.Setting{}, experiment.Scale{}, fmt.Errorf("flips: FaultFraction requires a fault model")
 	}
 	devCfg, err := c.resolveDevice()
 	if err != nil {
@@ -261,6 +301,7 @@ func roundPoint(h fl.RoundStats) RoundPoint {
 		RoundTime:     h.RoundTime,
 		SimTime:       h.SimTime,
 		ShardsTouched: h.ShardsTouched,
+		Rejected:      h.Rejected,
 	}
 }
 
@@ -313,6 +354,26 @@ func RunAsync(w io.Writer, paperScale bool, seed uint64) error {
 		scale = experiment.PaperScale()
 	}
 	table, err := experiment.RunAsync(scale, seed, nil, nil)
+	if err != nil {
+		return err
+	}
+	table.Render(w)
+	return nil
+}
+
+// RunChaos runs the fault-matrix sweep — a clean control plus correlated
+// regional outages, flash-crowd surges, label flips and byzantine parties,
+// crossed with the mean and robust aggregation folds and the selection
+// strategies — and writes its time-to-target-accuracy degradation table to
+// w. This is the fault-tolerance family the clean evaluation cannot
+// express: it answers which (selector, fold) pairs keep converging when the
+// fleet misbehaves, and what that robustness costs when nothing goes wrong.
+func RunChaos(w io.Writer, paperScale bool, seed uint64) error {
+	scale := experiment.LaptopScale()
+	if paperScale {
+		scale = experiment.PaperScale()
+	}
+	table, err := experiment.RunChaos(scale, seed, nil, nil)
 	if err != nil {
 		return err
 	}
