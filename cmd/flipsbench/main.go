@@ -10,6 +10,7 @@
 //	flipsbench -exp async -trace t.csv     # ... replaying a real-world availability trace
 //	flipsbench -exp chaos                  # fault-matrix sweep (outages, surges, byzantine × folds)
 //	flipsbench -exp chaos -chaos-matrix m.json  # ... with a custom declarative fault matrix
+//	flipsbench -exp privacy                # privacy-ladder sweep (clip, masking, masking+DP)
 //	flipsbench -exp tee                    # TEE clustering overhead
 //	flipsbench -exp scale -shards 64       # fleet-scale sweep (1k/10k/100k parties)
 //	flipsbench -exp all-tables             # every table (12 grids)
@@ -46,7 +47,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flipsbench", flag.ContinueOnError)
-	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, chaos, tee, all-tables, all-figures, all")
+	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, chaos, privacy, tee, all-tables, all-figures, all")
 	tracePath := fs.String("trace", "", "CSV/JSON device availability trace replayed by the async sweep (one row of 0/1 slots per device, mapped onto parties by ID)")
 	chaosMatrix := fs.String("chaos-matrix", "", "JSON fault-matrix file for the chaos sweep (fault arms × folds × strategies; default: built-in matrix)")
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
@@ -200,6 +201,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			table.Render(stdout)
 			fmt.Fprintln(stdout)
+		case id == "privacy":
+			fmt.Fprintln(stderr, "running privacy-ladder sweep (4 arms x 3 strategies)...")
+			table, err := experiment.RunPrivacy(scale, *seed, nil, progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
 		case id == "scale":
 			fmt.Fprintln(stderr, "running fleet-scale sweep (parties x shards)...")
 			sweep := experiment.ScaleSweep{Seed: *seed, Parallelism: *par}
@@ -255,6 +264,7 @@ func expandExperiments(spec string) ([]string, error) {
 			add("het")
 			add("async")
 			add("chaos")
+			add("privacy")
 			add("scale")
 			add("tee")
 		case "all-tables":
@@ -273,7 +283,7 @@ func expandExperiments(spec string) ([]string, error) {
 		return nil, fmt.Errorf("no experiments selected")
 	}
 	// Stable order: tables numerically, then figures, then het, async,
-	// chaos, scale, tee.
+	// chaos, privacy, scale, tee.
 	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
 	return out, nil
 }
@@ -295,6 +305,9 @@ func expRank(id string) int {
 	}
 	if id == "chaos" {
 		return 165
+	}
+	if id == "privacy" {
+		return 167
 	}
 	if id == "scale" {
 		return 170

@@ -13,7 +13,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1+1+1+1+1 {
+	if len(ids) != 24+10+1+1+1+1+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -22,14 +22,17 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
 	}
-	if ids[len(ids)-5] != "het" {
-		t.Fatalf("het not before async: %v", ids[len(ids)-5])
+	if ids[len(ids)-6] != "het" {
+		t.Fatalf("het not before async: %v", ids[len(ids)-6])
 	}
-	if ids[len(ids)-4] != "async" {
-		t.Fatalf("async not before chaos: %v", ids[len(ids)-4])
+	if ids[len(ids)-5] != "async" {
+		t.Fatalf("async not before chaos: %v", ids[len(ids)-5])
 	}
-	if ids[len(ids)-3] != "chaos" {
-		t.Fatalf("chaos not before scale: %v", ids[len(ids)-3])
+	if ids[len(ids)-4] != "chaos" {
+		t.Fatalf("chaos not before privacy: %v", ids[len(ids)-4])
+	}
+	if ids[len(ids)-3] != "privacy" {
+		t.Fatalf("privacy not before scale: %v", ids[len(ids)-3])
 	}
 	if ids[len(ids)-2] != "scale" {
 		t.Fatalf("scale not before tee: %v", ids[len(ids)-2])
@@ -188,6 +191,22 @@ func TestRunWritesProfiles(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunPrivacyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("privacy sweep runs FL jobs at laptop scale")
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "privacy", "-q"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Privacy-ladder sweep", "plaintext", "masked(t=2)", "masked+dp(ε=5,t=2)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
 		}
 	}
 }

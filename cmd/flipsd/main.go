@@ -78,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
 	shards := fs.Int("shards", 0, "-selftest aggregation shard count (0 = single shard; results are identical at every value)")
 	fold := fs.String("fold", "", "-selftest aggregation fold: mean (default), trimmed-mean, median or krum — smoke the robust fold a deployment will run")
+	mask := fs.Bool("mask", false, "-selftest: enable pairwise secure-aggregation masking with Shamir dropout recovery")
+	clip := fs.Float64("clip", 0, "-selftest: L2 update clip bound (required by -mask; defaults to 1 when masking)")
+	epsilon := fs.Float64("epsilon", 0, "-selftest: per-round differential-privacy ε (Laplace noise on the folded delta; requires -clip)")
+	shareThreshold := fs.Int("share-threshold", 0, "-selftest: minimum survivors for mask dropout reconstruction (0 = cohort majority)")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,7 +102,9 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 		// The CPU cap is applied exactly once: as the simulation's
 		// worker-pool width. (The serve modes below use GOMAXPROCS instead;
 		// doing both here used to double-apply the cap.)
-		return runSelftest(stdout, *seed, *par, *aggregation, *shards, *fold)
+		return runSelftest(stdout, *seed, *par, *aggregation, *shards, *fold, privacyFlags{
+			mask: *mask, clip: *clip, epsilon: *epsilon, shareThreshold: *shareThreshold,
+		})
 	}
 
 	if *par > 0 {
@@ -200,26 +206,39 @@ func serveTEE(stdout io.Writer, listen string, maxK, repeats int, version string
 	return nil
 }
 
+// privacyFlags bundles the -selftest secure-aggregation knobs.
+type privacyFlags struct {
+	mask           bool
+	clip           float64
+	epsilon        float64
+	shareThreshold int
+}
+
 // runSelftest exercises the full FLIPS pipeline the service host will carry
 // — clustering, FLIPS selection, FL rounds over a heterogeneous device fleet
 // — and reports rounds- and simulated time-to-target-accuracy. aggregation
 // picks the execution model ("sync" rounds with a 3s deadline, "buffered"
 // FedBuff-style async, or "semisync" 3s windows), so a deployment can smoke
-// whichever mode it will run.
-func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int, fold string) error {
+// whichever mode it will run; priv smokes the secure-aggregation middleware
+// (masking, dropout reconstruction, clipping, DP noise) the same way.
+func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int, fold string, priv privacyFlags) error {
 	cfg := flips.SimulationConfig{
-		Dataset:       "mit-bih-ecg",
-		Strategy:      "flips",
-		DeviceProfile: "lognormal",
-		Availability:  "churn",
-		Deadline:      3,
-		Aggregation:   aggregation,
-		Rounds:        20,
-		Parties:       24,
-		Parallelism:   par,
-		Shards:        shards,
-		Fold:          fold,
-		Seed:          seed,
+		Dataset:        "mit-bih-ecg",
+		Strategy:       "flips",
+		DeviceProfile:  "lognormal",
+		Availability:   "churn",
+		Deadline:       3,
+		Aggregation:    aggregation,
+		Rounds:         20,
+		Parties:        24,
+		Parallelism:    par,
+		Shards:         shards,
+		Fold:           fold,
+		Mask:           priv.mask,
+		Clip:           priv.clip,
+		Epsilon:        priv.epsilon,
+		ShareThreshold: priv.shareThreshold,
+		Seed:           seed,
 	}
 	if aggregation == "buffered" {
 		cfg.Deadline = 0 // buffered aggregation has no deadline concept
@@ -232,12 +251,29 @@ func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, sha
 	if fold != "" {
 		foldNote = ", " + fold + " fold"
 	}
+	if priv.mask {
+		foldNote += ", masked"
+	} else if priv.clip > 0 {
+		foldNote += ", clipped"
+	}
+	if priv.epsilon > 0 {
+		foldNote += fmt.Sprintf(", ε=%g", priv.epsilon)
+	}
 	fmt.Fprintf(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, %s aggregation%s)\n", aggregation, foldNote)
 	fmt.Fprintf(stdout, "  clusters:            %d\n", res.NumClusters)
 	fmt.Fprintf(stdout, "  peak accuracy:       %.2f%%\n", 100*res.PeakAccuracy)
 	fmt.Fprintf(stdout, "  simulated job time:  %s\n", experiment.FormatSimDuration(res.SimTime))
 	fmt.Fprintf(stdout, "  rounds to %.0f%%:       %s\n", 100*res.TargetAccuracy, formatRounds(res.RoundsToTarget))
 	fmt.Fprintf(stdout, "  time to %.0f%%:         %s\n", 100*res.TargetAccuracy, experiment.FormatSimDuration(res.TimeToTarget))
+	if priv.mask {
+		aborts := 0
+		for _, h := range res.History {
+			if h.MaskAborted {
+				aborts++
+			}
+		}
+		fmt.Fprintf(stdout, "  mask aborts:         %d\n", aborts)
+	}
 	fmt.Fprintln(stdout, "flipsd selftest: ok")
 	return nil
 }

@@ -276,3 +276,31 @@ func TestSelftestParallelismIsResultInvariant(t *testing.T) {
 		t.Fatalf("selftest output moved under -parallel 2:\n%s\nvs\n%s", base.String(), capped.String())
 	}
 }
+
+// TestSelftestRunsMasked smokes the secure-aggregation flags end to end: the
+// selftest must thread masking through the public config, say so in its
+// banner, and report the abort counter.
+func TestSelftestRunsMasked(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-selftest", "-seed", "3", "-mask", "-share-threshold", "2"}, &out, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "masked") {
+		t.Fatalf("selftest banner missing masking:\n%s", o)
+	}
+	if !strings.Contains(o, "mask aborts:") {
+		t.Fatalf("selftest missing the abort counter:\n%s", o)
+	}
+	if !strings.Contains(o, "selftest: ok") {
+		t.Fatalf("masked selftest did not finish:\n%s", o)
+	}
+	// An invalid privacy combination fails fast through the same validation
+	// the job server uses.
+	var bad bytes.Buffer
+	err := run([]string{"-selftest", "-mask", "-fold", "median"}, &bad, &errBuf, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "mask") {
+		t.Fatalf("err = %v, want masking-over-robust-fold rejection", err)
+	}
+}

@@ -136,6 +136,11 @@ type Setting struct {
 	// parties' training data at build time; the other fault models act at the
 	// engine's fault seam.
 	Chaos *chaos.Spec
+	// Privacy configures the aggregation privacy middleware — pairwise
+	// secure-aggregation masking with Shamir dropout recovery, L2 update
+	// clipping and post-fold Laplace noise (see fl.PrivacyConfig). The zero
+	// value keeps the plaintext fold byte-identical to pre-privacy runs.
+	Privacy fl.PrivacyConfig
 	// TargetAccuracy defines the rounds-to-target metric for this dataset.
 	TargetAccuracy float64
 	// Seed fixes all randomness for the run.
@@ -366,6 +371,7 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 		Aggregation:     policy,
 		Fold:            fold,
 		Faults:          faults,
+		Privacy:         setting.Privacy,
 		Seed:            setting.Seed,
 	}
 	return &BuildResult{

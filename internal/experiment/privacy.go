@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"flips/internal/dataset"
+	"flips/internal/device"
+	"flips/internal/fl"
+)
+
+// The privacy sweep (ISSUE 8) measures what the secure-aggregation middleware
+// costs: a plaintext control, clipping alone, pairwise masking with Shamir
+// dropout recovery, and masking plus differential-privacy noise, each crossed
+// with the selection strategies over the same lognormal churn fleet as the
+// chaos sweep. The table answers the deployment question the clean evaluation
+// cannot: how much convergence (time-to-target, peak accuracy) does each rung
+// of the privacy ladder give up, and how often does dropout reconstruction
+// fall below threshold and abort a round outright?
+
+// PrivacyArm is one rung of the privacy ladder.
+type PrivacyArm struct {
+	Name   string
+	Config fl.PrivacyConfig
+}
+
+// privacyBaselineArm is the arm used as the slowdown baseline.
+const privacyBaselineArm = "plaintext"
+
+// DefaultPrivacyArms returns the standard ladder: plaintext control, clip
+// only, full masking with dropout recovery, and masking with ε=5 Laplace
+// noise on top.
+func DefaultPrivacyArms() []PrivacyArm {
+	return []PrivacyArm{
+		{Name: privacyBaselineArm, Config: fl.PrivacyConfig{}},
+		{Name: "clip", Config: fl.PrivacyConfig{Clip: 1}},
+		{Name: "masked", Config: fl.PrivacyConfig{Mask: true, Clip: 1, ShareThreshold: 2}},
+		{Name: "masked+dp", Config: fl.PrivacyConfig{Mask: true, Clip: 1, Epsilon: 5, ShareThreshold: 2}},
+	}
+}
+
+// PrivacyCell is one (arm, strategy) measurement.
+type PrivacyCell struct {
+	Arm      string
+	Strategy string
+	// TimeToTarget / RoundsToTarget are -1 when the target was never reached.
+	TimeToTarget   float64
+	RoundsToTarget int
+	PeakAccuracy   float64
+	SimTime        float64
+	// MaskAborts counts aggregation steps that aborted because dropout
+	// reconstruction fell below the share threshold.
+	MaskAborts int
+	// Dropouts counts invited-but-not-folded parties over the whole run —
+	// the traffic the Shamir reconstruction path absorbed.
+	Dropouts int
+	// Slowdown is TimeToTarget over the plaintext arm's same-strategy cell:
+	// 1 means free, 2 means twice as slow. +Inf when this cell never reached
+	// the target but plaintext did; NaN without a plaintext reference.
+	Slowdown float64
+}
+
+// PrivacyRow is one arm with every strategy cell, in strategy order.
+type PrivacyRow struct {
+	Arm    string
+	Config fl.PrivacyConfig
+	Cells  []PrivacyCell
+}
+
+// PrivacyTable is the full arm × strategy sweep result.
+type PrivacyTable struct {
+	Dataset    string
+	Rounds     int
+	Target     float64
+	Strategies []string
+	Rows       []PrivacyRow
+}
+
+// RunPrivacy executes the privacy-ladder sweep on the ECG workload with
+// FedYogi over a lognormal churn fleet (the chaos sweep's setting, so the
+// two tables are comparable). Cells fan out over a pool bounded by
+// scale.Parallelism with sequential interiors, assembled in index order —
+// bit-identical at every width, the contract all sweep runners share.
+// progress (may be nil) receives one line per completed cell.
+func RunPrivacy(scale Scale, seed uint64, arms []PrivacyArm, progress func(string)) (*PrivacyTable, error) {
+	if arms == nil {
+		arms = DefaultPrivacyArms()
+	}
+	ds := dataset.ECG()
+	fleet := device.Lognormal()
+	fleet.Availability = device.Availability{Kind: device.Churn, OnlineProb: 0.8}
+	strategies := []string{StrategyRandom, StrategyFLIPS, StrategyOort}
+
+	table := &PrivacyTable{
+		Dataset:    ds.Name,
+		Rounds:     RoundsFor(ds, scale),
+		Target:     TargetFor(ds),
+		Strategies: strategies,
+	}
+
+	type job struct {
+		row     int
+		setting Setting
+	}
+	var jobs []job
+	var rows []PrivacyRow
+	for _, arm := range arms {
+		rows = append(rows, PrivacyRow{Arm: arm.Name, Config: arm.Config})
+		for _, strategy := range strategies {
+			jobs = append(jobs, job{
+				row: len(rows) - 1,
+				setting: Setting{
+					Spec:           ds,
+					Algorithm:      AlgoFedYogi,
+					Alpha:          0.6,
+					PartyFraction:  0.5,
+					Device:         &fleet,
+					Strategy:       strategy,
+					Privacy:        arm.Config,
+					TargetAccuracy: table.Target,
+					Seed:           seed,
+				},
+			})
+		}
+	}
+
+	cellScale := scale
+	cellScale.Rounds = table.Rounds
+	cellScale.Parallelism = 1
+	progress = serialProgress(progress)
+	cells, err := runJobs(scale.Parallelism, len(jobs), func(i int) (PrivacyCell, error) {
+		setting := jobs[i].setting
+		arm := rows[jobs[i].row].Arm
+		res, err := RunSetting(setting, cellScale)
+		if err != nil {
+			return PrivacyCell{}, fmt.Errorf("run %s/%s: %w", arm, setting.Strategy, err)
+		}
+		cell := PrivacyCell{
+			Arm:            arm,
+			Strategy:       setting.Strategy,
+			TimeToTarget:   res.TimeToTarget,
+			RoundsToTarget: res.RoundsToTarget,
+			PeakAccuracy:   res.PeakAccuracy,
+			SimTime:        res.SimTime,
+			Slowdown:       math.NaN(),
+		}
+		for _, h := range res.History {
+			if h.MaskAborted {
+				cell.MaskAborts++
+			}
+			cell.Dropouts += h.Invited - h.Completed
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%s %s -> tta=%s rtt=%s peak=%.2f%% aborts=%d dropouts=%d",
+				arm, cell.Strategy,
+				FormatSimDuration(cell.TimeToTarget), formatRounds(cell.RoundsToTarget, table.Rounds),
+				100*cell.PeakAccuracy, cell.MaskAborts, cell.Dropouts))
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		rows[jobs[i].row].Cells = append(rows[jobs[i].row].Cells, cell)
+	}
+
+	// Slowdown pass: each cell against the plaintext arm's same-strategy
+	// cell. Cells are appended in identical strategy order per row, so the
+	// baseline row indexes align positionally.
+	var base []PrivacyCell
+	for _, row := range rows {
+		if row.Arm == privacyBaselineArm {
+			base = row.Cells
+			break
+		}
+	}
+	if base != nil {
+		for r := range rows {
+			for c := range rows[r].Cells {
+				rows[r].Cells[c].Slowdown = privacySlowdown(rows[r].Cells[c], base[c])
+			}
+		}
+	}
+	table.Rows = rows
+	return table, nil
+}
+
+// privacySlowdown computes the time-to-accuracy cost ratio of cell over its
+// plaintext baseline: 1 when free, +Inf when privacy pushed the target out of
+// reach, NaN when the baseline itself never got there.
+func privacySlowdown(cell, base PrivacyCell) float64 {
+	if base.TimeToTarget <= 0 {
+		return math.NaN()
+	}
+	if cell.TimeToTarget < 0 {
+		return math.Inf(1)
+	}
+	return cell.TimeToTarget / base.TimeToTarget
+}
+
+// armLabel renders the arm's configuration compactly for the table.
+func armLabel(row PrivacyRow) string {
+	pc := row.Config
+	switch {
+	case pc.Mask && pc.Epsilon > 0:
+		return fmt.Sprintf("%s(ε=%g,t=%d)", row.Arm, pc.Epsilon, pc.ShareThreshold)
+	case pc.Mask:
+		return fmt.Sprintf("%s(t=%d)", row.Arm, pc.ShareThreshold)
+	case pc.Clip > 0:
+		return fmt.Sprintf("%s(c=%g)", row.Arm, pc.Clip)
+	default:
+		return row.Arm
+	}
+}
+
+// Render writes the sweep as a text table: one row per privacy arm,
+// per-strategy time-to-target and slowdown columns, plus abort counts.
+func (t *PrivacyTable) Render(w io.Writer) {
+	fmt.Fprintf(w, "Privacy-ladder sweep: %s — time to attain target accuracy under secure aggregation, FL algorithm: fedyogi\n", t.Dataset)
+	fmt.Fprintf(w, "Target balanced accuracy: %.0f%%, aggregation steps: %d, fleet: lognormal compute+bandwidth, availability: churn-80%%\n",
+		100*t.Target, t.Rounds)
+	fmt.Fprintf(w, "Slowdown is time-to-target relative to the plaintext arm's same-strategy cell; aborts count below-threshold rounds.\n")
+	header := []string{"arm"}
+	for _, s := range t.Strategies {
+		header = append(header, displayName(s)+" tta", displayName(s)+" slow", displayName(s)+" aborts")
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, row := range t.Rows {
+		fields := []string{armLabel(row)}
+		for si := range t.Strategies {
+			c := row.Cells[si]
+			fields = append(fields, FormatSimDuration(c.TimeToTarget), formatDegradation(c.Slowdown), fmt.Sprintf("%d", c.MaskAborts))
+		}
+		fmt.Fprintln(w, strings.Join(fields, "\t"))
+	}
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"flips/internal/dataset"
+	"flips/internal/fl"
+)
+
+// smokeArms is a 2-rung ladder small enough for the unit-test budget: the
+// plaintext baseline and full masking with dropout recovery.
+func smokeArms() []PrivacyArm {
+	return []PrivacyArm{
+		{Name: "plaintext"},
+		{Name: "masked", Config: fl.PrivacyConfig{Mask: true, Clip: 1, ShareThreshold: 2}},
+	}
+}
+
+func TestRunPrivacySweepSmoke(t *testing.T) {
+	t.Parallel()
+	var lines []string
+	table, err := RunPrivacy(tinyScale(), 17, smokeArms(), func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if len(row.Cells) != len(table.Strategies) {
+			t.Fatalf("arm %q has %d cells, want %d", row.Arm, len(row.Cells), len(table.Strategies))
+		}
+		for _, c := range row.Cells {
+			if c.PeakAccuracy <= 0 || c.PeakAccuracy > 1 {
+				t.Fatalf("cell %s/%s peak accuracy %v", c.Arm, c.Strategy, c.PeakAccuracy)
+			}
+			if c.SimTime <= 0 {
+				t.Fatalf("cell %s/%s sim time %v", c.Arm, c.Strategy, c.SimTime)
+			}
+		}
+	}
+	// The plaintext arm is its own slowdown baseline: ×1 where the target was
+	// reached, NaN where the baseline itself never got there.
+	for _, c := range table.Rows[0].Cells {
+		if c.TimeToTarget > 0 && c.Slowdown != 1 {
+			t.Fatalf("plaintext cell %s slowdown %v, want 1", c.Strategy, c.Slowdown)
+		}
+		if c.TimeToTarget < 0 && !math.IsNaN(c.Slowdown) {
+			t.Fatalf("unreached plaintext cell %s slowdown %v, want NaN", c.Strategy, c.Slowdown)
+		}
+		if c.MaskAborts != 0 {
+			t.Fatalf("plaintext cell %s reports %d mask aborts", c.Strategy, c.MaskAborts)
+		}
+	}
+	if want := 2 * len(table.Strategies); len(lines) != want {
+		t.Fatalf("progress reported %d cells, want %d", len(lines), want)
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Privacy-ladder sweep", "plaintext", "masked(t=2)", "slow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPrivacyIsDeterministic pins the sweep's reproducibility: two runs
+// at different parallelism must produce bit-identical tables — the masked
+// cells included, since the uint64 ring fold and the Laplace noise stream
+// are both width-invariant.
+func TestRunPrivacyIsDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(parallelism int) *PrivacyTable {
+		scale := tinyScale()
+		scale.Parallelism = parallelism
+		table, err := RunPrivacy(scale, 17, smokeArms(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	a, b := run(1), run(4)
+	for r := range a.Rows {
+		for c := range a.Rows[r].Cells {
+			x, y := a.Rows[r].Cells[c], b.Rows[r].Cells[c]
+			if math.Float64bits(x.PeakAccuracy) != math.Float64bits(y.PeakAccuracy) ||
+				math.Float64bits(x.TimeToTarget) != math.Float64bits(y.TimeToTarget) ||
+				x.MaskAborts != y.MaskAborts || x.Dropouts != y.Dropouts {
+				t.Fatalf("cell %s/%s diverges across parallelism: %+v vs %+v", x.Arm, x.Strategy, x, y)
+			}
+		}
+	}
+}
+
+// TestBuildWiresPrivacy pins the Setting plumbing: the privacy configuration
+// reaches fl.Config, and an illegal combination is rejected by the built
+// config's own validation.
+func TestBuildWiresPrivacy(t *testing.T) {
+	t.Parallel()
+	s := Setting{
+		Spec: dataset.ECG(), Algorithm: AlgoFedYogi, Alpha: 0.3,
+		PartyFraction: 0.2, Strategy: StrategyRandom,
+		Privacy: fl.PrivacyConfig{Mask: true, Clip: 1, Epsilon: 2, ShareThreshold: 3},
+		Seed:    23,
+	}
+	built, err := Build(s, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Config.Privacy != s.Privacy {
+		t.Fatalf("privacy config %+v not threaded (got %+v)", s.Privacy, built.Config.Privacy)
+	}
+	if err := built.Config.Validate(); err != nil {
+		t.Fatalf("legal privacy config rejected: %v", err)
+	}
+	// Masking is only legal on the mean fold; the built config's validation
+	// is what the job server leans on to refuse such a submission.
+	s.Fold = "median"
+	bad, err := Build(s, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Config.Validate(); err == nil {
+		t.Fatal("masking over a robust fold validated")
+	}
+}

@@ -117,7 +117,10 @@ func (p Buffered) run(c *eventCore) error {
 			buffer = append(buffer, c.popArrival())
 		}
 
-		meanLoss := c.aggregateAsync(step, buffer, halfLife)
+		meanLoss, err := c.aggregateAsync(step, buffer, halfLife, false)
+		if err != nil {
+			return err
+		}
 		c.res.SimTime = c.clock
 		c.res.TotalCommBytes += c.cycleBytes
 		c.maybeEval(step, len(c.cycleSelected), len(buffer), c.cycleBytes, meanLoss, c.clock-prevClock)
@@ -175,7 +178,10 @@ func (p SemiSync) run(c *eventCore) error {
 		}
 		c.clock = windowEnd
 
-		meanLoss := c.aggregateAsync(round, buffer, halfLife)
+		meanLoss, err := c.aggregateAsync(round, buffer, halfLife, true)
+		if err != nil {
+			return err
+		}
 		c.res.SimTime = c.clock
 		c.res.TotalCommBytes += c.cycleBytes
 		c.maybeEval(round, len(c.cycleSelected), len(buffer), c.cycleBytes, meanLoss, cfg.Deadline)
@@ -259,6 +265,19 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 
 	c.trainBatch(c.dispatched, wr)
 
+	// Under masking every dispatch wave is one secure-aggregation cohort:
+	// its members enroll together (pairwise agreements + Shamir escrow) and
+	// their masked uploads only decode as a cohort sum at the wave's
+	// settlement barrier. The wave tag doubles as the mask-stream round tag.
+	var mw *maskWave
+	if c.priv != nil && c.priv.pc.Mask && len(c.dispatched) > 0 {
+		var err error
+		if mw, err = c.priv.beginWave(uint64(wave)+1, c.version, c.dispatched); err != nil {
+			return 0, err
+		}
+		c.priv.waves = append(c.priv.waves, mw)
+	}
+
 	for i, id := range c.dispatched {
 		lr := c.locals[i]
 		var d float64
@@ -276,6 +295,12 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 		if c.cfg.Faults != nil && c.cfg.Faults.Corrupts(id) {
 			c.cfg.Faults.CorruptDelta(step, id, delta)
 		}
+		// The clip stage runs at dispatch, after any chaos corruption — the
+		// bound applies to what the party actually reports, which is exactly
+		// why clipping blunts scaled-delta attacks.
+		if c.priv != nil && c.priv.pc.Clip > 0 {
+			clipDeltaInPlace(delta, c.priv.pc.Clip)
+		}
 		up := &pendingUpdate{
 			party:    id,
 			update:   delta,
@@ -286,6 +311,8 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 			meanLoss: lr.MeanLoss,
 			sqLoss:   lr.SqLossMean,
 			steps:    lr.Steps,
+			wave:     mw,
+			waveIdx:  i,
 		}
 		c.push(up)
 		c.inFlight.set(id, true)
@@ -334,7 +361,30 @@ func (c *eventCore) popArrival() *pendingUpdate {
 	ev := c.queue.pop()
 	c.clock = ev.time
 	c.cycleBytes += c.paramBytes // update upload at arrival
-	return ev.up
+	up := ev.up
+	if up.wave != nil {
+		// Masked arrivals contribute to their wave the moment they pop: wave
+		// completeness must be known at the next settlement barrier, not at
+		// whichever aggregation cycle happens to drain this buffer entry.
+		w := up.wave
+		switch {
+		case w.settled:
+			// A straggler whose window already closed (SemiSync): its wave
+			// settled without it — the dropout masks were reconstructed away —
+			// so the payload is discarded, and the wave recycles once its last
+			// queued reference drains.
+			up.maskDiscarded = true
+			w.nProcessed++
+			c.priv.maybeFree(w)
+		case !isFiniteVec(up.update):
+			c.cycleRejected++
+			up.maskDiscarded = true
+			c.priv.markRejected(w)
+		default:
+			c.priv.contribute(w, up.waveIdx, up.update, up.weight)
+		}
+	}
+	return up
 }
 
 // aggregateAsync folds the cycle's arrivals (in arrival order — the
@@ -343,7 +393,17 @@ func (c *eventCore) popArrival() *pendingUpdate {
 // the selector. Returns the arrivals' mean training loss for the history
 // entry. An empty buffer applies nothing and leaves the model version
 // unchanged (staleness only accrues across real model updates).
-func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife float64) (meanLoss float64) {
+//
+// Under masking the fold unit is the wave, not the arrival: buffer entries
+// already contributed to their waves at pop time, and this step folds every
+// wave that has reached its settlement barrier — all members processed, or
+// any state when settleAll forces the window closed (SemiSync deadlines,
+// where unarrived members become dropouts and their masks are
+// reconstructed). Each settled wave decodes to one synthetic update whose
+// staleness discount uses the wave's dispatch version — every member shares
+// it, so the discount composes with masking without revealing anything
+// per-party.
+func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife float64, settleAll bool) (meanLoss float64, err error) {
 	needsUpdates := c.prepareFeedback(step)
 	if c.fb.Staleness == nil {
 		c.fb.Staleness = make(map[int]int, cap(c.completed))
@@ -351,12 +411,22 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 	c.completed = c.completed[:0]
 	c.updates, c.weights = c.updates[:0], c.weights[:0]
 	var lossSum float64
+	counted := 0
 	for _, up := range buffer {
 		id := up.party
 		staleness := c.version - up.version
+		if up.wave != nil {
+			if up.maskDiscarded {
+				// Consumed without contributing (late into a settled wave, or
+				// non-finite): no fold weight, no feedback — the selector sees
+				// it as a straggler-shaped silence, like sync dropouts.
+				continue
+			}
+		} else {
+			c.admitUpdate(up.update, up.weight*stalenessDiscount(staleness, halfLife))
+		}
 		c.markShard(id)
 		c.completed = append(c.completed, id)
-		c.admitUpdate(up.update, up.weight*stalenessDiscount(staleness, halfLife))
 		c.fb.MeanLoss[id] = up.meanLoss
 		c.fb.SqLoss[id] = up.sqLoss
 		c.fb.Duration[id] = up.duration
@@ -365,9 +435,19 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 			c.fb.Update[id] = up.update
 		}
 		lossSum += up.meanLoss
+		counted++
+	}
+	contributors := len(c.updates)
+	if c.priv != nil && c.priv.pc.Mask {
+		if contributors, err = c.settleMaskedWaves(halfLife, settleAll); err != nil {
+			return 0, err
+		}
 	}
 	if len(c.updates) > 0 {
 		c.foldDelta()
+		if c.priv != nil {
+			c.priv.addNoise(c.delta, contributors)
+		}
 		c.applyDelta()
 	}
 	// Release the aggregated parties back into the selectable pool.
@@ -391,10 +471,45 @@ func (c *eventCore) aggregateAsync(step int, buffer []*pendingUpdate, halfLife f
 	c.fb.Completed = c.completed
 	c.fb.Stragglers = c.stragglers
 	c.cfg.Selector.Observe(c.fb)
-	if len(buffer) > 0 {
-		meanLoss = lossSum / float64(len(buffer))
+	if counted > 0 {
+		meanLoss = lossSum / float64(counted)
 	}
-	return meanLoss
+	return meanLoss, nil
+}
+
+// settleMaskedWaves walks the active mask waves in dispatch order, settles
+// every wave at its barrier (all members processed, or unconditionally when
+// settleAll closes the window) and appends each settled wave's decoded
+// synthetic update to the fold buffers with the wave-level staleness
+// discount. Below-threshold waves abort: nothing decodes, nothing folds,
+// and the cycle surfaces MaskAborted. Returns the total survivor count of
+// the settled waves — the contributor count DP noise is calibrated to.
+func (c *eventCore) settleMaskedWaves(halfLife float64, settleAll bool) (int, error) {
+	survivors := 0
+	kept := c.priv.waves[:0]
+	for _, w := range c.priv.waves {
+		if !settleAll && w.nProcessed < len(w.members) {
+			kept = append(kept, w)
+			continue
+		}
+		res, err := c.priv.settleWave(w, c.pool)
+		if err != nil {
+			return 0, err
+		}
+		if res.aborted {
+			c.cycleMaskAborted = true
+		} else if res.delta != nil {
+			c.updates = append(c.updates, res.delta)
+			c.weights = append(c.weights, res.weight*stalenessDiscount(c.version-w.version, halfLife))
+			survivors += res.survivors
+		}
+		// Recycle now if every member's event already drained; otherwise the
+		// wave lingers off-list until its last straggler pops (SemiSync) and
+		// maybeFree reclaims it there.
+		c.priv.maybeFree(w)
+	}
+	c.priv.waves = kept
+	return survivors, nil
 }
 
 // resetCycle clears the per-aggregation-cycle accumulators and their dedupe

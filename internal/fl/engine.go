@@ -7,6 +7,7 @@ import (
 	"flips/internal/dataset"
 	"flips/internal/model"
 	"flips/internal/rng"
+	"flips/internal/secagg"
 	"flips/internal/tensor"
 )
 
@@ -109,6 +110,13 @@ type Config struct {
 	// aggregation weights — sample counts and staleness discounts — since
 	// claimed weights are themselves an attack surface.
 	Fold FoldConfig
+	// Privacy composes the aggregation privacy middleware — mask → clip →
+	// noise → fold — around the aggregation seam: Bonawitz-style pairwise
+	// masking with Shamir dropout recovery, per-update L2 clipping, and
+	// central Laplace noise on the folded delta. The zero value disables
+	// every stage and leaves the engine byte-identical to an unconfigured
+	// run. See privacy.go and DESIGN.md, "Privacy middleware".
+	Privacy PrivacyConfig
 	// Faults is the optional chaos seam: a fault injector perturbing
 	// availability (regional outages), durations (latency factors),
 	// selection targets (flash crowds) and reported update deltas
@@ -132,6 +140,12 @@ func (c *Config) policy() AggregationPolicy {
 	}
 	return c.Aggregation
 }
+
+// Validate checks the configuration without running the job — the same
+// checks Run performs, exported so front-ends (the public simulation layer,
+// servers) can surface configuration errors like fixed-point headroom
+// violations before committing to a run.
+func (c *Config) Validate() error { return c.validate() }
 
 func (c *Config) validate() error {
 	if len(c.Parties) == 0 {
@@ -175,6 +189,40 @@ func (c *Config) validate() error {
 	}
 	if withDevice > 0 && withDevice < len(c.Parties) {
 		return fmt.Errorf("fl: %d of %d parties have devices; attach devices to all parties or none", withDevice, len(c.Parties))
+	}
+	if err := c.Privacy.validate(); err != nil {
+		return err
+	}
+	if c.Privacy.Mask {
+		if c.Fold.Kind != FoldMean {
+			return fmt.Errorf("fl: masked aggregation requires the FedAvg mean fold (robust folds need the individual updates masking hides)")
+		}
+		if c.FedDynAlpha != 0 {
+			return fmt.Errorf("fl: masked aggregation does not support FedDyn (the correction rewrites individual updates after masking)")
+		}
+		// Fixed-point headroom: every masked coordinate encodes
+		// weight · delta[c] with |delta[c]| ≤ Clip (and the weight coordinate
+		// encodes weight), so the worst-case cohort sum is bounded by the
+		// fleet's total weight times max(Clip, 1). Reject configurations whose
+		// sums could wrap in Z_{2^64} instead of folding silent garbage.
+		var totalWeight float64
+		for _, p := range c.Parties {
+			totalWeight += float64(p.NumSamples())
+		}
+		if err := secagg.CheckSumHeadroom(totalWeight * math.Max(c.Privacy.Clip, 1)); err != nil {
+			return fmt.Errorf("fl: masked aggregation overflows the fixed-point ring (total weight %v × clip %v): %w; shrink the cohort weight or the clip bound", totalWeight, c.Privacy.Clip, err)
+		}
+	}
+	if c.Privacy.Mask || c.Privacy.Epsilon > 0 {
+		// Masking carries per-wave escrow state and the noise stream carries a
+		// step counter; neither survives a checkpoint round-trip, so a privacy
+		// run is checkpoint-free rather than silently divergent on resume.
+		if c.Resume != nil {
+			return fmt.Errorf("fl: privacy masking/noise does not support resuming from a checkpoint")
+		}
+		if c.CheckpointEvery > 0 || c.CheckpointSink != nil {
+			return fmt.Errorf("fl: privacy masking/noise does not support checkpointing")
+		}
 	}
 	switch p := c.policy().(type) {
 	case SyncRounds:
@@ -250,6 +298,12 @@ type RoundStats struct {
 	// model. The parties still count as Completed — they trained and
 	// uploaded — but their poison never reaches the server optimizer.
 	Rejected int
+	// MaskAborted reports that a secure-aggregation wave aborted this cycle:
+	// dropouts left masks in the sum but the survivors fell below the Shamir
+	// reconstruction threshold, so the engine applied nothing from that wave
+	// (the model is untouched by it) and the fleet retries in the next
+	// cycle. Always false when Privacy.Mask is off.
+	MaskAborted bool
 }
 
 // Result summarizes a finished FL job.

@@ -80,6 +80,14 @@ type pendingUpdate struct {
 	arrival, duration float64
 	meanLoss, sqLoss  float64
 	steps             int
+	// wave links a masked update to its secure-aggregation cohort (nil when
+	// masking is off); waveIdx is the party's member index within the wave.
+	// maskDiscarded marks an arrival consumed without contributing — popped
+	// after its wave settled (a SemiSync straggler whose window closed) or
+	// rejected as non-finite — so the feedback layer can skip it.
+	wave          *maskWave
+	waveIdx       int
+	maskDiscarded bool
 }
 
 // event is one scheduled arrival in the simulation queue.
@@ -223,6 +231,12 @@ type eventCore struct {
 	// fold boundary (Rejected in RoundStats).
 	cycleRejected int
 
+	// priv is the privacy middleware state (nil when no stage is enabled);
+	// cycleMaskAborted records a below-threshold wave abort for this cycle's
+	// RoundStats.
+	priv             *privacyState
+	cycleMaskAborted bool
+
 	// Async bookkeeping: which parties are reserved (training, or arrived
 	// but not yet aggregated — their arrival event is or was queued), and
 	// the selection/offline/bytes accumulators for the current aggregation
@@ -280,6 +294,9 @@ func newEventCore(cfg *Config) *eventCore {
 	c.inFlight = newShardedSlice[bool](c.space)
 	c.selectedMark = newShardedSlice[bool](c.space)
 	c.offlineMark = newShardedSlice[bool](c.space)
+	if cfg.Privacy.Enabled() {
+		c.priv = newPrivacyState(cfg, len(c.globalParams), c.space.count())
+	}
 	return c
 }
 
@@ -295,6 +312,10 @@ func (c *eventCore) markShard(id int) {
 
 func (c *eventCore) resetShards() {
 	c.cycleRejected = 0
+	c.cycleMaskAborted = false
+	if c.priv != nil {
+		c.priv.endCycle()
+	}
 	if c.shardTouched == 0 {
 		return
 	}
@@ -430,6 +451,12 @@ func (c *eventCore) prepareFeedback(round int) (needsUpdates bool) {
 	if uc, ok := c.cfg.Selector.(UpdateConsumer); ok {
 		needsUpdates = uc.NeedsUpdates()
 	}
+	// Under masking the server never sees individual updates — that is the
+	// point — so update-consuming selectors fall back to their metadata-only
+	// path regardless of what NeedsUpdates claims.
+	if c.priv != nil && c.priv.pc.Mask {
+		needsUpdates = false
+	}
 	if !needsUpdates {
 		c.fb.Update = nil
 	} else if c.fb.Update == nil {
@@ -500,6 +527,7 @@ func (c *eventCore) maybeEval(step, invited, completed int, commBytes int64, mea
 		SimTime:       c.res.SimTime,
 		ShardsTouched: c.shardTouched,
 		Rejected:      c.cycleRejected,
+		MaskAborted:   c.cycleMaskAborted,
 	}
 	correct, total := metrics.ShardedClassCounts(c.global, c.cfg.Test, c.cfg.NumClasses, c.pool)
 	stats.Accuracy = metrics.BalancedAccuracyFromCounts(correct, total)

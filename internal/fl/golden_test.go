@@ -36,6 +36,7 @@ type goldenRound struct {
 	Invited   int      `json:"invited"`
 	Completed int      `json:"completed"`
 	Rejected  int      `json:"rejected,omitempty"`
+	MaskAbort bool     `json:"maskAborted,omitempty"`
 	CommBytes int64    `json:"commBytes"`
 	MeanLoss  uint64   `json:"meanLossBits"`
 	RoundTime uint64   `json:"roundTimeBits"`
@@ -67,6 +68,7 @@ func toGolden(res *Result) *goldenRun {
 			Invited:   h.Invited,
 			Completed: h.Completed,
 			Rejected:  h.Rejected,
+			MaskAbort: h.MaskAborted,
 			CommBytes: h.CommBytes,
 			MeanLoss:  math.Float64bits(h.MeanLoss),
 			RoundTime: math.Float64bits(h.RoundTime),
@@ -157,7 +159,7 @@ func checkGolden(t *testing.T, name string, cfg Config) {
 	}
 	for i := range want.History {
 		w, g := want.History[i], got.History[i]
-		if w.Round != g.Round || w.Invited != g.Invited || w.Completed != g.Completed || w.Rejected != g.Rejected || w.CommBytes != g.CommBytes {
+		if w.Round != g.Round || w.Invited != g.Invited || w.Completed != g.Completed || w.Rejected != g.Rejected || w.MaskAbort != g.MaskAbort || w.CommBytes != g.CommBytes {
 			t.Errorf("round %d counters diverge from golden: got %+v want %+v", w.Round, g, w)
 		}
 		if w.Accuracy != g.Accuracy || w.MeanLoss != g.MeanLoss || w.RoundTime != g.RoundTime || w.SimTime != g.SimTime {
@@ -266,6 +268,19 @@ func goldenChaosConfig(t *testing.T) Config {
 	return cfg
 }
 
+// goldenPrivacyConfig is the privacy pin (ISSUE 8): the device-model churn
+// fleet under full secure aggregation — pairwise masking, Shamir dropout
+// recovery at share threshold 2, L2 clipping and the post-fold Laplace noise
+// stream. It freezes the uint64 ring arithmetic, the fixed-point decode, the
+// reconstruction order and the noise stream in one trajectory, so a privacy
+// middleware change cannot drift silently.
+func goldenPrivacyConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := goldenDeviceConfig(t)
+	cfg.Privacy = PrivacyConfig{Mask: true, Clip: 1, Epsilon: 5, ShareThreshold: 2}
+	return cfg
+}
+
 // goldenConfigs enumerates every pinned trajectory by testdata file name.
 func goldenConfigs() map[string]func(*testing.T) Config {
 	return map[string]func(*testing.T) Config{
@@ -274,6 +289,7 @@ func goldenConfigs() map[string]func(*testing.T) Config {
 		"golden_async.json":    goldenAsyncConfig,
 		"golden_semisync.json": goldenSemiSyncConfig,
 		"golden_chaos.json":    goldenChaosConfig,
+		"golden_privacy.json":  goldenPrivacyConfig,
 	}
 }
 
@@ -323,12 +339,17 @@ func TestGoldenChaosRun(t *testing.T) {
 	checkGolden(t, "golden_chaos.json", goldenChaosConfig(t))
 }
 
+func TestGoldenPrivacyRun(t *testing.T) {
+	t.Parallel()
+	checkGolden(t, "golden_privacy.json", goldenPrivacyConfig(t))
+}
+
 // TestGoldenRunsAreParallelismInvariant ties the golden pins to the
 // determinism contract: the parallel engine must reproduce the committed
 // sequential goldens at width 8 too.
 func TestGoldenRunsAreParallelismInvariant(t *testing.T) {
 	t.Parallel()
-	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig, goldenSemiSyncConfig, goldenChaosConfig} {
+	for _, mk := range []func(*testing.T) Config{goldenLegacyConfig, goldenDeviceConfig, goldenAsyncConfig, goldenSemiSyncConfig, goldenChaosConfig, goldenPrivacyConfig} {
 		seq := mk(t)
 		seq.Parallelism = 1
 		par := mk(t)

@@ -1,0 +1,559 @@
+package fl
+
+import (
+	"crypto/ecdh"
+	"fmt"
+	"math"
+
+	"flips/internal/parallel"
+	"flips/internal/privacy"
+	"flips/internal/rng"
+	"flips/internal/secagg"
+	"flips/internal/tensor"
+)
+
+// PrivacyConfig is the aggregation privacy middleware: a composable chain of
+// stages applied around the fold seam, in the fixed order
+//
+//	mask → clip → noise → fold
+//
+// reading outside-in — masking is the transport (the server only ever sums
+// ciphertext-like ring elements), clipping bounds each party's contribution
+// before it is encoded, and noise perturbs the folded delta after decoding.
+// Every stage composes with every aggregation policy (SyncRounds, Buffered,
+// SemiSync) and with parameter-axis sharded folds; a zero PrivacyConfig is
+// the identity chain and leaves the engine's float behavior byte-identical
+// to a build without the middleware.
+type PrivacyConfig struct {
+	// Mask enables Bonawitz-style pairwise additive masking with dropout
+	// recovery: each aggregation wave's cohort derives pairwise mask streams
+	// from X25519 agreements, every member Shamir-shares its key-derivation
+	// secret with the cohort at wave start, and the coordinator reconstructs
+	// the masks of members that drop mid-wave (deadline miss, chaos outage,
+	// unencodable update) from ShareThreshold surviving shares. When
+	// survivors fall below the threshold the wave aborts cleanly — the model
+	// is untouched and RoundStats.MaskAborted is surfaced — instead of
+	// folding a mask-corrupted sum. Requires Clip > 0 (the fixed-point
+	// encoding needs a per-update magnitude bound) and the FedAvg mean fold.
+	Mask bool
+	// Clip bounds each local update's L2 norm: an update with larger norm is
+	// scaled down to Clip before masking/folding. Under Mask it doubles as
+	// the fixed-point headroom bound; alone it is the standard defense-in-
+	// depth norm bound (and the sensitivity bound Epsilon's noise is
+	// calibrated against).
+	Clip float64
+	// Epsilon, when positive, adds per-coordinate Laplace noise to the folded
+	// delta with scale 2·Clip/(ε·contributors) — central DP at the
+	// aggregator, calibrated to the clipped per-party sensitivity. Requires
+	// Clip > 0. The noise stream is a pure function of (Seed, aggregation
+	// step), so runs stay bit-identical at every parallelism and shard count.
+	Epsilon float64
+	// ShareThreshold is the minimum number of surviving cohort members
+	// required to reconstruct a dropped member's masks. Zero defaults to a
+	// cohort majority (k/2 + 1). Waves with dropouts and fewer survivors
+	// abort (RoundStats.MaskAborted) rather than degrade.
+	ShareThreshold int
+}
+
+// Enabled reports whether any stage of the privacy chain is active.
+func (p PrivacyConfig) Enabled() bool {
+	return p.Mask || p.Clip > 0 || p.Epsilon > 0
+}
+
+// validate checks the chain's internal consistency; cross-field checks
+// against the rest of the Config live in Config.validate.
+func (p PrivacyConfig) validate() error {
+	if p.Clip < 0 {
+		return fmt.Errorf("fl: negative privacy clip %v", p.Clip)
+	}
+	if p.Epsilon < 0 {
+		return fmt.Errorf("fl: negative privacy epsilon %v", p.Epsilon)
+	}
+	if p.ShareThreshold < 0 {
+		return fmt.Errorf("fl: negative share threshold %d", p.ShareThreshold)
+	}
+	if p.Mask && p.Clip <= 0 {
+		return fmt.Errorf("fl: masked aggregation requires Clip > 0 (the fixed-point encoding needs a per-update magnitude bound)")
+	}
+	if p.Epsilon > 0 && p.Clip <= 0 {
+		return fmt.Errorf("fl: privacy epsilon %v requires Clip > 0 (noise is calibrated to the clipped sensitivity)", p.Epsilon)
+	}
+	if p.ShareThreshold > 0 && !p.Mask {
+		return fmt.Errorf("fl: ShareThreshold %d set without Mask", p.ShareThreshold)
+	}
+	return nil
+}
+
+// maskContrib is one survivor's usable contribution to a mask wave: the
+// clipped dispatch-relative delta and its aggregation weight.
+type maskContrib struct {
+	memberIdx int
+	delta     tensor.Vec
+	weight    float64
+}
+
+// maskWave is one secure-aggregation cohort: the set of parties that
+// enrolled together (sync: the round's invited parties; async: one dispatch
+// wave), their escrowed Shamir shares, and the contributions that actually
+// arrived. The wave settles — its masked sum is decoded, with dropout masks
+// reconstructed — at the policy's barrier: the sync round fold, the arrival
+// of the last member (Buffered), or the window deadline (SemiSync).
+type maskWave struct {
+	tag       uint64 // mask-stream round tag (the engine wave counter)
+	version   int    // model version at dispatch, for the staleness discount
+	members   []int  // cohort party IDs in dispatch order
+	arrived   []bool // per member: contributed a usable (finite) update
+	contribs  []maskContrib
+	threshold int // survivors required to reconstruct a dropout
+	splitT    int // polynomial threshold actually used to split (≤ holders)
+	// pairs[i*k+j] is the pairwise mask seed between members i and j
+	// (symmetric, diagonal unused); shares[i*k+j] is member i's escrowed
+	// secret share held by member j.
+	pairs  [][32]byte
+	shares []secagg.Share
+	// nProcessed counts members whose arrival events have been consumed
+	// (contributed, rejected as non-finite, or discarded late); the wave's
+	// storage can be recycled once settled and fully processed.
+	nProcessed int
+	settled    bool
+}
+
+// privacyState is the engine-side state of the privacy middleware: cached
+// deterministic key material, the active mask waves, and the reusable
+// scratch that keeps steady-state masking allocation-free.
+type privacyState struct {
+	pc     PrivacyConfig
+	seed   uint64
+	dim    int // model parameter count; masked vectors carry dim+1 coordinates
+	ranges []foldRange
+
+	secrets   map[int][32]byte
+	privs     map[int]*ecdh.PrivateKey
+	pubs      map[int]*ecdh.PublicKey
+	pairSeeds map[uint64][32]byte
+
+	acc      []uint64       // masked-sum accumulator, dim+1
+	coeff    []uint64       // Shamir coefficient scratch
+	xs       []uint64       // Shamir holder-point scratch
+	shareRow []secagg.Share // per-member share scatter scratch
+	combine  []secagg.Share // reconstruction input scratch
+	recSeeds [][32]byte     // reconstructed (dropout × survivor) pair seeds
+	recSigns []bool         // matching mask signs for the unmask pass
+
+	waves     []*maskWave // active (unsettled) waves in dispatch order
+	freeWaves []*maskWave
+
+	decoded  []tensor.Vec // per-cycle decoded wave deltas, pooled
+	ndecoded int
+
+	noiseSteps uint64
+}
+
+func newPrivacyState(cfg *Config, dim, shards int) *privacyState {
+	ps := &privacyState{
+		pc:   cfg.Privacy,
+		seed: cfg.Seed,
+		dim:  dim,
+	}
+	if ps.pc.Mask {
+		ps.ranges = paramRanges(dim+1, foldShards(shards, dim))
+		ps.secrets = make(map[int][32]byte)
+		ps.privs = make(map[int]*ecdh.PrivateKey)
+		ps.pubs = make(map[int]*ecdh.PublicKey)
+		ps.pairSeeds = make(map[uint64][32]byte)
+		ps.acc = make([]uint64, dim+1)
+	}
+	return ps
+}
+
+// keysFor returns party id's deterministic X25519 key pair, caching across
+// waves (ECDH key expansion is the expensive part of enrollment).
+func (ps *privacyState) keysFor(id int) (*ecdh.PrivateKey, *ecdh.PublicKey, error) {
+	if priv, ok := ps.privs[id]; ok {
+		return priv, ps.pubs[id], nil
+	}
+	secret := secagg.DeriveSecret(ps.seed, id)
+	priv, err := secagg.PrivateKeyFromSecret(&secret)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps.secrets[id] = secret
+	ps.privs[id] = priv
+	ps.pubs[id] = priv.PublicKey()
+	return priv, ps.pubs[id], nil
+}
+
+func pairKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// pairSeedFor returns the cached pairwise mask seed for (a, b), deriving it
+// from the real X25519 agreement on first use.
+func (ps *privacyState) pairSeedFor(a, b int) ([32]byte, error) {
+	k := pairKey(a, b)
+	if s, ok := ps.pairSeeds[k]; ok {
+		return s, nil
+	}
+	privA, _, err := ps.keysFor(a)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	_, pubB, err := ps.keysFor(b)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	s, err := secagg.PairSeed(privA, pubB)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	ps.pairSeeds[k] = s
+	return s, nil
+}
+
+// effectiveThreshold resolves the reconstruction threshold for a k-member
+// cohort: the configured ShareThreshold, or a cohort majority by default.
+func (ps *privacyState) effectiveThreshold(k int) int {
+	if ps.pc.ShareThreshold > 0 {
+		return ps.pc.ShareThreshold
+	}
+	return k/2 + 1
+}
+
+// beginWave enrolls a cohort: it derives (cached) pairwise mask seeds for
+// every pair and Shamir-shares each member's key secret among the other
+// members — the escrow dropout recovery draws on. cohort is engine scratch;
+// the wave copies it. Steady state reuses pooled wave storage end to end.
+func (ps *privacyState) beginWave(tag uint64, version int, cohort []int) (*maskWave, error) {
+	var w *maskWave
+	if n := len(ps.freeWaves); n > 0 {
+		w = ps.freeWaves[n-1]
+		ps.freeWaves = ps.freeWaves[:n-1]
+	} else {
+		w = &maskWave{}
+	}
+	k := len(cohort)
+	w.tag = tag
+	w.version = version
+	w.members = append(w.members[:0], cohort...)
+	if cap(w.arrived) < k {
+		w.arrived = make([]bool, k)
+	}
+	w.arrived = w.arrived[:k]
+	clear(w.arrived)
+	w.contribs = w.contribs[:0]
+	w.nProcessed = 0
+	w.settled = false
+	w.threshold = ps.effectiveThreshold(k)
+	w.splitT = min(w.threshold, k-1)
+
+	if cap(w.pairs) < k*k {
+		w.pairs = make([][32]byte, k*k)
+	}
+	w.pairs = w.pairs[:k*k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			s, err := ps.pairSeedFor(w.members[i], w.members[j])
+			if err != nil {
+				return nil, err
+			}
+			w.pairs[i*k+j] = s
+			w.pairs[j*k+i] = s
+		}
+	}
+
+	if w.splitT >= 1 && k >= 2 {
+		if cap(w.shares) < k*k {
+			w.shares = make([]secagg.Share, k*k)
+		}
+		w.shares = w.shares[:k*k]
+		if cap(ps.xs) < k-1 {
+			ps.xs = make([]uint64, k-1)
+			ps.shareRow = make([]secagg.Share, k-1)
+		}
+		xs := ps.xs[:0]
+		for i := 0; i < k; i++ {
+			// Every member holds shares for every other member; evaluation
+			// points are party IDs + 1 (distinct, nonzero).
+			if _, _, err := ps.keysFor(w.members[i]); err != nil {
+				return nil, err
+			}
+			secret := ps.secrets[w.members[i]]
+			xs = xs[:0]
+			for j := 0; j < k; j++ {
+				if j != i {
+					xs = append(xs, uint64(w.members[j])+1)
+				}
+			}
+			row := ps.shareRow[:len(xs)]
+			var err error
+			ps.coeff, err = secagg.SplitSecretInto(row, &secret, xs, w.splitT, tag, ps.coeff)
+			if err != nil {
+				return nil, err
+			}
+			ri := 0
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				w.shares[i*k+j] = row[ri]
+				ri++
+			}
+		}
+		ps.xs = xs[:cap(xs)]
+	} else {
+		w.shares = w.shares[:0]
+	}
+	return w, nil
+}
+
+// contribute records member memberIdx's usable (finite, clipped) update.
+func (ps *privacyState) contribute(w *maskWave, memberIdx int, delta tensor.Vec, weight float64) {
+	w.arrived[memberIdx] = true
+	w.contribs = append(w.contribs, maskContrib{memberIdx: memberIdx, delta: delta, weight: weight})
+	w.nProcessed++
+}
+
+// markRejected records that a member's arrival was processed but unusable
+// (non-finite update): the member counts as a dropout for reconstruction.
+func (ps *privacyState) markRejected(w *maskWave) {
+	w.nProcessed++
+}
+
+func (ps *privacyState) freeWave(w *maskWave) {
+	ps.freeWaves = append(ps.freeWaves, w)
+}
+
+// maybeFree recycles a settled wave once every member's arrival event has
+// been consumed (late arrivals of a settled wave are discarded at pop but
+// still hold a pointer to it until then).
+func (ps *privacyState) maybeFree(w *maskWave) {
+	if w.settled && w.nProcessed >= len(w.members) {
+		ps.freeWave(w)
+	}
+}
+
+// nextDecoded hands out a pooled vector for a settled wave's decoded delta;
+// the pool cursor resets each aggregation cycle (endCycle), after the fold
+// has consumed the vectors.
+func (ps *privacyState) nextDecoded() tensor.Vec {
+	if ps.ndecoded == len(ps.decoded) {
+		ps.decoded = append(ps.decoded, tensor.NewVec(ps.dim))
+	}
+	v := ps.decoded[ps.ndecoded]
+	ps.ndecoded++
+	return v
+}
+
+func (ps *privacyState) endCycle() {
+	ps.ndecoded = 0
+}
+
+// waveResult is a settled wave's folded contribution.
+type waveResult struct {
+	delta     tensor.Vec // decoded weighted-mean delta, nil when nothing to apply
+	weight    float64    // decoded total aggregation weight Σw
+	survivors int
+	aborted   bool
+}
+
+// settleWave closes a wave: it computes the masked sum of the survivors'
+// encoded contributions (every survivor masked against the full cohort),
+// reconstructs and removes the residual masks of every dropout from the
+// escrowed shares, and decodes the weighted-mean delta. With dropouts
+// present and fewer than threshold survivors it aborts instead — nothing is
+// decoded, nothing is applied. The masked sum and the unmask/decode passes
+// shard on the parameter axis across pool; uint64 addition is associative,
+// so the result is bit-identical at every parallelism and shard count.
+func (ps *privacyState) settleWave(w *maskWave, pool *parallel.Pool) (waveResult, error) {
+	w.settled = true
+	nsurv := len(w.contribs)
+	ndrop := len(w.members) - nsurv
+	if ndrop > 0 && nsurv < w.threshold {
+		return waveResult{aborted: true, survivors: nsurv}, nil
+	}
+	if nsurv == 0 {
+		// No dropouts either (or the abort above would have fired): an empty
+		// cohort wave applies nothing.
+		return waveResult{survivors: 0}, nil
+	}
+
+	// Phase 1: the survivors' masked sum. Each survivor's vector is its
+	// encoded weighted delta (plus the weight coordinate at index dim) plus
+	// pairwise masks against every other cohort member — exactly what an
+	// honest client uploads, so masking cost is accounted per party.
+	pool.ForEach(len(ps.ranges), func(ri int) {
+		r := ps.ranges[ri]
+		ps.maskedSumRange(w, r.lo, r.hi)
+	})
+
+	// Phase 2: dropout recovery. For each dropout, combine the escrowed
+	// shares held by the first splitT survivors, re-derive its pairwise
+	// seeds with every survivor by real ECDH, and subtract the residual
+	// masks the survivors' uploads still carry against it.
+	if ndrop > 0 {
+		if err := ps.reconstructDropouts(w); err != nil {
+			return waveResult{}, err
+		}
+		nrec := len(ps.recSeeds)
+		pool.ForEach(len(ps.ranges), func(ri int) {
+			r := ps.ranges[ri]
+			for i := 0; i < nrec; i++ {
+				secagg.AddPairMask(ps.acc, &ps.recSeeds[i], w.tag, r.lo, r.hi, ps.recSigns[i])
+			}
+		})
+	}
+
+	// Phase 3: decode. The weight coordinate gives Σw; each parameter
+	// coordinate decodes to Σ w_i·d_i, so the mean delta is their ratio.
+	wsum := secagg.DecodeFixed(ps.acc[ps.dim])
+	if wsum <= 0 {
+		return waveResult{survivors: nsurv}, nil
+	}
+	out := ps.nextDecoded()
+	pool.ForEach(len(ps.ranges), func(ri int) {
+		r := ps.ranges[ri]
+		hi := min(r.hi, ps.dim)
+		for c := r.lo; c < hi; c++ {
+			out[c] = secagg.DecodeFixed(ps.acc[c]) / wsum
+		}
+	})
+	return waveResult{delta: out, weight: wsum, survivors: nsurv}, nil
+}
+
+// maskedSumRange accumulates the survivors' masked uploads over acc[lo:hi):
+// encoded weighted delta coordinates (index dim carries the weight) plus
+// every survivor's pairwise masks against the full cohort. Pure function of
+// the wave over a disjoint range — safe to shard on the parameter axis —
+// and allocation-free in steady state.
+func (ps *privacyState) maskedSumRange(w *maskWave, lo, hi int) {
+	acc := ps.acc
+	for c := lo; c < hi; c++ {
+		acc[c] = 0
+	}
+	k := len(w.members)
+	for ci := range w.contribs {
+		cb := &w.contribs[ci]
+		for c := lo; c < hi; c++ {
+			var x float64
+			if c < ps.dim {
+				x = cb.weight * cb.delta[c]
+			} else {
+				x = cb.weight
+			}
+			v, err := secagg.EncodeFixed(x)
+			if err != nil {
+				// Unreachable by construction: contributions are finite and
+				// clipped, and validate bounded weight × clip against the
+				// fixed-point headroom.
+				panic(fmt.Sprintf("fl: masked encode of validated contribution failed: %v", err))
+			}
+			acc[c] += v
+		}
+		si := cb.memberIdx
+		for oj := 0; oj < k; oj++ {
+			if oj == si {
+				continue
+			}
+			// Member a adds the pair mask when a < b, subtracts otherwise;
+			// survivor pairs cancel exactly in the uint64 sum.
+			secagg.AddPairMask(acc, &w.pairs[si*k+oj], w.tag, lo, hi, w.members[si] > w.members[oj])
+		}
+	}
+}
+
+// reconstructDropouts rebuilds every dropout's pairwise seeds with the
+// surviving members from the escrowed Shamir shares, filling
+// recSeeds/recSigns for the unmask pass. The reconstruction is honest: it
+// combines shares back into the dropout's key secret and re-runs the real
+// X25519 agreement against each survivor's public key, rather than peeking
+// at the engine's cached seeds.
+func (ps *privacyState) reconstructDropouts(w *maskWave) error {
+	k := len(w.members)
+	ps.recSeeds = ps.recSeeds[:0]
+	ps.recSigns = ps.recSigns[:0]
+	for di := 0; di < k; di++ {
+		if w.arrived[di] {
+			continue
+		}
+		d := w.members[di]
+		// Collect the dropout's shares held by the first splitT survivors
+		// (contribution order — deterministic at every parallelism).
+		ps.combine = ps.combine[:0]
+		for ci := range w.contribs {
+			if len(ps.combine) == w.splitT {
+				break
+			}
+			ps.combine = append(ps.combine, w.shares[di*k+w.contribs[ci].memberIdx])
+		}
+		secret, err := secagg.CombineShares(ps.combine, w.splitT)
+		if err != nil {
+			return fmt.Errorf("fl: mask reconstruction for party %d: %w", d, err)
+		}
+		priv, err := secagg.PrivateKeyFromSecret(&secret)
+		if err != nil {
+			return fmt.Errorf("fl: mask reconstruction for party %d: %w", d, err)
+		}
+		for ci := range w.contribs {
+			si := w.contribs[ci].memberIdx
+			s := w.members[si]
+			_, pubS, err := ps.keysFor(s)
+			if err != nil {
+				return err
+			}
+			seed, err := secagg.PairSeed(priv, pubS)
+			if err != nil {
+				return fmt.Errorf("fl: mask reconstruction for party %d: %w", d, err)
+			}
+			ps.recSeeds = append(ps.recSeeds, seed)
+			// Survivor s contributed the mask with sign +(s < d); removal
+			// applies the opposite sign.
+			ps.recSigns = append(ps.recSigns, s < d)
+		}
+	}
+	return nil
+}
+
+// clipDeltaInPlace scales delta down to L2 norm clip when it exceeds it —
+// the chain's clip stage. Non-finite vectors pass through untouched (NaN
+// norms compare false) and are rejected at the finiteness gate instead.
+func clipDeltaInPlace(delta tensor.Vec, clip float64) {
+	if n := delta.Norm2(); n > clip {
+		delta.ScaleInPlace(clip / n)
+	}
+}
+
+// clipParamsInPlace clips the delta (params − global) around global without
+// materializing it: the sync plaintext fold carries raw parameters.
+func clipParamsInPlace(params, global tensor.Vec, clip float64) {
+	var sq float64
+	for i := range params {
+		d := params[i] - global[i]
+		sq += d * d
+	}
+	n := math.Sqrt(sq)
+	if n > clip {
+		s := clip / n
+		for i := range params {
+			params[i] = global[i] + (params[i]-global[i])*s
+		}
+	}
+}
+
+// addNoise is the chain's noise stage: per-coordinate Laplace noise on the
+// folded delta, scale 2·Clip/(ε·contributors). The stream derives from
+// (seed, step counter) alone and is drawn sequentially on the policy
+// goroutine, so it is invariant to parallelism and shard count.
+func (ps *privacyState) addNoise(delta tensor.Vec, contributors int) {
+	if ps.pc.Epsilon <= 0 || contributors <= 0 {
+		return
+	}
+	ps.noiseSteps++
+	r := rng.New(ps.seed ^ 0xD05EB10C ^ ps.noiseSteps*0x9E3779B97F4A7C15)
+	b := 2 * ps.pc.Clip / (ps.pc.Epsilon * float64(contributors))
+	for i := range delta {
+		delta[i] += privacy.Laplace(b, r)
+	}
+}

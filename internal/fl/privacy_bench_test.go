@@ -1,0 +1,128 @@
+package fl
+
+import (
+	"testing"
+
+	"flips/internal/parallel"
+	"flips/internal/tensor"
+)
+
+// benchMaskWave builds a settled-ready wave: a k-member cohort, all enrolled
+// (pairwise seeds + Shamir escrow), with survivors of them contributing
+// clipped unit-weight deltas of the given dimension.
+func benchMaskWave(b *testing.B, k, survivors, dim int) (*privacyState, *maskWave) {
+	b.Helper()
+	cfg := &Config{Privacy: PrivacyConfig{Mask: true, Clip: 1, ShareThreshold: 2}, Seed: 42}
+	ps := newPrivacyState(cfg, dim, 1)
+	cohort := make([]int, k)
+	for i := range cohort {
+		cohort[i] = i
+	}
+	w, err := ps.beginWave(1, 0, cohort)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < survivors; i++ {
+		delta := tensor.NewVec(dim)
+		for c := range delta {
+			delta[c] = 1e-3 * float64((i+c)%17)
+		}
+		clipDeltaInPlace(delta, ps.pc.Clip)
+		ps.contribute(w, i, delta, 50)
+	}
+	return ps, w
+}
+
+// BenchmarkMaskedFold measures the steady-state masked accumulation kernel —
+// the per-aggregation cost of secure aggregation: encode every survivor's
+// weighted delta into the uint64 ring and apply its pairwise masks against
+// the full cohort. This is the inner loop settleWave shards across the
+// worker pool; it must stay allocation-free (the CI bench-alloc ratchet pins
+// it at 0 allocs/op), because it runs once per parameter range per wave.
+func BenchmarkMaskedFold(b *testing.B) {
+	const (
+		k   = 16
+		dim = 4096
+	)
+	ps, w := benchMaskWave(b, k, k, dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.maskedSumRange(w, 0, dim+1)
+	}
+	coords := float64(dim+1) * float64(k) // encoded coords × survivors per pass
+	b.ReportMetric(coords*float64(b.N)/b.Elapsed().Seconds(), "coords/sec")
+}
+
+// BenchmarkMaskedSettle measures a full wave settlement with dropouts: the
+// sharded masked sum, Shamir reconstruction of the missing members' seeds
+// (share combination + real X25519 agreements per survivor), the unmask
+// pass and the fixed-point decode. The dropout arm prices what a deadline
+// miss costs the server per wave.
+func BenchmarkMaskedSettle(b *testing.B) {
+	const (
+		k   = 16
+		dim = 4096
+	)
+	for _, tc := range []struct {
+		name      string
+		survivors int
+	}{
+		{name: "full-cohort", survivors: k},
+		{name: "2-dropouts", survivors: k - 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ps, w := benchMaskWave(b, k, tc.survivors, dim)
+			pool := parallel.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.settled = false
+				ps.ndecoded = 0
+				res, err := ps.settleWave(w, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.aborted || res.delta == nil {
+					b.Fatal("wave did not settle")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMasked measures the fleet-scale engine with the full
+// privacy middleware on: the same buffered 10k/100k-party configuration as
+// BenchmarkEngineSharded, plus per-wave mask enrollment, masked uint64
+// folds and dropout-free settlement. The delta against the plaintext
+// BenchmarkEngineSharded numbers is the secure-aggregation overhead line in
+// BENCH_8.json.
+func BenchmarkEngineMasked(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		parties int
+	}{
+		{name: "10k", parties: 10_000},
+		{name: "100k", parties: 100_000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := fleetConfig(b, tc.parties, 64, 8)
+			cfg.Optimizer = &FedAvg{ServerLR: 1}
+			cfg.Privacy = PrivacyConfig{Mask: true, Clip: 1, ShareThreshold: 2}
+			k := cfg.Aggregation.(Buffered).K
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.History) == 0 {
+					b.Fatal("no history")
+				}
+			}
+			b.ReportMetric(float64(cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			b.ReportMetric(float64(k*cfg.Rounds)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/sec")
+		})
+	}
+}

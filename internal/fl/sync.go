@@ -52,6 +52,18 @@ func (p SyncRounds) run(c *eventCore) error {
 			return fmt.Errorf("fl: selector %q returned no parties at round %d", cfg.Selector.Name(), round)
 		}
 
+		// Under masking the invited cohort enrolls before anyone trains: the
+		// pairwise mask agreements and the Shamir share escrow happen while
+		// every member is still reachable, so a party that later misses the
+		// deadline (or is blacked out by a chaos outage) can have its masks
+		// reconstructed from the survivors' shares.
+		var mw *maskWave
+		if c.priv != nil && c.priv.pc.Mask {
+			if mw, err = c.priv.beginWave(uint64(c.waves), c.version, invited); err != nil {
+				return err
+			}
+		}
+
 		c.completed, c.stragglers = c.completed[:0], c.stragglers[:0]
 		downloads := len(invited)
 		if c.useDevices {
@@ -156,6 +168,7 @@ func (p SyncRounds) run(c *eventCore) error {
 		// order, not arrival order.
 		c.updates, c.weights = c.updates[:0], c.weights[:0]
 		var lossSum float64
+		memberCursor := 0
 		for _, id := range completed {
 			up := c.pendingByParty.get(id)
 			params := up.update
@@ -163,7 +176,32 @@ func (p SyncRounds) run(c *eventCore) error {
 			if cfg.FedDynAlpha > 0 {
 				params = applyFedDyn(c.dynState, id, params, c.globalParams, cfg.FedDynAlpha)
 			}
-			c.admitUpdate(params, up.weight)
+			if mw != nil {
+				// Masked path: the party uploads its clipped dispatch delta as
+				// a masked fixed-point vector; the server only ever folds the
+				// cohort sum. completed preserves invited order, so the member
+				// index advances with a two-pointer walk.
+				for invited[memberCursor] != id {
+					memberCursor++
+				}
+				params.SubInPlace(c.globalParams)
+				if !isFiniteVec(params) {
+					// An unencodable update never reaches the sum; the party
+					// becomes a dropout and its masks are reconstructed like
+					// any other.
+					c.cycleRejected++
+					c.priv.markRejected(mw)
+				} else {
+					clipDeltaInPlace(params, c.priv.pc.Clip)
+					c.priv.contribute(mw, memberCursor, params, up.weight)
+				}
+				memberCursor++
+			} else {
+				if c.priv != nil && c.priv.pc.Clip > 0 {
+					clipParamsInPlace(params, c.globalParams, c.priv.pc.Clip)
+				}
+				c.admitUpdate(params, up.weight)
+			}
 			c.fb.MeanLoss[id] = up.meanLoss
 			c.fb.SqLoss[id] = up.sqLoss
 			c.fb.Duration[id] = up.duration
@@ -173,8 +211,31 @@ func (p SyncRounds) run(c *eventCore) error {
 			lossSum += up.meanLoss
 		}
 
-		if len(c.updates) > 0 {
+		if mw != nil {
+			res, err := c.priv.settleWave(mw, c.pool)
+			if err != nil {
+				return err
+			}
+			// Sync waves never leave dangling event references — the queue was
+			// fully drained above — so the wave recycles unconditionally.
+			c.priv.freeWave(mw)
+			if res.aborted {
+				c.cycleMaskAborted = true
+			} else if res.delta != nil {
+				// The decoded cohort mean folds as one synthetic update (the
+				// single-update weighted mean is exact), reusing the sharded
+				// fold and optimizer seam unchanged.
+				c.updates = append(c.updates, res.delta)
+				c.weights = append(c.weights, res.weight)
+				c.foldDelta()
+				c.priv.addNoise(c.delta, res.survivors)
+				c.applyDelta()
+			}
+		} else if len(c.updates) > 0 {
 			c.foldAverageDelta()
+			if c.priv != nil {
+				c.priv.addNoise(c.delta, len(c.updates))
+			}
 			c.applyDelta()
 		}
 

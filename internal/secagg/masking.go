@@ -6,14 +6,19 @@
 //     from a real X25519 key agreement; each party adds the mask with
 //     opposite signs, so the masks cancel in the aggregate and the server
 //     learns only the sum;
+//   - Shamir secret sharing over GF(2^64) (shamir.go), which lets a cohort
+//     escrow each member's mask-seed secret so the coordinator can
+//     reconstruct exactly the masks of parties that drop mid-round — the
+//     dropout-recovery half of the Bonawitz protocol, consumed by the fl
+//     engine's privacy middleware;
 //   - Paillier additively homomorphic encryption (Paillier '99), the
 //     building block of BatchCrypt-style cross-silo FL, implemented on
 //     math/big with the standard g = n+1 simplification.
 //
-// Both operate on fixed-point encodings of float64 model updates. The
-// comparison benchmark in bench_test.go reproduces the paper's §2.4 claim
-// that HE costs two to three orders of magnitude more than hardware-assisted
-// (TEE) aggregation.
+// All of it operates on fixed-point encodings of float64 model updates in
+// the ring Z_{2^64}. The comparison benchmark in bench_test.go reproduces
+// the paper's §2.4 claim that HE costs two to three orders of magnitude more
+// than hardware-assisted (TEE) aggregation.
 package secagg
 
 import (
@@ -30,14 +35,134 @@ import (
 // arithmetic (mod 2^64).
 const FixedPointScale = 1 << 30
 
-// encodeFixed maps a float64 to the ring Z_{2^64} in two's-complement style.
-func encodeFixed(x float64) uint64 {
-	return uint64(int64(math.Round(x * FixedPointScale)))
+// MaxSumMagnitude is the fixed-point headroom bound: a set of real values
+// whose absolute values sum strictly below this encodes and folds in
+// Z_{2^64} without wrapping past the int64 sign boundary. The encoding maps
+// x to round(x·2^30) in two's complement, so the representable range is
+// ±2^63 scaled units = ±2^33 real units; any partial sum of encodings whose
+// real magnitude stays below 2^33 is exactly the encoding of the real sum
+// (up to per-term rounding), while a sum at or beyond it wraps silently —
+// decode returns a value of the wrong sign and magnitude with no error
+// signal, which is why configs must be validated against this bound
+// (CheckSumHeadroom) before any masked fold runs.
+const MaxSumMagnitude = float64(1 << 33)
+
+// two63 is 2^63 as a float64 (exactly representable); round(x·2^30) must be
+// strictly below it and at least −2^63 for the int64 conversion in
+// EncodeFixed to be defined.
+var two63 = math.Ldexp(1, 63)
+
+// EncodeFixed maps a float64 to the ring Z_{2^64} in two's-complement
+// style. It rejects non-finite inputs — Go's float→int conversion of NaN or
+// ±Inf is implementation-specific, so a NaN here would silently poison the
+// whole masked sum — and values whose scaled magnitude falls outside int64,
+// mirroring the fl engine's admitUpdate finiteness gate at the encode
+// boundary.
+func EncodeFixed(x float64) (uint64, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, fmt.Errorf("secagg: cannot encode non-finite value %v", x)
+	}
+	scaled := math.Round(x * FixedPointScale)
+	if scaled >= two63 || scaled < -two63 {
+		return 0, fmt.Errorf("secagg: value %v overflows the fixed-point range ±2^33", x)
+	}
+	return uint64(int64(scaled)), nil
 }
 
-// decodeFixed inverts encodeFixed on (possibly wrapped) ring elements.
-func decodeFixed(v uint64) float64 {
+// DecodeFixed inverts EncodeFixed on (possibly wrapped) ring elements.
+func DecodeFixed(v uint64) float64 {
 	return float64(int64(v)) / FixedPointScale
+}
+
+// CheckSumHeadroom validates that a fold whose summed absolute real
+// magnitude is bounded by sumMag cannot wrap the fixed-point ring. sumMag
+// is typically (total aggregation weight) × (per-coordinate update bound):
+// with per-update L2 clipping at C and FedAvg weights w_i, every coordinate
+// of the weighted sum is bounded by C·Σw_i.
+func CheckSumHeadroom(sumMag float64) error {
+	if math.IsNaN(sumMag) || sumMag < 0 {
+		return fmt.Errorf("secagg: invalid sum magnitude bound %v", sumMag)
+	}
+	if sumMag >= MaxSumMagnitude {
+		return fmt.Errorf("secagg: sum magnitude bound %.4g exceeds the fixed-point headroom %.4g (weight × clip too large: the masked sum would wrap in Z_{2^64})",
+			sumMag, MaxSumMagnitude)
+	}
+	return nil
+}
+
+// DeriveSecret deterministically derives party id's X25519 secret scalar
+// from the run seed. Simulation stand-in for each party generating its own
+// key: the whole run stays a pure function of the seed, which is what keeps
+// masked runs bit-identical at every parallelism and shard count. X25519
+// clamps the scalar during multiplication, so any 32 bytes are a valid
+// private key.
+func DeriveSecret(seed uint64, id int) [32]byte {
+	var buf [35]byte
+	copy(buf[:19], "flips-secagg-key-v2")
+	binary.LittleEndian.PutUint64(buf[19:27], seed)
+	binary.LittleEndian.PutUint64(buf[27:35], uint64(id))
+	return sha256.Sum256(buf[:])
+}
+
+// PrivateKeyFromSecret wraps a derived secret scalar as an X25519 private
+// key.
+func PrivateKeyFromSecret(secret *[32]byte) (*ecdh.PrivateKey, error) {
+	priv, err := ecdh.X25519().NewPrivateKey(secret[:])
+	if err != nil {
+		return nil, fmt.Errorf("secagg: secret scalar: %w", err)
+	}
+	return priv, nil
+}
+
+// PairSeed derives the pairwise mask seed for (priv's party, peer) from the
+// X25519 shared secret. Symmetric: both ends of the pair derive the same
+// seed.
+func PairSeed(priv *ecdh.PrivateKey, peer *ecdh.PublicKey) ([32]byte, error) {
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("secagg: ecdh: %w", err)
+	}
+	var buf [52]byte
+	copy(buf[:20], "flips-secagg-pair-v2")
+	copy(buf[20:], shared)
+	return sha256.Sum256(buf[:]), nil
+}
+
+// AddPairMask adds (negate=false) or subtracts (negate=true) the pairwise
+// mask stream identified by (seed, tag) into acc over the coordinate range
+// [lo, hi). acc is indexed absolutely, so parameter-axis shards can expand
+// disjoint ranges of the same logical stream concurrently: the mask word
+// for coordinate c is a pure function of (seed, tag, c) — sha256 over a
+// stack buffer, four 64-bit words per hash — independent of range
+// boundaries. tag is the wave/round counter, giving every aggregation wave
+// a fresh stream from the same pair seed. Allocation-free.
+func AddPairMask(acc []uint64, seed *[32]byte, tag uint64, lo, hi int, negate bool) {
+	if lo < 0 || hi > len(acc) || lo >= hi {
+		if lo >= hi {
+			return
+		}
+		panic(fmt.Sprintf("secagg: mask range [%d,%d) outside acc len %d", lo, hi, len(acc)))
+	}
+	var buf [48]byte
+	copy(buf[:32], seed[:])
+	binary.LittleEndian.PutUint64(buf[32:40], tag)
+	for blk := lo >> 2; blk <= (hi-1)>>2; blk++ {
+		binary.LittleEndian.PutUint64(buf[40:48], uint64(blk))
+		d := sha256.Sum256(buf[:])
+		base := blk << 2
+		for w := 0; w < 4; w++ {
+			c := base + w
+			if c < lo || c >= hi {
+				continue
+			}
+			m := binary.LittleEndian.Uint64(d[w*8 : w*8+8])
+			if negate {
+				acc[c] -= m
+			} else {
+				acc[c] += m
+			}
+		}
+	}
 }
 
 // MaskedUpdate is a masked, fixed-point-encoded model update.
@@ -52,7 +177,9 @@ type Party struct {
 	priv *ecdh.PrivateKey
 }
 
-// NewParty generates the party's key pair.
+// NewParty generates the party's key pair from the system entropy source
+// (the decentralized-aggregation path; the fl engine's privacy middleware
+// derives keys deterministically via DeriveSecret instead).
 func NewParty(id int) (*Party, error) {
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
@@ -103,11 +230,17 @@ type Peer struct {
 // Mask produces the party's masked update: the fixed-point encoding of
 // update plus, for every peer, a pairwise mask added with sign determined by
 // ID ordering so all masks cancel in the sum. update is typically already
-// weighted by the party's aggregation weight.
+// weighted by the party's aggregation weight. A non-finite or out-of-range
+// value anywhere in update is an error: it cannot be encoded, so the party
+// must drop out of the round rather than upload a poisoned vector.
 func (p *Party) Mask(update []float64, peers []Peer) (*MaskedUpdate, error) {
 	values := make([]uint64, len(update))
 	for i, x := range update {
-		values[i] = encodeFixed(x)
+		v, err := EncodeFixed(x)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: party %d coordinate %d: %w", p.ID, i, err)
+		}
+		values[i] = v
 	}
 	for _, peer := range peers {
 		if peer.ID == p.ID {
@@ -133,9 +266,9 @@ func (p *Party) Mask(update []float64, peers []Peer) (*MaskedUpdate, error) {
 
 // Aggregate sums masked updates (the aggregator's only computation) and
 // decodes the result. Every party that contributed a mask pair must be
-// present, otherwise residual masks corrupt the sum — the dropout-recovery
-// protocol of full secure aggregation is out of scope here, matching the
-// paper's use of secure aggregation as a round primitive.
+// present, otherwise residual masks corrupt the sum — dropout recovery
+// (Shamir-escrowed seeds, shamir.go) lives in the fl engine's privacy
+// middleware, which reconstructs missing masks before this decode step.
 func Aggregate(updates []*MaskedUpdate, dim int) ([]float64, error) {
 	if len(updates) == 0 {
 		return nil, fmt.Errorf("secagg: no updates")
@@ -151,7 +284,7 @@ func Aggregate(updates []*MaskedUpdate, dim int) ([]float64, error) {
 	}
 	out := make([]float64, dim)
 	for i, v := range sum {
-		out[i] = decodeFixed(v)
+		out[i] = DecodeFixed(v)
 	}
 	return out, nil
 }

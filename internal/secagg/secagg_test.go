@@ -68,7 +68,7 @@ func TestMaskedUpdateHidesPlaintext(t *testing.T) {
 	}
 	same := 0
 	for i, x := range update {
-		if masked.Values[i] == encodeFixed(x) {
+		if masked.Values[i] == mustEncode(t, x) {
 			same++
 		}
 	}
@@ -124,17 +124,152 @@ func TestAggregateValidation(t *testing.T) {
 	}
 }
 
+func mustEncode(t testing.TB, x float64) uint64 {
+	t.Helper()
+	v, err := EncodeFixed(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestFixedPointRoundTrip(t *testing.T) {
 	check := func(seed uint64) bool {
 		r := rng.New(seed)
 		x := r.NormFloat64() * 100
-		return math.Abs(decodeFixed(encodeFixed(x))-x) < 1e-6
+		return math.Abs(DecodeFixed(mustEncode(t, x))-x) < 1e-6
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
 	}
-	if decodeFixed(encodeFixed(-3.25)) != -3.25 {
+	if DecodeFixed(mustEncode(t, -3.25)) != -3.25 {
 		t.Fatal("negative round-trip")
+	}
+}
+
+func TestEncodeFixedRejectsNonFinite(t *testing.T) {
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := EncodeFixed(x); err == nil {
+			t.Fatalf("EncodeFixed(%v) accepted a non-finite value", x)
+		}
+	}
+}
+
+func TestEncodeFixedRejectsOverflow(t *testing.T) {
+	// MaxSumMagnitude (2^33) is exactly the single-value bound: round(x·2^30)
+	// must stay inside int64.
+	if _, err := EncodeFixed(MaxSumMagnitude); err == nil {
+		t.Fatal("EncodeFixed(2^33) accepted; int64 conversion would be out of range")
+	}
+	if _, err := EncodeFixed(-2 * MaxSumMagnitude); err == nil {
+		t.Fatal("EncodeFixed(-2^34) accepted")
+	}
+	// Just inside the bound encodes and round-trips.
+	x := MaxSumMagnitude - 1
+	if got := DecodeFixed(mustEncode(t, x)); got != x {
+		t.Fatalf("near-bound round-trip: got %v want %v", got, x)
+	}
+}
+
+func TestFixedPointSumWraps(t *testing.T) {
+	// Document the headroom bound: two encodings whose real sum stays below
+	// MaxSumMagnitude decode to the real sum; at the bound the ring wraps and
+	// the decoded value is wildly wrong with no error signal.
+	half := MaxSumMagnitude/2 - 1
+	ok := mustEncode(t, half) + mustEncode(t, half)
+	if got, want := DecodeFixed(ok), 2*half; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("in-headroom sum decoded to %v, want %v", got, want)
+	}
+	atBound := mustEncode(t, MaxSumMagnitude/2) + mustEncode(t, MaxSumMagnitude/2)
+	if got := DecodeFixed(atBound); got > 0 {
+		t.Fatalf("sum at the headroom bound decoded to %v; expected a wrapped (negative) value demonstrating overflow", got)
+	}
+	if err := CheckSumHeadroom(MaxSumMagnitude / 2); err != nil {
+		t.Fatalf("CheckSumHeadroom below the bound: %v", err)
+	}
+	if err := CheckSumHeadroom(MaxSumMagnitude); err == nil {
+		t.Fatal("CheckSumHeadroom accepted a wrapping bound")
+	}
+	if err := CheckSumHeadroom(math.NaN()); err == nil {
+		t.Fatal("CheckSumHeadroom accepted NaN")
+	}
+}
+
+func TestDeriveSecretDeterministicAndDistinct(t *testing.T) {
+	a := DeriveSecret(7, 1)
+	if b := DeriveSecret(7, 1); a != b {
+		t.Fatal("DeriveSecret not deterministic")
+	}
+	if b := DeriveSecret(7, 2); a == b {
+		t.Fatal("distinct parties derived the same secret")
+	}
+	if b := DeriveSecret(8, 1); a == b {
+		t.Fatal("distinct seeds derived the same secret")
+	}
+	if _, err := PrivateKeyFromSecret(&a); err != nil {
+		t.Fatalf("derived secret is not a valid X25519 scalar: %v", err)
+	}
+}
+
+func TestPairSeedSymmetric(t *testing.T) {
+	sa, sb := DeriveSecret(3, 10), DeriveSecret(3, 11)
+	ka, err := PrivateKeyFromSecret(&sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := PrivateKeyFromSecret(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := PairSeed(ka, kb.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := PairSeed(kb, ka.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab != ba {
+		t.Fatal("pair seed not symmetric")
+	}
+}
+
+func TestAddPairMaskCancelsAndShards(t *testing.T) {
+	seed := DeriveSecret(9, 0)
+	const dim = 19 // odd length exercises the partial final block
+	acc := make([]uint64, dim)
+	// Opposite signs over the full range cancel exactly.
+	AddPairMask(acc, &seed, 4, 0, dim, false)
+	AddPairMask(acc, &seed, 4, 0, dim, true)
+	for i, v := range acc {
+		if v != 0 {
+			t.Fatalf("coordinate %d: masks did not cancel (%d)", i, v)
+		}
+	}
+	// One full-range expansion equals the same stream expanded in arbitrary
+	// sub-ranges: the mask word is a pure function of the coordinate.
+	whole := make([]uint64, dim)
+	AddPairMask(whole, &seed, 4, 0, dim, false)
+	parts := make([]uint64, dim)
+	for _, r := range [][2]int{{0, 3}, {3, 4}, {4, 11}, {11, dim}} {
+		AddPairMask(parts, &seed, 4, r[0], r[1], false)
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("coordinate %d: sharded expansion %d != whole-range %d", i, parts[i], whole[i])
+		}
+	}
+	// Distinct tags give distinct streams.
+	other := make([]uint64, dim)
+	AddPairMask(other, &seed, 5, 0, dim, false)
+	same := 0
+	for i := range whole {
+		if whole[i] == other[i] {
+			same++
+		}
+	}
+	if same == dim {
+		t.Fatal("tag 4 and tag 5 produced identical mask streams")
 	}
 }
 

@@ -1,0 +1,190 @@
+package secagg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Shamir secret sharing over GF(2^64), the dropout-recovery escrow of the
+// Bonawitz secure-aggregation protocol: at wave start every cohort member
+// splits its 32-byte mask-seed secret into shares held by the other
+// members; when a member drops mid-wave, any ShareThreshold surviving
+// holders hand their shares to the coordinator, which reconstructs the
+// dropped member's secret and expands exactly the masks the survivors'
+// uploads still carry against it.
+//
+// The field is GF(2^64) with reduction polynomial x^64 + x^4 + x^3 + x + 1
+// (the canonical degree-64 pentanomial). GF(2^64) rather than the textbook
+// GF(256): share X coordinates are party IDs + 1, and cohorts at fleet
+// scale (flash-crowd surges, 100k-party pools) overflow a byte. A 32-byte
+// secret is four field elements shared through four parallel polynomials
+// that reuse one coefficient schedule per degree.
+
+// Share is one holder's share of a 32-byte secret: the evaluation point X
+// (nonzero; party ID + 1) and the four limb polynomial evaluations.
+type Share struct {
+	X uint64
+	Y [4]uint64
+}
+
+// gf64ReductionPoly is x^4 + x^3 + x + 1, the low bits of the reduction
+// polynomial for GF(2^64).
+const gf64ReductionPoly = 0x1B
+
+// gf64Mul multiplies in GF(2^64): carry-less multiplication reduced by
+// x^64 + x^4 + x^3 + x + 1. bits.Mul64's carry-less analogue is built from
+// shift-and-xor; 64 iterations, constant time, no allocation.
+func gf64Mul(a, b uint64) uint64 {
+	var p uint64
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a >> 63
+		a <<= 1
+		if hi != 0 {
+			a ^= gf64ReductionPoly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gf64Inv inverts a nonzero element via Fermat: a^(2^64 − 2). Panics on
+// zero, which has no inverse — callers guarantee distinct share X
+// coordinates, the only way a zero denominator could arise.
+func gf64Inv(a uint64) uint64 {
+	if a == 0 {
+		panic("secagg: gf64 inverse of zero")
+	}
+	// Square-and-multiply over the fixed exponent 2^64 − 2 = 0xFFFF...FE.
+	r := uint64(1)
+	base := a
+	for e := uint64(0xFFFFFFFFFFFFFFFE); e != 0; e >>= 1 {
+		if e&1 != 0 {
+			r = gf64Mul(r, base)
+		}
+		base = gf64Mul(base, base)
+	}
+	return r
+}
+
+// shamirCoeff derives the degree-k coefficient block (four limbs) of the
+// sharing polynomials deterministically from the secret and the wave tag.
+// Hashing rather than sampling keeps the whole run a pure function of the
+// seed — the simulation's determinism contract — while every (secret, tag)
+// pair still gets an independent polynomial.
+func shamirCoeff(secret *[32]byte, tag uint64, k int) [4]uint64 {
+	var buf [50]byte
+	copy(buf[:32], secret[:])
+	binary.LittleEndian.PutUint64(buf[32:40], tag)
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(k))
+	buf[48] = 's'
+	buf[49] = 'h'
+	d := sha256.Sum256(buf[:])
+	var c [4]uint64
+	for l := 0; l < 4; l++ {
+		c[l] = binary.LittleEndian.Uint64(d[l*8 : l*8+8])
+	}
+	return c
+}
+
+// SplitSecretInto shares secret among the holders named by xs (distinct,
+// nonzero evaluation points) with the given reconstruction threshold,
+// writing one Share per holder into dst (len(dst) == len(xs)). coeff is
+// reusable scratch with capacity ≥ 4·(threshold−1); the grown slice is
+// returned so callers can pool it. The polynomial coefficients are derived
+// from (secret, tag); the same inputs always produce the same shares.
+func SplitSecretInto(dst []Share, secret *[32]byte, xs []uint64, threshold int, tag uint64, coeff []uint64) ([]uint64, error) {
+	if len(dst) != len(xs) {
+		return coeff, fmt.Errorf("secagg: share buffer len %d != holder count %d", len(dst), len(xs))
+	}
+	if threshold < 1 || threshold > len(xs) {
+		return coeff, fmt.Errorf("secagg: threshold %d out of range [1,%d]", threshold, len(xs))
+	}
+	ncoeff := 4 * (threshold - 1)
+	if cap(coeff) < ncoeff {
+		coeff = make([]uint64, ncoeff)
+	}
+	coeff = coeff[:ncoeff]
+	for k := 1; k < threshold; k++ {
+		c := shamirCoeff(secret, tag, k)
+		copy(coeff[(k-1)*4:], c[:])
+	}
+	var s [4]uint64
+	for l := 0; l < 4; l++ {
+		s[l] = binary.LittleEndian.Uint64(secret[l*8 : l*8+8])
+	}
+	for i, x := range xs {
+		if x == 0 {
+			return coeff, fmt.Errorf("secagg: share evaluation point 0 at holder %d", i)
+		}
+		sh := Share{X: x}
+		for l := 0; l < 4; l++ {
+			// Horner from the highest-degree coefficient down to the secret.
+			var y uint64
+			for k := threshold - 1; k >= 1; k-- {
+				y = gf64Mul(y, x) ^ coeff[(k-1)*4+l]
+			}
+			y = gf64Mul(y, x) ^ s[l]
+			sh.Y[l] = y
+		}
+		dst[i] = sh
+	}
+	return coeff, nil
+}
+
+// SplitSecret is the allocating convenience form of SplitSecretInto.
+func SplitSecret(secret *[32]byte, xs []uint64, threshold int, tag uint64) ([]Share, error) {
+	dst := make([]Share, len(xs))
+	if _, err := SplitSecretInto(dst, secret, xs, threshold, tag, nil); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// CombineShares reconstructs the 32-byte secret from at least threshold
+// shares by Lagrange interpolation at zero over the first threshold shares.
+// Share X coordinates must be distinct and nonzero.
+func CombineShares(shares []Share, threshold int) ([32]byte, error) {
+	var secret [32]byte
+	if threshold < 1 {
+		return secret, fmt.Errorf("secagg: threshold %d < 1", threshold)
+	}
+	if len(shares) < threshold {
+		return secret, fmt.Errorf("secagg: %d shares below reconstruction threshold %d", len(shares), threshold)
+	}
+	use := shares[:threshold]
+	for i := range use {
+		if use[i].X == 0 {
+			return secret, fmt.Errorf("secagg: share %d has evaluation point 0", i)
+		}
+		for j := range use[:i] {
+			if use[j].X == use[i].X {
+				return secret, fmt.Errorf("secagg: duplicate share evaluation point %d", use[i].X)
+			}
+		}
+	}
+	var s [4]uint64
+	for i := range use {
+		// Lagrange basis at 0: Π_{j≠i} x_j / (x_i ⊕ x_j) (subtraction is xor
+		// in characteristic 2).
+		num, den := uint64(1), uint64(1)
+		for j := range use {
+			if j == i {
+				continue
+			}
+			num = gf64Mul(num, use[j].X)
+			den = gf64Mul(den, use[i].X^use[j].X)
+		}
+		li := gf64Mul(num, gf64Inv(den))
+		for l := 0; l < 4; l++ {
+			s[l] ^= gf64Mul(li, use[i].Y[l])
+		}
+	}
+	for l := 0; l < 4; l++ {
+		binary.LittleEndian.PutUint64(secret[l*8:l*8+8], s[l])
+	}
+	return secret, nil
+}

@@ -1,0 +1,193 @@
+package secagg
+
+import (
+	"math/bits"
+	"testing"
+
+	"flips/internal/rng"
+)
+
+// gf64MulRef is a reference carry-less multiply cross-checking gf64Mul: it
+// builds the 128-bit product bit by bit and reduces x^64 ≡ x^4+x^3+x+1.
+func gf64MulRef(a, b uint64) uint64 {
+	var lo, hi uint64
+	for i := 0; i < 64; i++ {
+		if b&(1<<uint(i)) != 0 {
+			lo ^= a << uint(i)
+			hi ^= a >> uint(64-i) // shift by 64 yields 0 for i == 0
+		}
+	}
+	for hi != 0 {
+		i := bits.TrailingZeros64(hi)
+		hi &^= 1 << uint(i)
+		red := uint64(gf64ReductionPoly)
+		lo ^= red << uint(i)
+		if i >= 60 {
+			hi ^= red >> uint(64-i)
+		}
+	}
+	return lo
+}
+
+func TestGF64MulMatchesReference(t *testing.T) {
+	r := rng.New(0x6F)
+	for i := 0; i < 2000; i++ {
+		a, b := r.Uint64(), r.Uint64()
+		if got, want := gf64Mul(a, b), gf64MulRef(a, b); got != want {
+			t.Fatalf("gf64Mul(%#x, %#x) = %#x, reference %#x", a, b, got, want)
+		}
+	}
+	// Field axioms on random triples: commutativity, distributivity,
+	// multiplicative identity.
+	for i := 0; i < 500; i++ {
+		a, b, c := r.Uint64(), r.Uint64(), r.Uint64()
+		if gf64Mul(a, b) != gf64Mul(b, a) {
+			t.Fatal("gf64Mul not commutative")
+		}
+		if gf64Mul(a, b^c) != gf64Mul(a, b)^gf64Mul(a, c) {
+			t.Fatal("gf64Mul not distributive over xor")
+		}
+		if gf64Mul(a, 1) != a {
+			t.Fatal("1 is not the multiplicative identity")
+		}
+	}
+}
+
+func TestGF64Inv(t *testing.T) {
+	r := rng.New(0x1217)
+	for i := 0; i < 200; i++ {
+		a := r.Uint64()
+		if a == 0 {
+			continue
+		}
+		if gf64Mul(a, gf64Inv(a)) != 1 {
+			t.Fatalf("a · a⁻¹ != 1 for a = %#x", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gf64Inv(0) did not panic")
+		}
+	}()
+	gf64Inv(0)
+}
+
+func TestShamirRoundTrip(t *testing.T) {
+	secret := DeriveSecret(42, 7)
+	xs := []uint64{1, 2, 3, 4, 5, 6, 7}
+	for threshold := 1; threshold <= len(xs); threshold++ {
+		shares, err := SplitSecret(&secret, xs, threshold, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Any threshold-sized subset reconstructs; walk a few rotations.
+		for rot := 0; rot < len(xs); rot++ {
+			subset := make([]Share, 0, threshold)
+			for k := 0; k < threshold; k++ {
+				subset = append(subset, shares[(rot+k)%len(xs)])
+			}
+			got, err := CombineShares(subset, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != secret {
+				t.Fatalf("threshold %d rotation %d: reconstructed wrong secret", threshold, rot)
+			}
+		}
+	}
+}
+
+func TestShamirBelowThresholdFails(t *testing.T) {
+	secret := DeriveSecret(1, 1)
+	shares, err := SplitSecret(&secret, []uint64{1, 2, 3, 4}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CombineShares(shares[:2], 3); err == nil {
+		t.Fatal("2 of 3 shares reconstructed")
+	}
+	// With threshold 3, two shares alone must not determine the secret: a
+	// forged third share yields a different (wrong) reconstruction.
+	forged := append([]Share{}, shares[:2]...)
+	forged = append(forged, Share{X: shares[2].X, Y: [4]uint64{1, 2, 3, 4}})
+	got, err := CombineShares(forged, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == secret {
+		t.Fatal("forged share still reconstructed the true secret")
+	}
+}
+
+func TestShamirDeterministic(t *testing.T) {
+	secret := DeriveSecret(8, 3)
+	xs := []uint64{10, 20, 30}
+	a, err := SplitSecret(&secret, xs, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SplitSecret(&secret, xs, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (secret, tag) produced different shares")
+		}
+	}
+	c, err := SplitSecret(&secret, xs, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Y == c[0].Y {
+		t.Fatal("different tags produced identical shares")
+	}
+}
+
+func TestShamirValidation(t *testing.T) {
+	secret := DeriveSecret(0, 0)
+	if _, err := SplitSecret(&secret, []uint64{1, 2}, 3, 0); err == nil {
+		t.Fatal("threshold above holder count accepted")
+	}
+	if _, err := SplitSecret(&secret, []uint64{1, 0}, 2, 0); err == nil {
+		t.Fatal("zero evaluation point accepted")
+	}
+	if _, err := SplitSecretInto(make([]Share, 1), &secret, []uint64{1, 2}, 2, 0, nil); err == nil {
+		t.Fatal("mismatched share buffer accepted")
+	}
+	shares, err := SplitSecret(&secret, []uint64{1, 2}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CombineShares(shares, 0); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	dup := []Share{shares[0], shares[0]}
+	if _, err := CombineShares(dup, 2); err == nil {
+		t.Fatal("duplicate evaluation points accepted")
+	}
+	bad := []Share{{X: 0}, shares[1]}
+	if _, err := CombineShares(bad, 2); err == nil {
+		t.Fatal("zero evaluation point accepted in combine")
+	}
+}
+
+func TestSplitSecretIntoReusesScratch(t *testing.T) {
+	secret := DeriveSecret(5, 5)
+	xs := []uint64{1, 2, 3, 4, 5}
+	dst := make([]Share, len(xs))
+	coeff, err := SplitSecretInto(dst, &secret, xs, 3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		coeff, err = SplitSecretInto(dst, &secret, xs, 3, 2, coeff)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SplitSecretInto allocates %.0f/op, want 0", allocs)
+	}
+}

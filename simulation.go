@@ -95,6 +95,27 @@ type SimulationConfig struct {
 	// FaultScale scales "scaled" deltas and "byzantine" noise (0 uses the
 	// default of 10).
 	FaultScale float64
+	// Mask enables Bonawitz-style pairwise secure-aggregation masking: the
+	// server only ever folds the cohort sum of fixed-point-encoded, masked
+	// updates, never an individual update. Invited parties escrow Shamir
+	// shares of their mask seeds at wave start, so deadline-missers and
+	// outage victims have their masks reconstructed from the survivors;
+	// when survivors fall below ShareThreshold the round aborts gracefully
+	// (RoundPoint.MaskAborted) and the model is left untouched. Requires
+	// the mean fold and a positive Clip (defaulted to 1 when unset).
+	Mask bool
+	// Clip bounds each update's L2 norm before aggregation. With Mask it is
+	// required — it caps the fixed-point encoding range; alone it is plain
+	// defense-in-depth clipping on the plaintext fold.
+	Clip float64
+	// Epsilon, when positive, adds per-round (ε, 0)-differential-privacy
+	// Laplace noise calibrated to sensitivity 2·Clip/contributors to the
+	// folded mean delta. Requires Clip.
+	Epsilon float64
+	// ShareThreshold is the minimum number of surviving cohort members
+	// required to reconstruct dropout masks (0 uses a cohort majority).
+	// Lower tolerates more dropouts; higher hardens against collusion.
+	ShareThreshold int
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -122,6 +143,10 @@ type RoundPoint struct {
 	// Rejected counts completed updates this aggregation step refused to
 	// fold because they carried non-finite (NaN/Inf) coordinates.
 	Rejected int
+	// MaskAborted reports that this aggregation step was abandoned because
+	// secure-aggregation dropout recovery fell below the share threshold:
+	// nothing was folded and the model did not move.
+	MaskAborted bool
 }
 
 // SimulationResult summarizes a finished FL simulation.
@@ -176,6 +201,18 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 		Fold:              c.Fold,
 		TargetAccuracy:    experiment.TargetFor(spec),
 		Seed:              c.Seed,
+	}
+	clip := c.Clip
+	if c.Mask && clip == 0 {
+		// Masking needs a clip bound to cap the fixed-point encoding range;
+		// unit norm is the conventional default.
+		clip = 1
+	}
+	setting.Privacy = fl.PrivacyConfig{
+		Mask:           c.Mask,
+		Clip:           clip,
+		Epsilon:        c.Epsilon,
+		ShareThreshold: c.ShareThreshold,
 	}
 	fault, err := chaos.FaultModelByName(c.FaultModel)
 	if err != nil {
@@ -242,8 +279,14 @@ func (c SimulationConfig) Validate() error {
 	if err != nil {
 		return err
 	}
-	_, err = experiment.Build(setting, scale)
-	return err
+	built, err := experiment.Build(setting, scale)
+	if err != nil {
+		return err
+	}
+	// The engine's own validation catches the cross-field privacy rules —
+	// masking with a robust fold, fixed-point headroom for this fleet's
+	// total weight, checkpointing under masks — before a job is accepted.
+	return built.Config.Validate()
 }
 
 // RunSimulation executes one FL job and returns its convergence history.
@@ -302,6 +345,7 @@ func roundPoint(h fl.RoundStats) RoundPoint {
 		SimTime:       h.SimTime,
 		ShardsTouched: h.ShardsTouched,
 		Rejected:      h.Rejected,
+		MaskAborted:   h.MaskAborted,
 	}
 }
 
@@ -374,6 +418,27 @@ func RunChaos(w io.Writer, paperScale bool, seed uint64) error {
 		scale = experiment.PaperScale()
 	}
 	table, err := experiment.RunChaos(scale, seed, nil, nil)
+	if err != nil {
+		return err
+	}
+	table.Render(w)
+	return nil
+}
+
+// RunPrivacy runs the privacy-ladder sweep — a plaintext control, clipping
+// alone, pairwise secure-aggregation masking with Shamir dropout recovery,
+// and masking plus differential-privacy noise, crossed with the selection
+// strategies over a lognormal churn fleet — and writes its
+// time-to-target-accuracy cost table to w. This is the deployment family the
+// plaintext evaluation cannot express: it prices each rung of the privacy
+// ladder in convergence time and counts the rounds lost to below-threshold
+// mask aborts.
+func RunPrivacy(w io.Writer, paperScale bool, seed uint64) error {
+	scale := experiment.LaptopScale()
+	if paperScale {
+		scale = experiment.PaperScale()
+	}
+	table, err := experiment.RunPrivacy(scale, seed, nil, nil)
 	if err != nil {
 		return err
 	}
