@@ -13,6 +13,7 @@
 //	flipsbench -exp privacy                # privacy-ladder sweep (clip, masking, masking+DP)
 //	flipsbench -exp tee                    # TEE clustering overhead
 //	flipsbench -exp scale -shards 64       # fleet-scale sweep (1k/10k/100k parties)
+//	flipsbench -exp dist                   # multi-process aggregation sweep (subprocess shard workers)
 //	flipsbench -exp all-tables             # every table (12 grids)
 //	flipsbench -exp all-figures            # every figure
 //	flipsbench -exp all                    # everything
@@ -27,14 +28,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"flips/internal/chaos"
 	"flips/internal/device"
+	"flips/internal/dist"
 	"flips/internal/experiment"
 )
 
@@ -54,13 +58,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "master random seed")
 	par := fs.Int("parallel", 0, "worker-pool width for grid cells, repeats, local training and eval shards (0 = GOMAXPROCS, 1 = sequential; results are identical at every width)")
 	shards := fs.Int("shards", 0, "aggregation shard count for every experiment and the scale sweep (0 = single shard; results are identical at every value)")
-	scaleParties := fs.String("scale-parties", "", "comma-separated population sizes for the scale sweep (default 1000,10000,100000)")
+	scaleParties := fs.String("scale-parties", "", "comma-separated population sizes for the scale and dist sweeps (defaults 1000,10000,100000 / 10000,100000)")
+	distWorkerCounts := fs.String("dist-workers", "", "comma-separated shard-worker process counts for the dist sweep (default 1,2,4,8; the in-process baseline always runs)")
+	distWorkerConnect := fs.String("dist-worker-connect", "", "internal: run as a dist-sweep shard worker against this coordinator address")
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after GC) to this file at exit")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *distWorkerConnect != "" {
+		// Subprocess mode: serve shard-training waves for a dist-sweep
+		// coordinator until it sends the shutdown frame.
+		return dist.RunWorker(*distWorkerConnect, dist.WorkerOptions{
+			Builder:     experiment.DistFleetBuilder(),
+			Parallelism: *par,
+		})
 	}
 
 	if *cpuProfile != "" {
@@ -226,6 +241,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			table.Render(stdout)
 			fmt.Fprintln(stdout)
+		case id == "dist":
+			fmt.Fprintln(stderr, "running distributed-aggregation sweep (parties x worker processes)...")
+			sweep := experiment.DistSweep{Seed: *seed, Parallelism: *par}
+			if *shards > 0 {
+				sweep.Shards = *shards
+			}
+			parties, err := parseIntList(*scaleParties)
+			if err != nil {
+				return fmt.Errorf("-scale-parties: %w", err)
+			}
+			sweep.Parties = parties
+			workers, err := parseIntList(*distWorkerCounts)
+			if err != nil {
+				return fmt.Errorf("-dist-workers: %w", err)
+			}
+			sweep.Workers = workers
+			table, err := experiment.RunDist(sweep, subprocessWorkers(stderr), progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
 		case id == "tee":
 			fmt.Fprintln(stderr, "running tee overhead...")
 			res, err := experiment.RunTEEOverhead(scale, 5, *seed)
@@ -266,6 +303,7 @@ func expandExperiments(spec string) ([]string, error) {
 			add("chaos")
 			add("privacy")
 			add("scale")
+			add("dist")
 			add("tee")
 		case "all-tables":
 			for i := 1; i <= 24; i++ {
@@ -283,7 +321,7 @@ func expandExperiments(spec string) ([]string, error) {
 		return nil, fmt.Errorf("no experiments selected")
 	}
 	// Stable order: tables numerically, then figures, then het, async,
-	// chaos, privacy, scale, tee.
+	// chaos, privacy, scale, dist, tee.
 	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
 	return out, nil
 }
@@ -312,7 +350,48 @@ func expRank(id string) int {
 	if id == "scale" {
 		return 170
 	}
+	if id == "dist" {
+		return 175
+	}
 	return 200
+}
+
+// subprocessWorkers re-execs this binary as shard-worker processes — the
+// honest coordinator-heap measurement, since training then allocates in the
+// workers. Stop kills any worker the coordinator's shutdown frame has not
+// already released.
+func subprocessWorkers(stderr io.Writer) experiment.WorkerSpawner {
+	return func(addr string, n int) (func(), error) {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("locate own binary for worker re-exec: %w", err)
+		}
+		cmds := make([]*exec.Cmd, 0, n)
+		for i := 0; i < n; i++ {
+			cmd := exec.Command(self, "-dist-worker-connect", addr)
+			cmd.Stderr = stderr
+			if err := cmd.Start(); err != nil {
+				for _, c := range cmds {
+					_ = c.Process.Kill()
+					_ = c.Wait()
+				}
+				return nil, fmt.Errorf("start worker %d: %w", i, err)
+			}
+			cmds = append(cmds, cmd)
+		}
+		return func() {
+			for _, c := range cmds {
+				done := make(chan struct{})
+				go func(c *exec.Cmd) { _ = c.Wait(); close(done) }(c)
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+					_ = c.Process.Kill()
+					<-done
+				}
+			}
+		}, nil
+	}
 }
 
 // parseIntList parses a comma-separated list of positive ints ("" -> nil).

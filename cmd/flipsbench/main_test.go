@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1+1+1+1+1+1 {
+	if len(ids) != 24+10+1+1+1+1+1+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -22,23 +23,10 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
 	}
-	if ids[len(ids)-6] != "het" {
-		t.Fatalf("het not before async: %v", ids[len(ids)-6])
-	}
-	if ids[len(ids)-5] != "async" {
-		t.Fatalf("async not before chaos: %v", ids[len(ids)-5])
-	}
-	if ids[len(ids)-4] != "chaos" {
-		t.Fatalf("chaos not before privacy: %v", ids[len(ids)-4])
-	}
-	if ids[len(ids)-3] != "privacy" {
-		t.Fatalf("privacy not before scale: %v", ids[len(ids)-3])
-	}
-	if ids[len(ids)-2] != "scale" {
-		t.Fatalf("scale not before tee: %v", ids[len(ids)-2])
-	}
-	if ids[len(ids)-1] != "tee" {
-		t.Fatalf("tee not last: %v", ids[len(ids)-1])
+	for i, want := range []string{"het", "async", "chaos", "privacy", "scale", "dist", "tee"} {
+		if got := ids[len(ids)-7+i]; got != want {
+			t.Fatalf("tail ordering: got %q at %d, want %q (ids: %v)", got, i, want, ids[len(ids)-7:])
+		}
 	}
 }
 
@@ -105,6 +93,48 @@ func TestRunScaleExperiment(t *testing.T) {
 	}
 	if !strings.Contains(got, "3000\t16\t") {
 		t.Fatalf("missing 3000-party x 16-shard cell:\n%s", got)
+	}
+}
+
+// TestDistWorkerConnectFailsFast pins the internal worker flag: with nothing
+// listening the worker mode reports the dial failure instead of hanging.
+func TestDistWorkerConnectFailsFast(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-dist-worker-connect", "127.0.0.1:1"}, &out, &errBuf); err == nil {
+		t.Fatal("dial failure not reported")
+	}
+}
+
+// TestRunDistExperiment runs the distributed sweep end to end through the
+// compiled binary: the coordinator re-execs it as real shard-worker
+// subprocesses, so this covers the -dist-worker-connect plumbing and the
+// byte-identity check (RunDist fails the run on any divergence).
+func TestRunDistExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary and runs subprocess workers")
+	}
+	bin := filepath.Join(t.TempDir(), "flipsbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if msg, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, msg)
+	}
+	cmd := exec.Command(bin, "-exp", "dist", "-scale-parties", "500", "-dist-workers", "2", "-q")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Distributed-aggregation sweep") {
+		t.Fatalf("output:\n%s", got)
+	}
+	for _, cell := range []string{"500\t0\t", "500\t2\t"} {
+		if !strings.Contains(got, cell) {
+			t.Fatalf("missing cell %q:\n%s", cell, got)
+		}
+	}
+	if strings.Contains(got, "false") {
+		t.Fatalf("divergent cell in output:\n%s", got)
 	}
 }
 

@@ -11,6 +11,20 @@
 //     429. SIGTERM drains gracefully: new jobs get 503 while every accepted
 //     job runs to completion, so an orderly shutdown never loses a job.
 //
+//     With -dist-listen the job server also runs a shard-worker coordinator:
+//     separate flipsd worker processes (started with -worker -connect) dial
+//     in, each job's party space is partitioned into contiguous shard ranges
+//     across them, and local training runs in the worker processes while the
+//     coordinator keeps selection, device simulation, chaos, privacy, folds
+//     and evaluation. Results are byte-identical to in-process execution at
+//     every worker count; /metrics grows per-worker lag/byte gauges.
+//
+//   - Shard worker (-worker -connect host:port): dials a coordinator and
+//     serves local-training waves until the coordinator sends a shutdown
+//     frame. Workers redial with backoff if the coordinator restarts;
+//     mid-wave worker loss is recovered by the coordinator via reassignment
+//     and checkpoint replay, byte-identically.
+//
 //   - TEE clustering service (-mode tee): boots a simulated secure enclave
 //     with the label-distribution clustering code and serves the
 //     attestation/submission/selection protocol over TCP (paper §3.3,
@@ -26,6 +40,8 @@
 // Usage:
 //
 //	flipsd -listen 127.0.0.1:8080 -queue 64 -workers 4     # job server
+//	flipsd -dist-listen 127.0.0.1:9090 -dist-workers 2     # + shard coordinator
+//	flipsd -worker -connect 127.0.0.1:9090                 # shard worker
 //	flipsd -mode tee -listen 127.0.0.1:7443 -maxk 20       # TEE service
 //	flipsd -selftest -aggregation buffered -parallel 4     # smoke
 package main
@@ -41,10 +57,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"sync"
 	"syscall"
 	"time"
 
 	"flips"
+	"flips/internal/dist"
 	"flips/internal/experiment"
 	"flips/internal/fl"
 	"flips/internal/server"
@@ -73,6 +92,10 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	queueDepth := fs.Int("queue", 64, "jobs mode: bound on queued-but-not-running jobs; beyond it submissions get 429")
 	workers := fs.Int("workers", 0, "jobs mode: concurrently running jobs (0 = GOMAXPROCS)")
 	jobPar := fs.Int("job-parallel", 1, "jobs mode: per-job worker-pool width applied when a submitted config leaves Parallelism at 0")
+	distListen := fs.String("dist-listen", "", "jobs mode: also listen here for shard-worker processes and run jobs' local training distributed across them")
+	distWorkers := fs.Int("dist-workers", 2, "jobs mode with -dist-listen: shard slots each job partitions its party space across")
+	worker := fs.Bool("worker", false, "run as a shard worker: dial -connect and serve local-training waves until the coordinator shuts down")
+	connect := fs.String("connect", "", "-worker: coordinator address to dial")
 	selftest := fs.Bool("selftest", false, "run a short device-model FL simulation (clustering + selection + training pipeline) instead of serving, report time-to-target accuracy, and exit")
 	seed := fs.Uint64("seed", 1, "random seed for -selftest")
 	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
@@ -107,6 +130,13 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 		})
 	}
 
+	if *worker {
+		if *connect == "" {
+			return fmt.Errorf("-worker requires -connect host:port")
+		}
+		return serveWorker(stdout, stderr, *connect, *par, stop)
+	}
+
 	if *par > 0 {
 		// The service shares hosts with FL aggregators; a deployment can pin
 		// its CPU budget without cgroup plumbing.
@@ -115,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 
 	switch *mode {
 	case "jobs":
-		return serveJobs(stdout, *listen, *queueDepth, *workers, *jobPar, stop)
+		return serveJobs(stdout, *listen, *queueDepth, *workers, *jobPar, *distListen, *distWorkers, stop)
 	case "tee":
 		return serveTEE(stdout, *listen, *maxK, *repeats, *version, stop)
 	default:
@@ -125,17 +155,40 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 
 // serveJobs runs the simulation job server until a stop signal, then drains:
 // submission stops (503), every accepted job finishes, active status/stream
-// connections complete, and the drain summary reports the final counts.
-func serveJobs(stdout io.Writer, listen string, queueDepth, workers, jobPar int, stop chan os.Signal) error {
+// connections complete, and the drain summary reports the final counts. With
+// distListen set it also runs the shard-worker coordinator and executes every
+// job's local training across the registered worker processes; the
+// coordinator closes only after the drain, so in-flight jobs keep their
+// workers, and closing sends each worker its shutdown frame.
+func serveJobs(stdout io.Writer, listen string, queueDepth, workers, jobPar int, distListen string, distWorkers int, stop chan os.Signal) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return fmt.Errorf("job server: %w", err)
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		QueueDepth:     queueDepth,
 		Workers:        workers,
 		JobParallelism: jobPar,
-	})
+	}
+	var coord *dist.Coordinator
+	if distListen != "" {
+		if distWorkers <= 0 {
+			ln.Close()
+			return fmt.Errorf("-dist-workers must be positive with -dist-listen")
+		}
+		coord = dist.NewCoordinator()
+		distAddr, err := coord.Listen(distListen)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("shard coordinator: %w", err)
+		}
+		defer coord.Close()
+		runner := &flips.DistRunner{Coord: coord, Workers: distWorkers}
+		cfg.Run = runner.Run
+		cfg.DistStats = func() server.DistSnapshot { return distSnapshot(coord, runner) }
+		fmt.Fprintf(stdout, "flipsd: shard coordinator on %s (jobs train across %d worker slots)\n", distAddr, distWorkers)
+	}
+	srv := server.New(cfg)
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -173,6 +226,97 @@ func workersOrCores(w int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return w
+}
+
+// distSnapshot maps the coordinator's registry and the runner's per-job slot
+// stats onto the server's metrics shape.
+func distSnapshot(coord *dist.Coordinator, runner *flips.DistRunner) server.DistSnapshot {
+	snap := server.DistSnapshot{WorkersRegistered: coord.WorkerCount()}
+	for jobID, slots := range runner.WorkerStats() {
+		for _, st := range slots {
+			snap.Slots = append(snap.Slots, server.DistWorkerStat{
+				Job:       fmt.Sprintf("%d", jobID),
+				Slot:      st.Slot,
+				WorkerID:  st.WorkerID,
+				PartyLo:   st.PartyLo,
+				PartyHi:   st.PartyHi,
+				Connected: st.Connected,
+				Waves:     st.Waves,
+				LagWaves:  st.LagWaves,
+				BytesIn:   st.BytesIn,
+				BytesOut:  st.BytesOut,
+			})
+		}
+	}
+	sort.Slice(snap.Slots, func(i, j int) bool {
+		if snap.Slots[i].Job != snap.Slots[j].Job {
+			return snap.Slots[i].Job < snap.Slots[j].Job
+		}
+		return snap.Slots[i].Slot < snap.Slots[j].Slot
+	})
+	return snap
+}
+
+// serveWorker runs the shard-worker mode: dial the coordinator and serve
+// training waves, redialing with backoff when the connection drops, until the
+// coordinator sends a shutdown frame or the process receives a stop signal.
+func serveWorker(stdout, stderr io.Writer, addr string, par int, stop chan os.Signal) error {
+	fmt.Fprintf(stdout, "flipsd: shard worker dialing %s\n", addr)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	var mu sync.Mutex
+	var cur net.Conn
+	stopped := false
+	go func() {
+		<-stop
+		mu.Lock()
+		stopped = true
+		if cur != nil {
+			cur.Close()
+		}
+		mu.Unlock()
+	}()
+
+	opt := dist.WorkerOptions{Builder: flips.DistWorkerBuilder(), Parallelism: par}
+	backoff := 100 * time.Millisecond
+	for {
+		mu.Lock()
+		done := stopped
+		mu.Unlock()
+		if done {
+			fmt.Fprintln(stdout, "flipsd: worker stopping on signal")
+			return nil
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			fmt.Fprintf(stderr, "flipsd: worker dial %s: %v (retrying in %s)\n", addr, err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			continue
+		}
+		mu.Lock()
+		cur = conn
+		mu.Unlock()
+		backoff = 100 * time.Millisecond
+		err = dist.ServeConn(conn, opt)
+		conn.Close()
+		mu.Lock()
+		cur = nil
+		done = stopped
+		mu.Unlock()
+		if err == nil {
+			fmt.Fprintln(stdout, "flipsd: worker received shutdown, exiting")
+			return nil
+		}
+		if done {
+			fmt.Fprintln(stdout, "flipsd: worker stopping on signal")
+			return nil
+		}
+		fmt.Fprintf(stderr, "flipsd: worker connection lost: %v (redialing)\n", err)
+	}
 }
 
 // serveTEE runs the TEE clustering service until a stop signal.

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"regexp"
@@ -202,6 +204,146 @@ func TestJobsServeSubmitAndDrain(t *testing.T) {
 	wantSummary := fmt.Sprintf("drained: accepted=%d done=%d failed=0", jobs, jobs)
 	if !strings.Contains(o, wantSummary) {
 		t.Fatalf("drain summary missing %q:\n%s", wantSummary, o)
+	}
+}
+
+var coordBanner = regexp.MustCompile(`shard coordinator on ([0-9.:]+)`)
+
+// TestJobsServeDistributed boots the job server with the shard-worker
+// coordinator, connects two flipsd worker-mode instances, runs a real job
+// whose local training crosses the process seam, and checks the full
+// lifecycle: per-worker /metrics series while the job runs, a byte-correct
+// done state, a lossless drain, and workers exiting cleanly on the
+// coordinator's shutdown frames.
+func TestJobsServeDistributed(t *testing.T) {
+	t.Parallel()
+	var out, errBuf syncBuffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-workers", "1", "-queue", "8",
+			"-dist-listen", "127.0.0.1:0", "-dist-workers", "2"}, &out, &errBuf, stop)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	var base, coordAddr string
+	for base == "" || coordAddr == "" {
+		o := out.String()
+		if m := jobsBanner.FindStringSubmatch(o); m != nil {
+			base = m[1]
+		}
+		if m := coordBanner.FindStringSubmatch(o); m != nil {
+			coordAddr = m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("distributed job server never came up; output:\n%s\n%s", out.String(), errBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		var wOut, wErr syncBuffer
+		go func() {
+			workerDone <- run([]string{"-worker", "-connect", coordAddr, "-parallel", "1"}, &wOut, &wErr, make(chan os.Signal, 1))
+		}()
+	}
+
+	body := `{"Dataset":"mit-bih-ecg","Strategy":"random","Rounds":6,"Seed":7}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submission: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submission not accepted: %d %+v", resp.StatusCode, sub)
+	}
+
+	scrape := func() string {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read /metrics: %v", err)
+		}
+		return string(b)
+	}
+
+	// Scrape while the job runs: the per-slot series only exist while a
+	// distributed job is active, so accumulate what we see until the job
+	// reaches a terminal state.
+	seen := make(map[string]bool)
+	var status struct {
+		State string
+		Error string
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for status.State != "done" && status.State != "failed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", status.State)
+		}
+		m := scrape()
+		for _, name := range []string{
+			"flipsd_dist_workers_registered 2",
+			"flipsd_dist_worker_connected{",
+			"flipsd_dist_worker_waves_total{",
+			"flipsd_dist_worker_bytes_in_total{",
+			"flipsd_dist_worker_lag_waves{",
+		} {
+			if strings.Contains(m, name) {
+				seen[name] = true
+			}
+		}
+		resp, err := http.Get(base + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatalf("poll job: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		resp.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status.State != "done" {
+		t.Fatalf("job failed: %s", status.Error)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("missing /metrics series during the run; saw only %v", seen)
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("drain failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drained: accepted=1 done=1 failed=0") {
+		t.Fatalf("drain summary wrong:\n%s", out.String())
+	}
+	// Coordinator shutdown frames must release both workers with a clean exit.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workerDone:
+			if err != nil {
+				t.Fatalf("worker %d exited with error: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit after coordinator shutdown")
+		}
+	}
+}
+
+// TestWorkerModeRequiresConnect pins the flag contract.
+func TestWorkerModeRequiresConnect(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-worker"}, &out, &errBuf, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "-connect") {
+		t.Fatalf("worker without -connect not rejected: %v", err)
 	}
 }
 

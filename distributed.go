@@ -1,0 +1,174 @@
+package flips
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"flips/internal/dist"
+	"flips/internal/experiment"
+	"flips/internal/fl"
+)
+
+// DistWorkerBuilder returns the dist.Builder a flipsd shard-worker process
+// serves jobs with: the job spec is the coordinator's SimulationConfig JSON,
+// and the worker rebuilds exactly the coordinator's fleet from it —
+// experiment.Build is deterministic in (setting, scale) — then keeps only its
+// assigned [lo, hi) party range. The slice is copied onto a fresh backing
+// array so the rest of the fleet is collectable.
+func DistWorkerBuilder() dist.Builder {
+	return func(spec []byte, lo, hi int) (dist.JobSetup, error) {
+		var cfg SimulationConfig
+		if err := json.Unmarshal(spec, &cfg); err != nil {
+			return dist.JobSetup{}, fmt.Errorf("flips: decode job spec: %w", err)
+		}
+		built, _, err := distBuild(cfg)
+		if err != nil {
+			return dist.JobSetup{}, err
+		}
+		if hi > len(built.Parties) {
+			return dist.JobSetup{}, fmt.Errorf("flips: shard range [%d,%d) exceeds %d-party fleet", lo, hi, len(built.Parties))
+		}
+		return dist.JobSetup{
+			Parties: append([]*fl.Party(nil), built.Parties[lo:hi]...),
+			Factory: built.Config.Factory,
+		}, nil
+	}
+}
+
+// distBuild is the shared coordinator/worker build path for distributed jobs:
+// resolve the config and build the fleet with repeats pinned to one. The
+// repeat loop re-seeds per repeat, so a multi-repeat distributed job would
+// hand workers a fleet built from the wrong seed; a distributed run is always
+// a single repeat of the exact spec both sides share.
+func distBuild(cfg SimulationConfig) (*experiment.BuildResult, experiment.Scale, error) {
+	setting, scale, err := cfg.resolve()
+	if err != nil {
+		return nil, experiment.Scale{}, err
+	}
+	scale.Repeats = 1
+	built, err := experiment.Build(setting, scale)
+	if err != nil {
+		return nil, experiment.Scale{}, err
+	}
+	return built, scale, nil
+}
+
+// DistRunner runs simulation jobs with local training distributed across the
+// coordinator's shard-worker processes. Its Run method matches the job
+// server's runner signature, so flipsd swaps it in for the in-process path
+// when workers are configured; results are byte-identical either way (see
+// DESIGN.md, "Distributed aggregation").
+type DistRunner struct {
+	// Coord is the listening worker coordinator.
+	Coord *dist.Coordinator
+	// Workers is how many shard slots each job partitions its party space
+	// across (clamped to the party count per job).
+	Workers int
+
+	mu     sync.Mutex
+	jobSeq uint64
+	jobs   map[*distJob]struct{}
+	recent []*distJob
+}
+
+type distJob struct {
+	id    uint64
+	job   *dist.Job
+	final []dist.WorkerStat
+}
+
+// retainedJobStats bounds how many finished jobs keep their final slot
+// snapshot visible in WorkerStats — sized so a metrics scrape after a short
+// job still sees its per-worker series.
+const retainedJobStats = 4
+
+// Run executes one job over the worker fleet. The party space is split into
+// Workers contiguous shard ranges, each assigned to a claimed worker; the
+// coordinator keeps every other stage of the round — device simulation,
+// chaos, privacy, folds, server optimization, evaluation — so the result is
+// byte-identical to the in-process engine at any worker count.
+func (r *DistRunner) Run(cfg SimulationConfig, onRound func(RoundPoint)) (*SimulationResult, error) {
+	if r.Coord == nil || r.Workers <= 0 {
+		return nil, fmt.Errorf("flips: distributed runner needs a coordinator and a positive worker count")
+	}
+	built, scale, err := distBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flips: encode job spec: %w", err)
+	}
+	job, err := dist.NewJob(r.Coord, spec, scale.Parties, r.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer job.Close()
+	handle := r.track(job)
+	defer r.untrack(handle)
+
+	built.Config.Transport = job
+	if onRound != nil {
+		built.Config.OnRound = func(h fl.RoundStats) { onRound(roundPoint(h)) }
+	}
+	res, err := fl.Run(built.Config)
+	if err != nil {
+		return nil, err
+	}
+	out := &SimulationResult{
+		PeakAccuracy:   res.PeakAccuracy,
+		RoundsToTarget: res.RoundsToTarget,
+		TimeToTarget:   res.TimeToTarget,
+		SimTime:        res.SimTime,
+		TargetAccuracy: built.Config.TargetAccuracy,
+		TotalCommBytes: res.TotalCommBytes,
+		NumClusters:    len(built.Clusters),
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, roundPoint(h))
+	}
+	return out, nil
+}
+
+// WorkerStats snapshots every active job's shard slots, tagged with a stable
+// per-runner job sequence number, plus the final snapshots of the last few
+// finished jobs — so a metrics scrape right after a short job still sees its
+// per-worker series. The job server surfaces this on /metrics.
+func (r *DistRunner) WorkerStats() map[uint64][]dist.WorkerStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[uint64][]dist.WorkerStat, len(r.jobs)+len(r.recent))
+	for _, h := range r.recent {
+		out[h.id] = h.final
+	}
+	for h := range r.jobs {
+		out[h.id] = h.job.Stats()
+	}
+	return out
+}
+
+func (r *DistRunner) track(job *dist.Job) *distJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.jobs == nil {
+		r.jobs = make(map[*distJob]struct{})
+	}
+	r.jobSeq++
+	h := &distJob{id: r.jobSeq, job: job}
+	r.jobs[h] = struct{}{}
+	return h
+}
+
+// untrack moves a finishing job into the bounded recent ring, snapshotting
+// its slots while the workers are still attached.
+func (r *DistRunner) untrack(h *distJob) {
+	h.final = h.job.Stats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, h)
+	r.recent = append(r.recent, h)
+	if len(r.recent) > retainedJobStats {
+		r.recent = r.recent[len(r.recent)-retainedJobStats:]
+	}
+}

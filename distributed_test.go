@@ -1,0 +1,140 @@
+package flips
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flips/internal/dist"
+)
+
+// distTestConfig is a small but non-trivial job: non-IID split, FedYogi
+// server optimizer, legacy stragglers — everything coordinator-side that the
+// distributed path must keep byte-identical.
+func distTestConfig() SimulationConfig {
+	return SimulationConfig{
+		Dataset:       "mit-bih-ecg",
+		Strategy:      "random",
+		Parties:       30,
+		Rounds:        3,
+		StragglerRate: 0.2,
+		Seed:          42,
+	}
+}
+
+func startRunner(t *testing.T, workers int) *DistRunner {
+	t.Helper()
+	coord := dist.NewCoordinator()
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = coord.Close() })
+	for i := 0; i < workers; i++ {
+		go func() {
+			_ = dist.RunWorker(addr, dist.WorkerOptions{Builder: DistWorkerBuilder(), Parallelism: 1})
+		}()
+	}
+	if err := coord.AwaitWorkers(workers, 10*time.Second); err != nil {
+		t.Fatalf("await workers: %v", err)
+	}
+	return &DistRunner{Coord: coord, Workers: workers}
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func requireSameResult(t *testing.T, label string, want, got *SimulationResult) {
+	t.Helper()
+	if len(want.History) != len(got.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		w, g := want.History[i], got.History[i]
+		if !sameBits(w.Accuracy, g.Accuracy) || !sameBits(w.MeanLoss, g.MeanLoss) ||
+			!sameBits(w.SimTime, g.SimTime) || w.CommBytes != g.CommBytes ||
+			w.Invited != g.Invited || w.Completed != g.Completed {
+			t.Fatalf("%s: round %d diverged: %+v vs %+v", label, i, g, w)
+		}
+		for j := range w.PerLabel {
+			if !sameBits(w.PerLabel[j], g.PerLabel[j]) {
+				t.Fatalf("%s: round %d label %d accuracy diverged", label, i, j)
+			}
+		}
+	}
+	if !sameBits(want.PeakAccuracy, got.PeakAccuracy) || want.RoundsToTarget != got.RoundsToTarget ||
+		!sameBits(want.SimTime, got.SimTime) || want.TotalCommBytes != got.TotalCommBytes {
+		t.Fatalf("%s: summary diverged: %+v vs %+v", label, got, want)
+	}
+}
+
+// TestDistRunnerMatchesInProcess runs the same job in-process and over 1- and
+// 3-worker process fleets (loopback connections, worker protocol end to end)
+// and requires byte-identical convergence histories.
+func TestDistRunnerMatchesInProcess(t *testing.T) {
+	cfg := distTestConfig()
+	var points []RoundPoint
+	want, err := RunSimulationStream(cfg, func(p RoundPoint) { points = append(points, p) })
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+	if len(points) != len(want.History) {
+		t.Fatalf("in-process streamed %d rounds, history has %d", len(points), len(want.History))
+	}
+	for _, workers := range []int{1, 3} {
+		r := startRunner(t, workers)
+		var streamed []RoundPoint
+		got, err := r.Run(cfg, func(p RoundPoint) { streamed = append(streamed, p) })
+		if err != nil {
+			t.Fatalf("distributed run (%d workers): %v", workers, err)
+		}
+		requireSameResult(t, "distributed", want, got)
+		if len(streamed) != len(want.History) {
+			t.Fatalf("distributed streamed %d rounds, want %d", len(streamed), len(want.History))
+		}
+		stats := r.WorkerStats()
+		if len(stats) != 1 {
+			t.Fatalf("worker stats retained %d jobs, want the finished job's snapshot", len(stats))
+		}
+		for _, slots := range stats {
+			if len(slots) != workers {
+				t.Fatalf("retained snapshot has %d slots, want %d", len(slots), workers)
+			}
+			for _, st := range slots {
+				if !st.Connected || st.Waves == 0 {
+					t.Fatalf("retained slot %d not a working snapshot: %+v", st.Slot, st)
+				}
+			}
+		}
+	}
+}
+
+// TestDistRunnerRejectsMisconfiguration covers the error paths callers hit
+// before any worker traffic.
+func TestDistRunnerRejectsMisconfiguration(t *testing.T) {
+	r := &DistRunner{}
+	if _, err := r.Run(distTestConfig(), nil); err == nil {
+		t.Fatal("nil coordinator accepted")
+	}
+	r = startRunner(t, 1)
+	bad := distTestConfig()
+	bad.Dataset = "no-such-dataset"
+	if _, err := r.Run(bad, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// TestPartiesOverrideBumpsTrainSize pins the resolve() rule that keeps
+// Dirichlet partitioning feasible for fleet-scale Parties overrides: the
+// training set grows to at least two samples per party.
+func TestPartiesOverrideBumpsTrainSize(t *testing.T) {
+	cfg := SimulationConfig{Dataset: "mit-bih-ecg", Parties: 10000}
+	_, scale, err := cfg.resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if scale.TrainSize < 2*scale.Parties {
+		t.Fatalf("train size %d not bumped for %d parties", scale.TrainSize, scale.Parties)
+	}
+}

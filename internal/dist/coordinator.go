@@ -1,0 +1,731 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"flips/internal/fl"
+	"flips/internal/model"
+	"flips/internal/tensor"
+	"flips/internal/wire"
+)
+
+// Coordinator accepts shard-worker connections and hands them to jobs. It
+// owns only the worker registry; all engine state lives in the jobs (and in
+// the fl engine driving them), so the coordinator itself is O(workers).
+type Coordinator struct {
+	// ErrorLog receives accept-loop and worker-failure notices (one line per
+	// burst). Nil logs via the standard logger.
+	ErrorLog *log.Logger
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	listener net.Listener
+	workers  map[int]*workerConn // every registered, live worker
+	idle     []*workerConn       // registered workers not attached to a job slot
+	nextID   int
+	nextJob  uint64
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// workerConn is one registered worker. All frame I/O after registration is
+// owned by whichever job slot holds the worker; the coordinator only ever
+// touches the conn again to close it.
+type workerConn struct {
+	id    int
+	conn  net.Conn
+	codec *wire.Codec
+	enc   buf
+}
+
+// roundTrip sends one request frame and reads its response. The response
+// payload aliases the codec's receive buffer — decode before the next call.
+func (w *workerConn) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	if err := w.codec.Send(typ, payload); err != nil {
+		return 0, nil, err
+	}
+	return w.codec.Recv()
+}
+
+// NewCoordinator constructs an idle coordinator; call Listen to serve.
+func NewCoordinator() *Coordinator {
+	c := &Coordinator{
+		workers: make(map[int]*workerConn),
+		done:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.ErrorLog != nil {
+		c.ErrorLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Listen starts accepting workers on addr and returns the bound address.
+func (c *Coordinator) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dist coordinator: %w", err)
+	}
+	c.mu.Lock()
+	c.listener = ln
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// acceptLoop accepts and registers workers, with the same transient-error
+// backoff discipline as the TEE server: exponential instead of hot-spinning,
+// one log line per burst.
+func (c *Coordinator) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	const minBackoff, maxBackoff = 5 * time.Millisecond, time.Second
+	backoff := minBackoff
+	inBurst := false
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if !inBurst {
+				c.logf("dist coordinator: accept: %v (backing off)", err)
+				inBurst = true
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-c.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = minBackoff
+		inBurst = false
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.register(conn)
+		}()
+	}
+}
+
+// register performs the hello handshake and parks the worker in the idle
+// pool. A malformed handshake closes the connection without registration.
+func (c *Coordinator) register(conn net.Conn) {
+	codec := wire.NewCodec(conn, Version)
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, payload, err := codec.Recv()
+	_ = conn.SetReadDeadline(time.Time{})
+	if err != nil || typ != ftHello {
+		if err == nil {
+			var e buf
+			e.str(fmt.Sprintf("expected hello, got frame type %d", typ))
+			_ = codec.Send(ftError, e.bytes())
+		}
+		_ = payload // hello carries no payload today; reserved
+		conn.Close()
+		return
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	w := &workerConn{id: c.nextID, conn: conn, codec: codec}
+	c.nextID++
+	c.workers[w.id] = w
+	c.mu.Unlock()
+
+	var ack buf
+	ack.u32(uint32(w.id))
+	if err := codec.Send(ftHelloAck, ack.bytes()); err != nil {
+		c.unregister(w)
+		return
+	}
+
+	c.mu.Lock()
+	c.idle = append(c.idle, w)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// unregister removes a failed worker from the registry and closes its
+// connection. Safe to call multiple times.
+func (c *Coordinator) unregister(w *workerConn) {
+	c.mu.Lock()
+	delete(c.workers, w.id)
+	for i, iw := range c.idle {
+		if iw == w {
+			c.idle = append(c.idle[:i], c.idle[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	w.conn.Close()
+}
+
+// claimIdle blocks until an idle worker is available (or the coordinator
+// closes) and detaches it from the pool.
+func (c *Coordinator) claimIdle() (*workerConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.idle) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return nil, fmt.Errorf("dist: coordinator closed")
+	}
+	w := c.idle[0]
+	c.idle = c.idle[1:]
+	return w, nil
+}
+
+// release returns a job's worker to the idle pool for the next job.
+func (c *Coordinator) release(w *workerConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if _, live := c.workers[w.id]; !live {
+		return
+	}
+	c.idle = append(c.idle, w)
+	c.cond.Broadcast()
+}
+
+// WorkerCount reports the number of registered live workers.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// AwaitWorkers blocks until at least n workers are registered, or the
+// timeout expires, or the coordinator closes.
+func (c *Coordinator) AwaitWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	// The condition variable has no timed wait; poll at a cadence far finer
+	// than any realistic worker startup.
+	for {
+		c.mu.Lock()
+		have, closed := len(c.workers), c.closed
+		c.mu.Unlock()
+		if closed {
+			return fmt.Errorf("dist: coordinator closed")
+		}
+		if have >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: %d of %d workers after %v", have, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close shuts down the listener, sends best-effort shutdown frames to every
+// registered worker, closes their connections and waits for the accept
+// machinery to drain. The done-before-snapshot ordering mirrors the TEE
+// server's Close: registration re-checks closed under the same mutex, so no
+// worker can slip past the snapshot.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	ln := c.listener
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	c.mu.Lock()
+	workers := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	c.workers = make(map[int]*workerConn)
+	c.idle = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, w := range workers {
+		// Best-effort graceful shutdown: a worker blocked mid-request will
+		// simply see the close instead.
+		_ = w.conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
+		if e := w.codec.Send(ftShutdown, nil); e == nil {
+			_, _, _ = w.codec.Recv() // shutdown ack, best effort
+		}
+		w.conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// WorkerStat is one job slot's observability snapshot, exported to flipsd's
+// /metrics endpoint.
+type WorkerStat struct {
+	Slot      int
+	WorkerID  int // -1 while the slot is vacant
+	PartyLo   int
+	PartyHi   int
+	Connected bool
+	Waves     uint64 // waves this slot completed
+	LagWaves  uint64 // dispatch waves the slot is behind the job's cursor
+	BytesIn   int64
+	BytesOut  int64
+}
+
+// slot is one shard-worker seat of a job: a contiguous party range, the
+// worker currently holding it, and the synchronization state needed to
+// replay the assignment onto a replacement worker.
+type slot struct {
+	idx    int
+	lo, hi int
+
+	mu            sync.Mutex
+	w             *workerConn
+	syncedVersion uint64 // unsyncedVersion until params streamed
+	waves         uint64
+	// Byte counters accumulated from detached workers; live counters come
+	// from the attached codec.
+	accumIn, accumOut int64
+
+	// Per-wave scratch, reused across waves (owned by the slot goroutine).
+	idxs []int
+	enc  buf
+}
+
+// Job attaches a worker fleet to one FL run. It implements fl.ShardTransport
+// (training waves cross the wire) and fl.RoundObserver (round stats are
+// broadcast to workers). A Job is driven by the engine's single goroutine;
+// its own concurrency is the per-slot fan-out inside TrainWave.
+type Job struct {
+	c       *Coordinator
+	id      uint64
+	spec    []byte
+	parties int
+
+	slots []*slot
+
+	mu      sync.Mutex
+	waveSeq uint64
+}
+
+var (
+	_ fl.ShardTransport = (*Job)(nil)
+	_ fl.RoundObserver  = (*Job)(nil)
+)
+
+// NewJob claims `workers` registered workers, partitions the contiguous
+// party-ID space [0, parties) into that many shard ranges, and streams the
+// spec to each worker. The spec must let every worker's Builder reconstruct
+// its party range deterministically.
+func NewJob(c *Coordinator, spec []byte, parties, workers int) (*Job, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("dist: job needs at least one worker, got %d", workers)
+	}
+	if parties <= 0 {
+		return nil, fmt.Errorf("dist: job needs at least one party, got %d", parties)
+	}
+	if workers > parties {
+		workers = parties
+	}
+	c.mu.Lock()
+	id := c.nextJob
+	c.nextJob++
+	c.mu.Unlock()
+
+	j := &Job{c: c, id: id, spec: spec, parties: parties}
+	for i := 0; i < workers; i++ {
+		j.slots = append(j.slots, &slot{
+			idx:           i,
+			lo:            i * parties / workers,
+			hi:            (i + 1) * parties / workers,
+			syncedVersion: unsyncedVersion,
+		})
+	}
+	for _, s := range j.slots {
+		w, err := c.claimIdle()
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+		if err := j.assign(s, w); err != nil {
+			// A worker that cannot take the assignment is dead weight for
+			// every job; drop it and fail loudly — the caller decides
+			// whether to retry with fewer workers.
+			c.unregister(w)
+			j.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// assign sends the slot's shard assignment to a worker and seats it. The
+// slot's parameter sync state resets: the next wave streams a full
+// checkpoint, which is also exactly the reconnect-replay path.
+func (j *Job) assign(s *slot, w *workerConn) error {
+	s.enc.reset()
+	s.enc.u64(j.id)
+	s.enc.u32(uint32(s.lo))
+	s.enc.u32(uint32(s.hi))
+	s.enc.u32(uint32(len(j.spec)))
+	s.enc.raw(j.spec)
+	typ, payload, err := w.roundTrip(ftAssignShards, s.enc.bytes())
+	if err != nil {
+		return fmt.Errorf("dist: assign shard %d: %w", s.idx, err)
+	}
+	if err := expect(ftAssignAck, typ, payload); err != nil {
+		return fmt.Errorf("dist: assign shard %d: %w", s.idx, err)
+	}
+	s.mu.Lock()
+	s.w = w
+	s.syncedVersion = unsyncedVersion
+	s.mu.Unlock()
+	return nil
+}
+
+// dropWorker detaches a failed worker from its slot and removes it from the
+// registry. The slot goes vacant; the next acquire waits for a replacement.
+func (j *Job) dropWorker(s *slot, w *workerConn, cause error) {
+	s.mu.Lock()
+	if s.w == w {
+		s.w = nil
+		s.syncedVersion = unsyncedVersion
+		s.accumIn += w.codec.BytesIn()
+		s.accumOut += w.codec.BytesOut()
+	}
+	s.mu.Unlock()
+	j.c.unregister(w)
+	j.c.logf("dist: job %d shard %d lost worker %d: %v", j.id, s.idx, w.id, cause)
+}
+
+// acquire returns the slot's attached worker, claiming and assigning a
+// replacement (blocking until one registers) when the slot is vacant.
+func (j *Job) acquire(s *slot) (*workerConn, error) {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if w != nil {
+		return w, nil
+	}
+	for {
+		fresh, err := j.c.claimIdle()
+		if err != nil {
+			return nil, err
+		}
+		if err := j.assign(s, fresh); err != nil {
+			j.c.unregister(fresh)
+			j.c.logf("dist: job %d shard %d replacement rejected: %v", j.id, s.idx, err)
+			continue
+		}
+		return fresh, nil
+	}
+}
+
+// syncParams streams the global parameter vector to the slot's worker in
+// bounded checkpoint chunks. The coordinator never materializes more than
+// one chunk beyond the params it already owns.
+func (j *Job) syncParams(s *slot, w *workerConn, version uint64, params tensor.Vec) error {
+	total := len(params)
+	for off := 0; off < total || total == 0; off += checkpointChunkFloats {
+		count := total - off
+		if count > checkpointChunkFloats {
+			count = checkpointChunkFloats
+		}
+		s.enc.reset()
+		s.enc.u64(j.id)
+		s.enc.u64(version)
+		s.enc.u32(uint32(total))
+		s.enc.u32(uint32(off))
+		s.enc.u32(uint32(count))
+		for _, v := range params[off : off+count] {
+			s.enc.f64(v)
+		}
+		typ, payload, err := w.roundTrip(ftCheckpoint, s.enc.bytes())
+		if err != nil {
+			return err
+		}
+		if err := expect(ftCheckpointAck, typ, payload); err != nil {
+			return err
+		}
+		if total == 0 {
+			break
+		}
+	}
+	s.mu.Lock()
+	s.syncedVersion = version
+	s.mu.Unlock()
+	return nil
+}
+
+// slotOf maps a party ID to its slot index. Ranges are the contiguous even
+// split from NewJob, so a binary search over the lower bounds suffices.
+func (j *Job) slotOf(id int) int {
+	return sort.Search(len(j.slots), func(i int) bool { return j.slots[i].hi > id })
+}
+
+// TrainWave implements fl.ShardTransport: partition the wave across the
+// shard slots, run every slot's sub-wave concurrently, and deposit the
+// results index-addressed into out. Worker failures mid-wave detach the
+// worker and replay the slot's assignment — spec, full parameter checkpoint,
+// then the identical sub-wave — onto a replacement, so a disturbed run
+// produces bit-identical results to an undisturbed one.
+func (j *Job) TrainWave(d fl.TrainDispatch, out []model.LocalResult) error {
+	j.mu.Lock()
+	j.waveSeq++
+	wave := j.waveSeq
+	j.mu.Unlock()
+
+	for _, s := range j.slots {
+		s.idxs = s.idxs[:0]
+	}
+	for i, id := range d.IDs {
+		k := j.slotOf(id)
+		if k >= len(j.slots) {
+			return fmt.Errorf("dist: party %d outside the job's %d-party space", id, j.parties)
+		}
+		s := j.slots[k]
+		s.idxs = append(s.idxs, i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(j.slots))
+	for _, s := range j.slots {
+		if len(s.idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *slot) {
+			defer wg.Done()
+			errs[s.idx] = j.runSlotWave(s, wave, d, out)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSlotWave drives one slot through the wave, retrying on transport
+// failures with replacement workers. Protocol errors reported by a healthy
+// worker (an ftError frame) are fatal: they are deterministic — a
+// replacement worker would compute the same answer.
+func (j *Job) runSlotWave(s *slot, wave uint64, d fl.TrainDispatch, out []model.LocalResult) error {
+	for {
+		w, err := j.acquire(s)
+		if err != nil {
+			return err
+		}
+		err = j.trySlotWave(s, w, wave, d, out)
+		if err == nil {
+			s.mu.Lock()
+			s.waves++
+			s.mu.Unlock()
+			return nil
+		}
+		var fatal *fatalError
+		if errors.As(err, &fatal) {
+			return fatal.err
+		}
+		j.dropWorker(s, w, err)
+	}
+}
+
+// fatalError marks failures retrying cannot fix.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+
+// trySlotWave syncs parameters if the worker is behind, then dispatches the
+// slot's sub-wave (split to respect the frame bound) and decodes the partial
+// folds into out.
+func (j *Job) trySlotWave(s *slot, w *workerConn, wave uint64, d fl.TrainDispatch, out []model.LocalResult) error {
+	version := uint64(d.Version)
+	s.mu.Lock()
+	synced := s.syncedVersion
+	s.mu.Unlock()
+	if synced != version {
+		if err := j.syncParams(s, w, version, d.Params); err != nil {
+			return err
+		}
+	}
+	batch := maxWaveParties(len(d.Params))
+	for start := 0; start < len(s.idxs); start += batch {
+		end := start + batch
+		if end > len(s.idxs) {
+			end = len(s.idxs)
+		}
+		if err := j.dispatchBatch(s, w, wave, d, s.idxs[start:end], out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatchBatch sends one dispatch frame for idxs (indices into d.IDs) and
+// decodes the partial-fold response into out at those same indices.
+func (j *Job) dispatchBatch(s *slot, w *workerConn, wave uint64, d fl.TrainDispatch, idxs []int, out []model.LocalResult) error {
+	s.enc.reset()
+	s.enc.u64(j.id)
+	s.enc.u64(wave)
+	s.enc.u64(uint64(d.Version))
+	s.enc.f64(d.SGD.LearningRate)
+	s.enc.u32(uint32(d.SGD.BatchSize))
+	s.enc.u32(uint32(d.SGD.LocalEpochs))
+	s.enc.f64(d.SGD.ProxMu)
+	s.enc.f64(d.SGD.MaxGradNorm)
+	s.enc.u32(uint32(len(idxs)))
+	for _, i := range idxs {
+		s.enc.u32(uint32(d.IDs[i]))
+		for _, word := range d.RngStates[i] {
+			s.enc.u64(word)
+		}
+	}
+	typ, payload, err := w.roundTrip(ftDispatchWave, s.enc.bytes())
+	if err != nil {
+		return err
+	}
+	if typ == ftError {
+		return &fatalError{err: errFrame(payload)}
+	}
+	if typ != ftPartialFold {
+		return fmt.Errorf("dist: frame type %d, want partial fold", typ)
+	}
+
+	r := reader{b: payload}
+	jobID := r.u64()
+	gotWave := r.u64()
+	n := int(r.u32())
+	dim := int(r.u32())
+	if r.err == nil && (jobID != j.id || gotWave != wave || n != len(idxs) || dim != len(d.Params)) {
+		return &fatalError{err: fmt.Errorf("dist: fold header (job %d wave %d n %d dim %d) does not match dispatch (job %d wave %d n %d dim %d)",
+			jobID, gotWave, n, dim, j.id, wave, len(idxs), len(d.Params))}
+	}
+	for _, i := range idxs {
+		lr := &out[i]
+		lr.NumSamples = int(r.u32())
+		lr.Steps = int(r.u32())
+		lr.MeanLoss = r.f64()
+		lr.SqLossMean = r.f64()
+		// The engine both mutates result params in place (delta building)
+		// and retains them past the wave (async pending updates queue the
+		// vector until arrival), so each deposit must own a freshly
+		// allocated vector — exactly like the in-process TrainLocalScratch
+		// clone. Reusing out's previous capacity here corrupts in-flight
+		// async deltas.
+		lr.Params = tensor.NewVec(dim)
+		for k := 0; k < dim; k++ {
+			lr.Params[k] = r.f64()
+		}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ObserveRound implements fl.RoundObserver: broadcast the round's stats to
+// every attached worker. A worker failing the broadcast is detached (its
+// slot replays onto a replacement at the next wave); the round itself never
+// fails on observability.
+func (j *Job) ObserveRound(stats fl.RoundStats) {
+	body, err := json.Marshal(stats)
+	if err != nil {
+		return
+	}
+	for _, s := range j.slots {
+		s.mu.Lock()
+		w := s.w
+		s.mu.Unlock()
+		if w == nil {
+			continue
+		}
+		s.enc.reset()
+		s.enc.u64(j.id)
+		s.enc.raw(body)
+		typ, payload, err := w.roundTrip(ftRoundStats, s.enc.bytes())
+		if err == nil {
+			err = expect(ftRoundStatsAck, typ, payload)
+		}
+		if err != nil {
+			j.dropWorker(s, w, fmt.Errorf("round-stats broadcast: %w", err))
+		}
+	}
+}
+
+// Stats snapshots per-slot worker observability for /metrics.
+func (j *Job) Stats() []WorkerStat {
+	j.mu.Lock()
+	wave := j.waveSeq
+	j.mu.Unlock()
+	stats := make([]WorkerStat, 0, len(j.slots))
+	for _, s := range j.slots {
+		s.mu.Lock()
+		st := WorkerStat{
+			Slot:     s.idx,
+			WorkerID: -1,
+			PartyLo:  s.lo,
+			PartyHi:  s.hi,
+			Waves:    s.waves,
+			BytesIn:  s.accumIn,
+			BytesOut: s.accumOut,
+		}
+		if s.w != nil {
+			st.WorkerID = s.w.id
+			st.Connected = true
+			st.BytesIn += s.w.codec.BytesIn()
+			st.BytesOut += s.w.codec.BytesOut()
+		}
+		if wave > s.waves {
+			st.LagWaves = wave - s.waves
+		}
+		s.mu.Unlock()
+		stats = append(stats, st)
+	}
+	return stats
+}
+
+// Close releases the job's workers back to the coordinator's idle pool.
+func (j *Job) Close() {
+	for _, s := range j.slots {
+		s.mu.Lock()
+		w := s.w
+		s.w = nil
+		s.mu.Unlock()
+		if w != nil {
+			j.c.release(w)
+		}
+	}
+}

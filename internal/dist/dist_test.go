@@ -1,0 +1,525 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flips/internal/fl"
+	"flips/internal/model"
+	"flips/internal/tensor"
+	"flips/internal/wire"
+)
+
+// goldenSpec is the job spec the loopback tests ship to workers: just enough
+// for fl.GoldenJob to rebuild the golden fleet deterministically on the
+// worker side of the wire.
+type goldenSpec struct {
+	Seed    uint64  `json:"seed"`
+	Parties int     `json:"parties"`
+	Alpha   float64 `json:"alpha"`
+}
+
+func goldenBuilder(spec []byte, lo, hi int) (JobSetup, error) {
+	var gs goldenSpec
+	if err := json.Unmarshal(spec, &gs); err != nil {
+		return JobSetup{}, err
+	}
+	parties, _, dsSpec, err := fl.GoldenJob(gs.Seed, gs.Parties, gs.Alpha)
+	if err != nil {
+		return JobSetup{}, err
+	}
+	if hi > len(parties) {
+		return JobSetup{}, fmt.Errorf("range [%d,%d) beyond %d parties", lo, hi, len(parties))
+	}
+	return JobSetup{
+		Parties: parties[lo:hi],
+		Factory: model.LogRegFactory(dsSpec.Dim, len(dsSpec.LabelNames)),
+	}, nil
+}
+
+func mustGoldenSpec(t *testing.T) []byte {
+	t.Helper()
+	spec, err := json.Marshal(goldenSpec{Seed: 1001, Parties: 12, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// startCoordinator listens on loopback and registers cleanup.
+func startCoordinator(t *testing.T) (*Coordinator, string) {
+	t.Helper()
+	coord := NewCoordinator()
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord, addr
+}
+
+// startWorker dials the coordinator and serves the worker protocol on a
+// background goroutine, returning the connection so tests can kill it.
+func startWorker(t *testing.T, addr string, opt WorkerOptions) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ServeConn(conn, opt) }()
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// requireIdenticalResults asserts got is byte-identical to want: every float
+// compared as IEEE-754 bit patterns (NaN-exact), every counter exactly.
+func requireIdenticalResults(t *testing.T, label string, want, got *fl.Result) {
+	t.Helper()
+	if len(got.FinalParams) != len(want.FinalParams) {
+		t.Fatalf("%s: %d final params, want %d", label, len(got.FinalParams), len(want.FinalParams))
+	}
+	for i := range want.FinalParams {
+		if !bitsEqual(want.FinalParams[i], got.FinalParams[i]) {
+			t.Fatalf("%s: FinalParams[%d] = %x, want %x", label, i,
+				math.Float64bits(got.FinalParams[i]), math.Float64bits(want.FinalParams[i]))
+		}
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: %d history entries, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		w, g := want.History[i], got.History[i]
+		if g.Round != w.Round || g.Invited != w.Invited || g.Completed != w.Completed ||
+			g.CommBytes != w.CommBytes || g.ShardsTouched != w.ShardsTouched ||
+			g.Rejected != w.Rejected || g.MaskAborted != w.MaskAborted {
+			t.Fatalf("%s: history[%d] counters diverge: got %+v want %+v", label, i, g, w)
+		}
+		if !bitsEqual(w.Accuracy, g.Accuracy) || !bitsEqual(w.MeanLoss, g.MeanLoss) ||
+			!bitsEqual(w.RoundTime, g.RoundTime) || !bitsEqual(w.SimTime, g.SimTime) {
+			t.Fatalf("%s: history[%d] floats diverge: got %+v want %+v", label, i, g, w)
+		}
+		if len(w.PerLabel) != len(g.PerLabel) {
+			t.Fatalf("%s: history[%d] has %d labels, want %d", label, i, len(g.PerLabel), len(w.PerLabel))
+		}
+		for k := range w.PerLabel {
+			if !bitsEqual(w.PerLabel[k], g.PerLabel[k]) {
+				t.Fatalf("%s: history[%d] PerLabel[%d] diverges", label, i, k)
+			}
+		}
+	}
+	if !bitsEqual(want.PeakAccuracy, got.PeakAccuracy) || got.RoundsToTarget != want.RoundsToTarget ||
+		!bitsEqual(want.SimTime, got.SimTime) || !bitsEqual(want.TimeToTarget, got.TimeToTarget) ||
+		got.TotalCommBytes != want.TotalCommBytes {
+		t.Fatalf("%s: summary diverges: got %+v want %+v", label, got, want)
+	}
+}
+
+// TestGoldenRunsAreWireInvariant is the wire variant of the fl package's
+// shard-invariance golden suite: every pinned golden trajectory, replayed
+// through loopback TCP workers at worker counts 1–4, must be byte-identical
+// to the in-process run.
+func TestGoldenRunsAreWireInvariant(t *testing.T) {
+	spec := mustGoldenSpec(t)
+	for name, mk := range fl.GoldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			baseCfg, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := fl.Run(baseCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3, 4} {
+				coord, addr := startCoordinator(t)
+				for i := 0; i < workers; i++ {
+					startWorker(t, addr, WorkerOptions{Builder: goldenBuilder})
+				}
+				if err := coord.AwaitWorkers(workers, 5*time.Second); err != nil {
+					t.Fatal(err)
+				}
+				job, err := NewJob(coord, spec, 12, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg, err := mk()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Transport = job
+				got, err := fl.Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				stats := job.Stats()
+				job.Close()
+				if err := coord.Close(); err != nil {
+					t.Fatalf("workers=%d: close: %v", workers, err)
+				}
+				requireIdenticalResults(t, fmt.Sprintf("workers=%d", workers), base, got)
+				if len(stats) != min(workers, 12) {
+					t.Fatalf("workers=%d: %d stat slots", workers, len(stats))
+				}
+				for _, st := range stats {
+					if st.Waves == 0 || st.BytesIn == 0 || st.BytesOut == 0 {
+						t.Fatalf("workers=%d: idle slot in stats: %+v", workers, st)
+					}
+				}
+			}
+		})
+	}
+}
+
+// killingTransport wraps a Job and severs one worker's connection right as a
+// chosen wave dispatches — the process-kill simulation for the recovery
+// test. The replacement worker is spawned at the same moment, so the slot
+// reattaches by replaying assignment + checkpoint + the identical wave.
+type killingTransport struct {
+	*Job
+	victim   net.Conn
+	spawn    func()
+	killWave int
+	wave     int
+	killed   bool
+}
+
+func (k *killingTransport) TrainWave(d fl.TrainDispatch, out []model.LocalResult) error {
+	k.wave++
+	if k.wave == k.killWave && !k.killed {
+		k.killed = true
+		k.victim.Close()
+		k.spawn()
+	}
+	return k.Job.TrainWave(d, out)
+}
+
+// TestWorkerKillMidWaveReplaysByteIdentical kills one of two workers
+// mid-run, lets a fresh worker register, and requires the recovered run —
+// shard assignment and parameter checkpoint replayed onto the replacement —
+// to be byte-identical to the undisturbed in-process run. Uses the chaos
+// golden: the most adversarial pinned trajectory (outages, surges, byzantine
+// faults, trimmed-mean fold).
+func TestWorkerKillMidWaveReplaysByteIdentical(t *testing.T) {
+	spec := mustGoldenSpec(t)
+	baseCfg, err := fl.GoldenChaosConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := fl.Run(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, addr := startCoordinator(t)
+	victim := startWorker(t, addr, WorkerOptions{Builder: goldenBuilder})
+	startWorker(t, addr, WorkerOptions{Builder: goldenBuilder})
+	if err := coord.AwaitWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(coord, spec, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := fl.GoldenChaosConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = &killingTransport{
+		Job:      job,
+		victim:   victim,
+		killWave: 3,
+		spawn:    func() { startWorker(t, addr, WorkerOptions{Builder: goldenBuilder}) },
+	}
+	got, err := fl.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, "kill+reconnect", base, got)
+
+	// The recovery must be visible in the slot stats: both slots finished
+	// every wave (no lag), and the victim's slot reattached.
+	for _, st := range job.Stats() {
+		if st.LagWaves != 0 || !st.Connected {
+			t.Fatalf("slot not recovered: %+v", st)
+		}
+	}
+	job.Close()
+}
+
+// TestRoundStatsReachWorkers verifies the per-round stats broadcast lands on
+// the worker-side observability hook.
+func TestRoundStatsReachWorkers(t *testing.T) {
+	spec := mustGoldenSpec(t)
+	var seen atomic.Int64
+	coord, addr := startCoordinator(t)
+	startWorker(t, addr, WorkerOptions{
+		Builder: goldenBuilder,
+		OnStats: func(fl.RoundStats) { seen.Add(1) },
+	})
+	if err := coord.AwaitWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(coord, spec, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Close()
+	cfg, err := fl.GoldenLegacyConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = job
+	res, err := fl.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got != int64(len(res.History)) {
+		t.Fatalf("worker observed %d round-stats broadcasts, want %d", got, len(res.History))
+	}
+}
+
+// echoBuilder builds data-free parties: TrainLocalScratch on an empty party
+// returns the model's current parameters untouched, so a dispatch round-trip
+// echoes back exactly the parameter vector the worker holds — the probe the
+// checkpoint-chunking test needs.
+func echoBuilder(dim, classes int) Builder {
+	return func(spec []byte, lo, hi int) (JobSetup, error) {
+		parties := make([]*fl.Party, hi-lo)
+		for i := range parties {
+			parties[i] = &fl.Party{ID: lo + i, Data: nil}
+		}
+		return JobSetup{Parties: parties, Factory: model.LogRegFactory(dim, classes)}, nil
+	}
+}
+
+// TestCheckpointChunkingStreamsLargeParams syncs a parameter vector bigger
+// than one checkpoint chunk (forcing multi-chunk streaming) and dispatches a
+// data-free wave whose echoed result proves every chunk landed bit-exactly.
+func TestCheckpointChunkingStreamsLargeParams(t *testing.T) {
+	const dim, classes = 40000, 2 // 80002 params: two chunks at 64Ki floats
+	coord, addr := startCoordinator(t)
+	startWorker(t, addr, WorkerOptions{Builder: echoBuilder(dim, classes), Parallelism: 1})
+	if err := coord.AwaitWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(coord, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Close()
+
+	params := tensor.NewVec(dim*classes + classes)
+	if len(params) <= checkpointChunkFloats {
+		t.Fatalf("test vector (%d floats) does not exceed one chunk (%d)", len(params), checkpointChunkFloats)
+	}
+	for i := range params {
+		params[i] = math.Sqrt(float64(i)) * math.Copysign(1, math.Sin(float64(i)))
+	}
+	d := fl.TrainDispatch{
+		IDs:       []int{0, 1},
+		RngStates: [][4]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}},
+		Params:    params,
+		Version:   7,
+		SGD:       model.SGDConfig{LearningRate: 0.05, BatchSize: 16, LocalEpochs: 1},
+	}
+	out := make([]model.LocalResult, 2)
+	if err := job.TrainWave(d, out); err != nil {
+		t.Fatal(err)
+	}
+	for p, lr := range out {
+		if len(lr.Params) != len(params) {
+			t.Fatalf("party %d echoed %d params, want %d", p, len(lr.Params), len(params))
+		}
+		for i := range params {
+			if !bitsEqual(params[i], lr.Params[i]) {
+				t.Fatalf("party %d param %d corrupted in transit", p, i)
+			}
+		}
+	}
+
+	// Same version again: the transport must skip re-syncing (the dispatch
+	// succeeds against the retained worker copy).
+	if err := job.TrainWave(d, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatchBeforeCheckpointDraws an explicit protocol error, not garbage
+// training: drive the worker state machine directly.
+func TestDispatchBeforeCheckpointFails(t *testing.T) {
+	w := &workerState{
+		opt:  WorkerOptions{Builder: echoBuilder(2, 2), Parallelism: 1},
+		jobs: make(map[uint64]*workerJob),
+	}
+	var e buf
+	e.u64(9)            // job ID
+	e.u32(0)            // lo
+	e.u32(4)            // hi
+	e.u32(0)            // spec length
+	typ, _, err := w.assign(e.bytes())
+	if err != nil || typ != ftAssignAck {
+		t.Fatalf("assign: type %d err %v", typ, err)
+	}
+
+	e.reset()
+	e.u64(9)  // job
+	e.u64(1)  // wave
+	e.u64(0)  // version the worker never received
+	e.f64(0.05)
+	e.u32(16)
+	e.u32(1)
+	e.f64(0)
+	e.f64(0)
+	e.u32(0) // zero parties
+	if _, _, err := w.dispatch(e.bytes()); err == nil {
+		t.Fatal("dispatch against unsynced params succeeded")
+	}
+}
+
+// TestCheckpointCommitsOnlyOnCoveringChunk: a partial chunk leaves the job
+// unsynced; the final covering chunk commits the version.
+func TestCheckpointCommitsOnlyOnCoveringChunk(t *testing.T) {
+	w := &workerState{
+		opt:  WorkerOptions{Builder: echoBuilder(2, 2), Parallelism: 1},
+		jobs: make(map[uint64]*workerJob),
+	}
+	var e buf
+	e.u64(3)
+	e.u32(0)
+	e.u32(1)
+	e.u32(0)
+	if _, _, err := w.assign(e.bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	chunk := func(version uint64, total, offset int, vals ...float64) []byte {
+		var c buf
+		c.u64(3)
+		c.u64(version)
+		c.u32(uint32(total))
+		c.u32(uint32(offset))
+		c.u32(uint32(len(vals)))
+		for _, v := range vals {
+			c.f64(v)
+		}
+		return append([]byte(nil), c.bytes()...)
+	}
+
+	if _, _, err := w.checkpoint(chunk(5, 4, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.jobs[3].version; got != unsyncedVersion {
+		t.Fatalf("partial chunk committed version %d", got)
+	}
+	if _, _, err := w.checkpoint(chunk(5, 4, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.jobs[3].version; got != 5 {
+		t.Fatalf("covering chunk left version %d, want 5", got)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i, v := range want {
+		if !bitsEqual(w.jobs[3].params[i], v) {
+			t.Fatalf("params[%d] = %v, want %v", i, w.jobs[3].params[i], v)
+		}
+	}
+
+	// Out-of-bounds chunk draws an error.
+	if _, _, err := w.checkpoint(chunk(6, 4, 3, 9, 9)); err == nil {
+		t.Fatal("out-of-bounds chunk accepted")
+	}
+}
+
+// TestWorkerJobCacheIsBounded: assigning more jobs than the retention cap
+// evicts the least-recently-touched one.
+func TestWorkerJobCacheIsBounded(t *testing.T) {
+	w := &workerState{
+		opt:  WorkerOptions{Builder: echoBuilder(2, 2), Parallelism: 1},
+		jobs: make(map[uint64]*workerJob),
+	}
+	for id := uint64(0); id < maxRetainedJobs+3; id++ {
+		var e buf
+		e.u64(id)
+		e.u32(0)
+		e.u32(1)
+		e.u32(0)
+		if _, _, err := w.assign(e.bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(w.jobs) != maxRetainedJobs {
+		t.Fatalf("%d retained jobs, want %d", len(w.jobs), maxRetainedJobs)
+	}
+	for id := uint64(0); id < 3; id++ {
+		if _, ok := w.jobs[id]; ok {
+			t.Fatalf("job %d should have been LRU-evicted", id)
+		}
+	}
+}
+
+// TestMaxWavePartiesRespectsFrameBound: the batch bound must keep both the
+// dispatch and the partial-fold frame under the wire's frame cap, and never
+// starve (at least one party per batch, however large the model).
+func TestMaxWavePartiesRespectsFrameBound(t *testing.T) {
+	for _, dim := range []int{0, 1, 100, 10_000, 10_000_000} {
+		n := maxWaveParties(dim)
+		if n < 1 {
+			t.Fatalf("dim %d: bound %d", dim, n)
+		}
+		foldBytes := n * (4 + 4 + 8 + 8 + 8*dim)
+		if n > 1 && foldBytes > wire.MaxFrame {
+			t.Fatalf("dim %d: %d parties would overflow the fold frame (%d bytes)", dim, n, foldBytes)
+		}
+	}
+}
+
+// TestReaderPoisonsOnTruncation: every decode past the end fails once and
+// stays failed; done() reports leftovers.
+func TestReaderPoisonsOnTruncation(t *testing.T) {
+	r := reader{b: []byte{1, 2, 3}}
+	if r.u64(); r.err == nil {
+		t.Fatal("u64 over 3 bytes succeeded")
+	}
+	if r.u32(); r.err == nil {
+		t.Fatal("poisoned reader recovered")
+	}
+
+	var e buf
+	e.u32(7)
+	e.u32(8)
+	r2 := reader{b: e.bytes()}
+	if got := r2.u32(); got != 7 {
+		t.Fatalf("decoded %d", got)
+	}
+	if err := r2.done(); err == nil {
+		t.Fatal("done ignored trailing bytes")
+	}
+}
+
+// TestCoordinatorCloseUnblocksJobCreation: a NewJob waiting for workers that
+// never arrive must fail when the coordinator closes instead of hanging.
+func TestCoordinatorCloseUnblocksJobCreation(t *testing.T) {
+	coord, _ := startCoordinator(t)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := NewJob(coord, nil, 4, 2)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	coord.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("NewJob succeeded with no workers")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NewJob still blocked after Close")
+	}
+}

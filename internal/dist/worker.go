@@ -1,0 +1,363 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"flips/internal/fl"
+	"flips/internal/model"
+	"flips/internal/parallel"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+	"flips/internal/wire"
+)
+
+// JobSetup is what a worker needs to train one job's shard: the parties of
+// its assigned contiguous ID range (party lo+i at index i) and the model
+// factory all replicas are built from.
+type JobSetup struct {
+	Parties []*fl.Party
+	Factory model.Factory
+}
+
+// Builder reconstructs a job's party shard from the job spec the coordinator
+// shipped in the assign-shards frame. Builders must be deterministic — every
+// worker (and the coordinator, for its own bookkeeping) derives the same
+// fleet from the same spec — and should build only the [lo, hi) range so a
+// worker's heap stays proportional to its shard, not the fleet.
+type Builder func(spec []byte, lo, hi int) (JobSetup, error)
+
+// WorkerOptions configures a shard worker process.
+type WorkerOptions struct {
+	// Builder rebuilds party shards from job specs. Required.
+	Builder Builder
+	// Parallelism bounds the worker's local training pool; zero uses
+	// GOMAXPROCS. Any width produces bit-identical results (the same
+	// index-addressed deposit argument as the in-process engine).
+	Parallelism int
+	// OnStats, when non-nil, receives every round-stats broadcast the
+	// coordinator pushes — the worker-side observability hook.
+	OnStats func(fl.RoundStats)
+}
+
+// maxRetainedJobs bounds the per-connection job cache: a long-lived worker
+// serving a multi-tenant coordinator would otherwise accumulate every
+// finished job's shard. Eviction is LRU by assignment/dispatch touch.
+const maxRetainedJobs = 8
+
+// unsyncedVersion marks a job whose parameter vector has not been streamed
+// yet; any dispatch at this state draws an explicit error instead of
+// training against garbage.
+const unsyncedVersion = ^uint64(0)
+
+// workerJob is one job's worker-side state.
+type workerJob struct {
+	setup     JobSetup
+	lo, hi    int
+	params    tensor.Vec
+	version   uint64
+	pool      *parallel.Pool
+	replicas  []model.Model
+	scratches []model.TrainScratch
+	locals    []model.LocalResult
+	rngs      []*rng.Source
+	ids       []int
+	touched   int64 // monotone counter for LRU eviction
+}
+
+// RunWorker dials the coordinator and serves shard-training requests until
+// the coordinator sends a shutdown frame (returns nil) or the connection
+// fails (returns the error). Callers wanting automatic reconnection loop
+// around it.
+func RunWorker(addr string, opt WorkerOptions) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist worker: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return ServeConn(conn, opt)
+}
+
+// ServeConn runs the worker protocol over an established connection: it
+// registers with a hello frame, then answers assign-shards, checkpoint,
+// dispatch-wave and round-stats requests until shutdown or error.
+func ServeConn(conn net.Conn, opt WorkerOptions) error {
+	if opt.Builder == nil {
+		return fmt.Errorf("dist worker: nil builder")
+	}
+	codec := wire.NewCodec(conn, Version)
+	if err := codec.Send(ftHello, nil); err != nil {
+		return err
+	}
+	typ, payload, err := codec.Recv()
+	if err != nil {
+		return fmt.Errorf("dist worker: handshake: %w", err)
+	}
+	if err := expect(ftHelloAck, typ, payload); err != nil {
+		return fmt.Errorf("dist worker: handshake: %w", err)
+	}
+
+	w := &workerState{codec: codec, opt: opt, jobs: make(map[uint64]*workerJob)}
+	for {
+		typ, payload, err := codec.Recv()
+		if err != nil {
+			return fmt.Errorf("dist worker: %w", err)
+		}
+		var respType byte
+		var resp []byte
+		switch typ {
+		case ftAssignShards:
+			respType, resp, err = w.assign(payload)
+		case ftCheckpoint:
+			respType, resp, err = w.checkpoint(payload)
+		case ftDispatchWave:
+			respType, resp, err = w.dispatch(payload)
+		case ftRoundStats:
+			respType, resp, err = w.roundStats(payload)
+		case ftShutdown:
+			_ = codec.Send(ftShutdownAck, nil)
+			wire.Drain(conn, 250*time.Millisecond)
+			return nil
+		default:
+			err = fmt.Errorf("unexpected frame type %d", typ)
+		}
+		if err != nil {
+			// Protocol-level failures answer with an error frame on a still-
+			// framed stream; the coordinator decides whether to retry
+			// elsewhere or abort the job.
+			w.enc.reset()
+			w.enc.str(err.Error())
+			if sendErr := codec.Send(ftError, w.enc.bytes()); sendErr != nil {
+				return fmt.Errorf("dist worker: %w", sendErr)
+			}
+			continue
+		}
+		if sendErr := codec.Send(respType, resp); sendErr != nil {
+			return fmt.Errorf("dist worker: %w", sendErr)
+		}
+	}
+}
+
+type workerState struct {
+	codec *wire.Codec
+	opt   WorkerOptions
+	jobs  map[uint64]*workerJob
+	enc   buf
+	clock int64
+}
+
+func (w *workerState) touch(j *workerJob) {
+	w.clock++
+	j.touched = w.clock
+}
+
+func (w *workerState) job(id uint64) (*workerJob, error) {
+	j, ok := w.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown job %d (assign-shards not received)", id)
+	}
+	w.touch(j)
+	return j, nil
+}
+
+// assign handles ftAssignShards: build the shard's parties from the spec and
+// reset the job's parameter sync state.
+func (w *workerState) assign(payload []byte) (byte, []byte, error) {
+	r := reader{b: payload}
+	jobID := r.u64()
+	lo := int(r.u32())
+	hi := int(r.u32())
+	spec := r.bytes(int(r.u32()))
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	if lo < 0 || hi < lo {
+		return 0, nil, fmt.Errorf("bad shard range [%d,%d)", lo, hi)
+	}
+	setup, err := w.opt.Builder(spec, lo, hi)
+	if err != nil {
+		return 0, nil, fmt.Errorf("build shard [%d,%d): %w", lo, hi, err)
+	}
+	if len(setup.Parties) != hi-lo {
+		return 0, nil, fmt.Errorf("builder returned %d parties for range [%d,%d)", len(setup.Parties), lo, hi)
+	}
+	if setup.Factory == nil {
+		return 0, nil, fmt.Errorf("builder returned nil model factory")
+	}
+	width := parallel.New(w.opt.Parallelism).Width()
+	j := &workerJob{
+		setup:     setup,
+		lo:        lo,
+		hi:        hi,
+		version:   unsyncedVersion,
+		pool:      parallel.New(width),
+		replicas:  make([]model.Model, width),
+		scratches: make([]model.TrainScratch, width),
+	}
+	w.jobs[jobID] = j
+	w.touch(j)
+	w.evict()
+
+	w.enc.reset()
+	w.enc.u64(jobID)
+	return ftAssignAck, w.enc.bytes(), nil
+}
+
+// evict drops least-recently-touched jobs beyond the retention cap.
+func (w *workerState) evict() {
+	for len(w.jobs) > maxRetainedJobs {
+		var oldID uint64
+		oldTouch := int64(1<<63 - 1)
+		for id, j := range w.jobs {
+			if j.touched < oldTouch {
+				oldTouch, oldID = j.touched, id
+			}
+		}
+		delete(w.jobs, oldID)
+	}
+}
+
+// checkpoint handles one ftCheckpoint chunk of the global parameter vector.
+// Chunks may arrive in any order within a version; the final covering chunk
+// (offset+count == total) commits the version.
+func (w *workerState) checkpoint(payload []byte) (byte, []byte, error) {
+	r := reader{b: payload}
+	jobID := r.u64()
+	version := r.u64()
+	total := int(r.u32())
+	offset := int(r.u32())
+	count := int(r.u32())
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	j, err := w.job(jobID)
+	if err != nil {
+		return 0, nil, err
+	}
+	if total < 0 || offset < 0 || count < 0 || offset+count > total {
+		return 0, nil, fmt.Errorf("bad checkpoint chunk [%d,%d) of %d", offset, offset+count, total)
+	}
+	if len(j.params) != total {
+		j.params = tensor.NewVec(total)
+	}
+	for i := 0; i < count; i++ {
+		j.params[offset+i] = r.f64()
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	if offset+count == total {
+		j.version = version
+	} else {
+		j.version = unsyncedVersion
+	}
+	w.enc.reset()
+	w.enc.u64(jobID)
+	w.enc.u32(uint32(offset))
+	return ftCheckpointAck, w.enc.bytes(), nil
+}
+
+// dispatch handles ftDispatchWave: train the wave's parties against the
+// synced global parameters and answer with the partial-fold frame carrying
+// every local result in dispatch order.
+func (w *workerState) dispatch(payload []byte) (byte, []byte, error) {
+	r := reader{b: payload}
+	jobID := r.u64()
+	waveSeq := r.u64()
+	version := r.u64()
+	sgd := model.SGDConfig{
+		LearningRate: r.f64(),
+		BatchSize:    int(r.u32()),
+		LocalEpochs:  int(r.u32()),
+		ProxMu:       r.f64(),
+		MaxGradNorm:  r.f64(),
+	}
+	n := int(r.u32())
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	j, err := w.job(jobID)
+	if err != nil {
+		return 0, nil, err
+	}
+	if j.version != version {
+		return 0, nil, fmt.Errorf("wave %d at version %d but worker params at %d", waveSeq, version, j.version)
+	}
+	j.ids = j.ids[:0]
+	j.rngs = j.rngs[:0]
+	for i := 0; i < n; i++ {
+		id := int(r.u32())
+		var state [4]uint64
+		for k := range state {
+			state[k] = r.u64()
+		}
+		if r.err == nil && (id < j.lo || id >= j.hi) {
+			return 0, nil, fmt.Errorf("party %d outside assigned range [%d,%d)", id, j.lo, j.hi)
+		}
+		j.ids = append(j.ids, id)
+		j.rngs = append(j.rngs, rng.FromState(state))
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+
+	if cap(j.locals) < n {
+		j.locals = make([]model.LocalResult, n)
+	}
+	j.locals = j.locals[:n]
+	// The same determinism shape as the in-process trainBatch: streams were
+	// pre-split by the coordinator in canonical order, each pool worker
+	// touches only its own replica, scratch and slice index.
+	j.pool.ForEachWorker(n, func(wk, i int) {
+		party := j.setup.Parties[j.ids[i]-j.lo]
+		local := j.replicas[wk]
+		if local == nil {
+			local = j.setup.Factory(rng.New(0))
+			j.replicas[wk] = local
+		}
+		local.SetParams(j.params)
+		j.locals[i] = model.TrainLocalScratch(local, party.Data, sgd, j.params, j.rngs[i], &j.scratches[wk])
+	})
+
+	w.enc.reset()
+	w.enc.u64(jobID)
+	w.enc.u64(waveSeq)
+	w.enc.u32(uint32(n))
+	w.enc.u32(uint32(len(j.params)))
+	for i := range j.locals {
+		lr := &j.locals[i]
+		if len(lr.Params) != len(j.params) {
+			return 0, nil, fmt.Errorf("party %d trained %d params, want %d", j.ids[i], len(lr.Params), len(j.params))
+		}
+		w.enc.u32(uint32(lr.NumSamples))
+		w.enc.u32(uint32(lr.Steps))
+		w.enc.f64(lr.MeanLoss)
+		w.enc.f64(lr.SqLossMean)
+		for _, v := range lr.Params {
+			w.enc.f64(v)
+		}
+	}
+	return ftPartialFold, w.enc.bytes(), nil
+}
+
+// roundStats handles the coordinator's per-round stats broadcast.
+func (w *workerState) roundStats(payload []byte) (byte, []byte, error) {
+	r := reader{b: payload}
+	jobID := r.u64()
+	body := r.bytes(len(payload) - r.off)
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	if w.opt.OnStats != nil {
+		var stats fl.RoundStats
+		if err := json.Unmarshal(body, &stats); err != nil {
+			return 0, nil, fmt.Errorf("round stats: %w", err)
+		}
+		w.opt.OnStats(stats)
+	}
+	w.enc.reset()
+	w.enc.u64(jobID)
+	return ftRoundStatsAck, w.enc.bytes(), nil
+}

@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"flips/internal/dist"
+	"flips/internal/fl"
+	"flips/internal/model"
+	"flips/internal/tensor"
+)
+
+// The distributed sweep measures the multi-process aggregation seam: the same
+// fleet-scale buffered workload as the scale sweep, run in-process and then
+// with local training distributed across 1..N shard-worker processes. Every
+// distributed cell is checked byte-identical to the in-process baseline —
+// the sweep measures the seam's cost, never a different computation. The
+// numbers feed BENCH_9.json.
+
+// DistSweep configures RunDist.
+type DistSweep struct {
+	// Parties lists the population sizes to sweep (default 10k, 100k).
+	Parties []int
+	// Workers lists the shard-worker process counts (default 1, 2, 4, 8).
+	// The in-process baseline (workers = 0) always runs first per population.
+	Workers []int
+	// Rounds is the aggregation-step budget per cell (default 8).
+	Rounds int
+	// PartiesPerRound is the concurrency M of the buffered pipeline (default
+	// 32).
+	PartiesPerRound int
+	// Shards is the coordinator-side aggregation shard count (default 64, the
+	// fleet-scale configuration BENCH_5 pinned).
+	Shards int
+	// Seed fixes the run.
+	Seed uint64
+	// Parallelism bounds the coordinator's engine pool (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (s DistSweep) withDefaults() DistSweep {
+	if len(s.Parties) == 0 {
+		s.Parties = []int{10_000, 100_000}
+	}
+	if len(s.Workers) == 0 {
+		s.Workers = []int{1, 2, 4, 8}
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 8
+	}
+	if s.PartiesPerRound <= 0 {
+		s.PartiesPerRound = 32
+	}
+	if s.Shards <= 0 {
+		s.Shards = 64
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// DistCell is one (parties, workers) measurement; Workers == 0 is the
+// in-process baseline.
+type DistCell struct {
+	Parties, Workers int
+	// RoundsPerSec is wall-clock aggregation-step throughput.
+	RoundsPerSec float64
+	// ArrivalsPerSec counts trained updates through the event queue per
+	// wall-clock second.
+	ArrivalsPerSec float64
+	// CoordAllocMB is the coordinator process's heap allocated by the run
+	// (runtime.MemStats.TotalAlloc delta, MB) — the fleet is built before the
+	// measurement, so this is the engine + seam transient, not setup. With
+	// out-of-process workers it excludes training allocations entirely.
+	CoordAllocMB float64
+	// PeakHeapMB is the coordinator heap high-water after the cell
+	// (runtime.MemStats.HeapSys, MB).
+	PeakHeapMB float64
+	// WireMB totals the protocol bytes both directions across all slots
+	// (0 for the baseline).
+	WireMB float64
+	// Identical reports the cell's final parameters matched the in-process
+	// baseline bit for bit.
+	Identical bool
+}
+
+// DistTable is the full parties × workers sweep result.
+type DistTable struct {
+	Rounds, PartiesPerRound, Shards int
+	Cells                           []DistCell
+}
+
+// distFleetSpec is the job spec a fleet worker rebuilds its shard from — the
+// arguments of buildFleet, which is deterministic in them.
+type distFleetSpec struct {
+	Parties, SamplesPerParty int
+	Seed                     uint64
+}
+
+// distSamplesPerParty matches the scale sweep's fleet (buildFleet with 4
+// samples per party).
+const distSamplesPerParty = 4
+
+// DistFleetSpec encodes the sweep's job spec for a population.
+func DistFleetSpec(parties int, seed uint64) []byte {
+	b, err := json.Marshal(distFleetSpec{Parties: parties, SamplesPerParty: distSamplesPerParty, Seed: seed})
+	if err != nil {
+		panic(err) // fixed struct of scalars cannot fail to marshal
+	}
+	return b
+}
+
+// DistFleetBuilder returns the worker-side builder for the sweep's fleet
+// specs: it regenerates the shared sample pool and materializes only the
+// assigned [lo, hi) party range, so a worker's heap is proportional to its
+// shard.
+func DistFleetBuilder() dist.Builder {
+	return func(spec []byte, lo, hi int) (dist.JobSetup, error) {
+		var s distFleetSpec
+		if err := json.Unmarshal(spec, &s); err != nil {
+			return dist.JobSetup{}, fmt.Errorf("experiment: decode fleet spec: %w", err)
+		}
+		if hi > s.Parties {
+			return dist.JobSetup{}, fmt.Errorf("experiment: shard range [%d,%d) exceeds %d-party fleet", lo, hi, s.Parties)
+		}
+		parties, _, ds, err := buildFleetRange(lo, hi, s.SamplesPerParty, s.Seed)
+		if err != nil {
+			return dist.JobSetup{}, err
+		}
+		return dist.JobSetup{
+			Parties: parties,
+			Factory: model.LogRegFactory(ds.Dim, len(ds.LabelNames)),
+		}, nil
+	}
+}
+
+// WorkerSpawner launches n shard-worker processes against a coordinator
+// address and returns a stop function that reclaims them. The flipsbench CLI
+// re-execs itself as subprocess workers — the honest measurement, since the
+// coordinator's heap then excludes training — while tests loop goroutine
+// workers back in-process.
+type WorkerSpawner func(addr string, n int) (stop func(), err error)
+
+// InProcessWorkers returns a spawner that serves workers on goroutines inside
+// the coordinator process. Byte-identical to real processes (the protocol is
+// the same), but coordinator heap numbers then include worker training.
+func InProcessWorkers(parallelism int) WorkerSpawner {
+	return func(addr string, n int) (func(), error) {
+		for i := 0; i < n; i++ {
+			go func() {
+				_ = dist.RunWorker(addr, dist.WorkerOptions{Builder: DistFleetBuilder(), Parallelism: parallelism})
+			}()
+		}
+		// Workers exit on the coordinator's shutdown frames; nothing to stop.
+		return func() {}, nil
+	}
+}
+
+// RunDist executes the distributed sweep. Cells run sequentially — each is a
+// wall-clock measurement. progress (may be nil) receives one line per
+// completed cell.
+func RunDist(sweep DistSweep, spawn WorkerSpawner, progress func(string)) (*DistTable, error) {
+	sweep = sweep.withDefaults()
+	if spawn == nil {
+		spawn = InProcessWorkers(sweep.Parallelism)
+	}
+	table := &DistTable{Rounds: sweep.Rounds, PartiesPerRound: sweep.PartiesPerRound, Shards: sweep.Shards}
+	scaleSweep := ScaleSweep{
+		Rounds:          sweep.Rounds,
+		PartiesPerRound: sweep.PartiesPerRound,
+		Strategy:        StrategyRandom,
+		Seed:            sweep.Seed,
+		Parallelism:     sweep.Parallelism,
+	}.withDefaults()
+	for _, parties := range sweep.Parties {
+		var baseline tensor.Vec
+		for _, workers := range append([]int{0}, sweep.Workers...) {
+			cfg, err := scaleCellConfig(scaleSweep, parties, sweep.Shards)
+			if err != nil {
+				return nil, err
+			}
+			cell := DistCell{Parties: parties, Workers: workers}
+			var job *dist.Job
+			var coord *dist.Coordinator
+			var stop func()
+			if workers > 0 {
+				coord = dist.NewCoordinator()
+				addr, err := coord.Listen("127.0.0.1:0")
+				if err != nil {
+					return nil, err
+				}
+				if stop, err = spawn(addr, workers); err != nil {
+					coord.Close()
+					return nil, fmt.Errorf("dist cell %dp/%dw: spawn: %w", parties, workers, err)
+				}
+				if err := coord.AwaitWorkers(workers, 60*time.Second); err != nil {
+					stop()
+					coord.Close()
+					return nil, fmt.Errorf("dist cell %dp/%dw: %w", parties, workers, err)
+				}
+				job, err = dist.NewJob(coord, DistFleetSpec(parties, sweep.Seed), parties, workers)
+				if err != nil {
+					stop()
+					coord.Close()
+					return nil, fmt.Errorf("dist cell %dp/%dw: %w", parties, workers, err)
+				}
+				cfg.Transport = job
+			}
+			// Only fl.Run is measured: the fleet and the worker handshakes are
+			// set-up, the engine + seam transient is the number that must stay
+			// flat as the fleet grows.
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			res, err := fl.Run(cfg)
+			elapsed := time.Since(start).Seconds()
+			runtime.ReadMemStats(&after)
+			if job != nil {
+				for _, st := range job.Stats() {
+					cell.WireMB += float64(st.BytesIn+st.BytesOut) / (1 << 20)
+				}
+				job.Close()
+				coord.Close()
+				stop()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("dist cell %dp/%dw: %w", parties, workers, err)
+			}
+			cell.RoundsPerSec = float64(cfg.Rounds) / elapsed
+			k := 1
+			if b, ok := cfg.Aggregation.(fl.Buffered); ok {
+				k = b.K
+			}
+			cell.ArrivalsPerSec = float64(k*cfg.Rounds) / elapsed
+			cell.CoordAllocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+			cell.PeakHeapMB = float64(after.HeapSys) / (1 << 20)
+			if workers == 0 {
+				baseline = res.FinalParams
+				cell.Identical = true
+			} else {
+				cell.Identical = sameVecBits(baseline, res.FinalParams)
+				if !cell.Identical {
+					return nil, fmt.Errorf("dist cell %dp/%dw: final parameters diverged from the in-process baseline", parties, workers)
+				}
+			}
+			table.Cells = append(table.Cells, cell)
+			if progress != nil {
+				progress(fmt.Sprintf("%dp x %dw -> %.0f rounds/sec, %.1f MB coordinator alloc, %.1f MB on wire",
+					parties, workers, cell.RoundsPerSec, cell.CoordAllocMB, cell.WireMB))
+			}
+		}
+	}
+	return table, nil
+}
+
+func sameVecBits(a, b tensor.Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the sweep as a text table.
+func (t *DistTable) Render(w io.Writer) {
+	fmt.Fprintf(w, "Distributed-aggregation sweep: buffered, %d steps, %d in flight, %d shards; workers=0 is in-process\n",
+		t.Rounds, t.PartiesPerRound, t.Shards)
+	fmt.Fprintln(w, strings.Join([]string{"parties", "workers", "rounds/sec", "arrivals/sec", "coord alloc MB", "peak heap MB", "wire MB", "identical"}, "\t"))
+	for _, c := range t.Cells {
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.1f\t%.1f\t%.1f\t%v\n",
+			c.Parties, c.Workers, c.RoundsPerSec, c.ArrivalsPerSec, c.CoordAllocMB, c.PeakHeapMB, c.WireMB, c.Identical)
+	}
+}

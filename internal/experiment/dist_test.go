@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunDistSweep runs the distributed sweep over in-process loopback
+// workers: every distributed cell must be byte-identical to its in-process
+// baseline (RunDist enforces this itself and fails otherwise), wire traffic
+// must be visible, and the render must carry the cells.
+func TestRunDistSweep(t *testing.T) {
+	t.Parallel()
+	sweep := DistSweep{
+		Parties:         []int{400},
+		Workers:         []int{1, 3},
+		Rounds:          3,
+		PartiesPerRound: 8,
+		Shards:          4,
+		Seed:            7,
+		Parallelism:     1,
+	}
+	var lines []string
+	table, err := RunDist(sweep, nil, func(msg string) { lines = append(lines, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Cells) != 3 {
+		t.Fatalf("got %d cells, want baseline + 2 worker counts", len(table.Cells))
+	}
+	if len(lines) != 3 {
+		t.Fatalf("progress reported %d cells", len(lines))
+	}
+	for i, c := range table.Cells {
+		if !c.Identical {
+			t.Fatalf("cell %dp/%dw not identical to baseline", c.Parties, c.Workers)
+		}
+		if c.RoundsPerSec <= 0 || c.CoordAllocMB < 0 || c.PeakHeapMB <= 0 {
+			t.Fatalf("cell %dp/%dw: bad measurements %+v", c.Parties, c.Workers, c)
+		}
+		if wantWire := i > 0; (c.WireMB > 0) != wantWire {
+			t.Fatalf("cell %dp/%dw: wire MB %v", c.Parties, c.Workers, c.WireMB)
+		}
+	}
+	var sb strings.Builder
+	table.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Distributed-aggregation sweep") || !strings.Contains(out, "400") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+// TestDistFleetBuilderMatchesRange pins the shard-rebuild contract: a worker
+// building [lo, hi) gets exactly the parties the full fleet has there.
+func TestDistFleetBuilderMatchesRange(t *testing.T) {
+	t.Parallel()
+	full, _, _, err := buildFleet(50, distSamplesPerParty, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := DistFleetBuilder()(DistFleetSpec(50, 7), 20, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(setup.Parties) != 15 {
+		t.Fatalf("built %d parties, want 15", len(setup.Parties))
+	}
+	for k, p := range setup.Parties {
+		want := full[20+k]
+		if p.ID != want.ID || p.Latency != want.Latency || len(p.Data) != len(want.Data) {
+			t.Fatalf("party %d mismatch: %+v vs %+v", p.ID, p, want)
+		}
+		for j := range p.Data {
+			if p.Data[j].Y != want.Data[j].Y {
+				t.Fatalf("party %d sample %d label mismatch", p.ID, j)
+			}
+			for x := range p.Data[j].X {
+				if p.Data[j].X[x] != want.Data[j].X[x] {
+					t.Fatalf("party %d sample %d feature mismatch", p.ID, j)
+				}
+			}
+		}
+	}
+	if _, err := DistFleetBuilder()(DistFleetSpec(50, 7), 40, 60); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := DistFleetBuilder()([]byte("{"), 0, 1); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}

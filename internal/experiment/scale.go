@@ -104,19 +104,27 @@ type ScaleTable struct {
 // RNG, so a 100k-party construction costs milliseconds, not a dataset
 // generation.
 func buildFleet(parties, samplesPerParty int, seed uint64) ([]*fl.Party, *dataset.Dataset, dataset.Spec, error) {
+	return buildFleetRange(0, parties, samplesPerParty, seed)
+}
+
+// buildFleetRange materializes only the parties with IDs in [lo, hi) — party
+// i is identical whatever range produces it, which is what lets distributed
+// shard workers rebuild just their slice of the same fleet.
+func buildFleetRange(lo, hi, samplesPerParty int, seed uint64) ([]*fl.Party, *dataset.Dataset, dataset.Spec, error) {
 	spec := dataset.ECG().WithSizes(2048, 256)
 	train, test, err := dataset.Generate(spec, rng.New(seed))
 	if err != nil {
 		return nil, nil, spec, err
 	}
-	out := make([]*fl.Party, parties)
+	out := make([]*fl.Party, hi-lo)
 	n := len(train.Samples)
-	for i := range out {
+	for k := range out {
+		i := lo + k
 		data := make([]dataset.Sample, samplesPerParty)
 		for j := range data {
 			data[j] = train.Samples[(i*samplesPerParty+j)%n]
 		}
-		out[i] = &fl.Party{ID: i, Data: data, Latency: 0.5 + 0.1*float64(i%7)}
+		out[k] = &fl.Party{ID: i, Data: data, Latency: 0.5 + 0.1*float64(i%7)}
 	}
 	return out, test, spec, nil
 }

@@ -263,7 +263,9 @@ func (c *eventCore) dispatchWave(step, cap int) (int, error) {
 		c.dispatched = append(c.dispatched, id)
 	}
 
-	c.trainBatch(c.dispatched, wr)
+	if err := c.trainBatch(c.dispatched, wr); err != nil {
+		return 0, err
+	}
 
 	// Under masking every dispatch wave is one secure-aggregation cohort:
 	// its members enroll together (pairwise agreements + Shamir escrow) and

@@ -9,24 +9,6 @@ import (
 	"flips/internal/rng"
 )
 
-// rotatingSelector deterministically rotates through the party pool as a
-// pure function of the round number, so two independently constructed
-// instances always produce the same selections — the property the
-// determinism regression suite needs from its selector.
-type rotatingSelector struct{ n int }
-
-func (s *rotatingSelector) Name() string { return "rotating" }
-
-func (s *rotatingSelector) Select(round, target int) []int {
-	out := make([]int, 0, target)
-	for i := 0; i < target && i < s.n; i++ {
-		out = append(out, (round*3+i*2)%s.n)
-	}
-	return out
-}
-
-func (s *rotatingSelector) Observe(RoundFeedback) {}
-
 // determinismConfig builds a fresh, fully independent FL job exercising the
 // engine's stochastic surface: MLP factory, adaptive server optimizer, LR
 // decay, biased straggler injection and per-party split RNG streams.

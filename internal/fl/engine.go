@@ -123,6 +123,15 @@ type Config struct {
 	// (scaled/sign-flipped/byzantine corruption). Nil runs a clean fleet.
 	// See faults.go for the determinism contract.
 	Faults FaultInjector
+	// Transport, when non-nil, routes each wave's local training through an
+	// external shard-worker fleet instead of the in-process worker pool (see
+	// transport.go and internal/dist). Everything but training — device
+	// simulation, chaos, privacy, folds, server optimization — stays
+	// in-process, so transported runs are byte-identical to local ones.
+	// Incompatible with BeforeRound: a hook mutating the party pool runs
+	// coordinator-side only and would silently diverge from the workers'
+	// view of the data.
+	Transport ShardTransport
 	// Aggregation selects the execution model: SyncRounds (nil default,
 	// classic synchronization rounds — the paper's setting), Buffered
 	// (FedBuff-style asynchronous aggregation every K arrivals) or SemiSync
@@ -192,6 +201,9 @@ func (c *Config) validate() error {
 	}
 	if err := c.Privacy.validate(); err != nil {
 		return err
+	}
+	if c.Transport != nil && c.BeforeRound != nil {
+		return fmt.Errorf("fl: Transport and BeforeRound are incompatible (the hook mutates parties the workers cannot see)")
 	}
 	if c.Privacy.Mask {
 		if c.Fold.Kind != FoldMean {

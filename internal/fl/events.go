@@ -211,6 +211,7 @@ type eventCore struct {
 	dispatched  []int // async: parties dispatched this wave
 	fb          RoundFeedback
 	partyRngs   []*rng.Source
+	rngStates   [][4]uint64 // serialized partyRngs for ShardTransport waves
 	locals      []model.LocalResult
 	updates     []tensor.Vec
 	weights     []float64
@@ -473,7 +474,12 @@ func (c *eventCore) prepareFeedback(round int) (needsUpdates bool) {
 // every party stream is pre-split here in the sequential order
 // (wr.Split(id+0x1000)); each worker then touches only its own replica, its
 // own scratch, its own pre-split stream and its own slice index.
-func (c *eventCore) trainBatch(ids []int, wr *rng.Source) {
+//
+// With a ShardTransport configured, the pre-split streams are serialized and
+// the whole wave is handed to the transport instead — the streams, global
+// parameters and SGD config pin the training to the identical computation,
+// so the deposited results are bit-equal either way.
+func (c *eventCore) trainBatch(ids []int, wr *rng.Source) error {
 	c.partyRngs = c.partyRngs[:0]
 	for _, id := range ids {
 		c.partyRngs = append(c.partyRngs, wr.Split(uint64(id)+0x1000))
@@ -482,6 +488,22 @@ func (c *eventCore) trainBatch(ids []int, wr *rng.Source) {
 		c.locals = make([]model.LocalResult, len(ids))
 	}
 	c.locals = c.locals[:len(ids)]
+	if t := c.cfg.Transport; t != nil {
+		if cap(c.rngStates) < len(ids) {
+			c.rngStates = make([][4]uint64, len(ids))
+		}
+		c.rngStates = c.rngStates[:len(ids)]
+		for i, r := range c.partyRngs {
+			c.rngStates[i] = r.State()
+		}
+		return t.TrainWave(TrainDispatch{
+			IDs:       ids,
+			RngStates: c.rngStates,
+			Params:    c.globalParams,
+			Version:   c.version,
+			SGD:       c.sgd,
+		}, c.locals)
+	}
 	c.pool.ForEachWorker(len(ids), func(w, i int) {
 		party := c.cfg.Parties[ids[i]]
 		local := c.replicas[w]
@@ -492,6 +514,7 @@ func (c *eventCore) trainBatch(ids []int, wr *rng.Source) {
 		local.SetParams(c.globalParams)
 		c.locals[i] = model.TrainLocalScratch(local, party.Data, c.sgd, c.globalParams, c.partyRngs[i], &c.scratches[w])
 	})
+	return nil
 }
 
 // push schedules an arrival event for up.
@@ -535,6 +558,11 @@ func (c *eventCore) maybeEval(step, invited, completed int, commBytes int64, mea
 	c.res.History = append(c.res.History, stats)
 	if c.cfg.OnRound != nil {
 		c.cfg.OnRound(stats)
+	}
+	if c.cfg.Transport != nil {
+		if ro, ok := c.cfg.Transport.(RoundObserver); ok {
+			ro.ObserveRound(stats)
+		}
 	}
 	if stats.Accuracy > c.res.PeakAccuracy {
 		c.res.PeakAccuracy = stats.Accuracy

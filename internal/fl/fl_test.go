@@ -6,7 +6,6 @@ import (
 
 	"flips/internal/dataset"
 	"flips/internal/model"
-	"flips/internal/partition"
 	"flips/internal/rng"
 	"flips/internal/tensor"
 )
@@ -68,17 +67,11 @@ func cloneFloatMap(m map[int]float64) map[int]float64 {
 
 func buildTestJob(t testing.TB, seed uint64, parties int, alpha float64) ([]*Party, *dataset.Dataset, dataset.Spec) {
 	t.Helper()
-	r := rng.New(seed)
-	spec := dataset.ECG().WithSizes(parties*30, 500)
-	train, test, err := dataset.Generate(spec, r)
+	ps, test, spec, err := GoldenJob(seed, parties, alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
-	part, err := partition.Dirichlet(train, parties, alpha, r.Split(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return BuildParties(train, part, 0.5, r.Split(2)), test, spec
+	return ps, test, spec
 }
 
 func TestBuildParties(t *testing.T) {

@@ -7,11 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"flips/internal/chaos"
-	"flips/internal/device"
-	"flips/internal/model"
-	"flips/internal/rng"
 )
 
 // The golden-run regression suite pins two small fixed-seed end-to-end runs
@@ -85,44 +80,21 @@ func toGolden(res *Result) *goldenRun {
 	return g
 }
 
-// goldenLegacyConfig is the legacy-straggler pin: biased straggler drops, LR
-// decay, an adaptive server optimizer and a target accuracy, at a scale that
-// runs in tens of milliseconds.
-func goldenLegacyConfig(t *testing.T) Config {
+// The golden job constructors live in goldens.go (non-test) so
+// internal/dist can replay the same pinned trajectories across the wire;
+// these wrappers adapt their error returns for test use.
+func goldenFromBuilder(t *testing.T, mk func() (Config, error)) Config {
 	t.Helper()
-	parties, test, spec := buildTestJob(t, 1001, 12, 0.4)
-	return Config{
-		Parties:         parties,
-		Test:            test.Samples,
-		NumClasses:      len(spec.LabelNames),
-		Factory:         model.LogRegFactory(spec.Dim, len(spec.LabelNames)),
-		Optimizer:       NewFedYogi(),
-		Selector:        &rotatingSelector{n: len(parties)},
-		Rounds:          5,
-		PartiesPerRound: 6,
-		SGD:             model.SGDConfig{LearningRate: 0.05, BatchSize: 16, LocalEpochs: 1},
-		LRDecayEvery:    2,
-		LRDecayFactor:   0.9,
-		StragglerRate:   0.2,
-		StragglerBias:   1.5,
-		TargetAccuracy:  0.5,
-		Seed:            1001,
+	cfg, err := mk()
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-// goldenDeviceConfig is the device-model pin: lognormal fleet, churn, a
-// deadline, and the simulated clock driving time-to-target.
-func goldenDeviceConfig(t *testing.T) Config {
-	t.Helper()
-	cfg := goldenLegacyConfig(t)
-	cfg.StragglerRate = 0
-	cfg.StragglerBias = 0
-	dev := device.Lognormal()
-	dev.Availability = device.Availability{Kind: device.Churn, OnlineProb: 0.8}
-	AttachDevices(cfg.Parties, dev, rng.New(0x601D))
-	cfg.Deadline = 0.6
 	return cfg
 }
+
+func goldenLegacyConfig(t *testing.T) Config { return goldenFromBuilder(t, GoldenLegacyConfig) }
+
+func goldenDeviceConfig(t *testing.T) Config { return goldenFromBuilder(t, GoldenDeviceConfig) }
 
 func checkGolden(t *testing.T, name string, cfg Config) {
 	t.Helper()
@@ -191,106 +163,22 @@ func checkGolden(t *testing.T, name string, cfg Config) {
 	}
 }
 
-// goldenAsyncConfig is the async pin: FedBuff-style buffered aggregation
-// (K=3, staleness half-life 2) over the same churn fleet as the device pin.
-// It freezes one asynchronous trajectory — arrival ordering, staleness
-// discounts and the event clock included — so event-core changes cannot
-// silently shift the async science.
-func goldenAsyncConfig(t *testing.T) Config {
-	t.Helper()
-	cfg := goldenDeviceConfig(t)
-	cfg.Deadline = 0
-	cfg.Aggregation = Buffered{K: 3, StalenessHalfLife: 2}
-	return cfg
-}
+func goldenAsyncConfig(t *testing.T) Config { return goldenFromBuilder(t, GoldenAsyncConfig) }
 
-// goldenSemiSyncConfig is the semi-synchronous pin: deadline windows over the
-// device-model churn fleet, stragglers carrying over with staleness discounts
-// (half-life 2). PR 4 pinned only the Buffered async trajectory; this freezes
-// the deadline-window regime too, so window accounting, carry-over staleness
-// and the window clock cannot drift silently.
-func goldenSemiSyncConfig(t *testing.T) Config {
-	t.Helper()
-	cfg := goldenDeviceConfig(t)
-	cfg.Aggregation = SemiSync{StalenessHalfLife: 2}
-	return cfg
-}
+func goldenSemiSyncConfig(t *testing.T) Config { return goldenFromBuilder(t, GoldenSemiSyncConfig) }
 
-// strideSelector rotates through the pool one ID at a time — a pure function
-// of the round, like rotatingSelector, but with a stride coprime to every
-// pool size so a larger target always yields more distinct invitees.
-type strideSelector struct{ n int }
+func goldenChaosConfig(t *testing.T) Config { return goldenFromBuilder(t, GoldenChaosConfig) }
 
-func (s *strideSelector) Name() string { return "stride" }
-
-func (s *strideSelector) Select(round, target int) []int {
-	out := make([]int, 0, target)
-	for i := 0; i < target && i < s.n; i++ {
-		out = append(out, (round*5+i)%s.n)
-	}
-	return out
-}
-
-func (s *strideSelector) Observe(RoundFeedback) {}
-
-// goldenChaosConfig is the chaos pin (ISSUE 7): the device-model churn fleet
-// under a full chaos scenario — correlated regional outages, brownouts, a
-// flash crowd every third round and 25% byzantine parties — aggregated by the
-// trimmed-mean robust fold. It freezes the injector's pure-function weather
-// draws, the robust fold's per-coordinate reduction and the Rejected
-// accounting in one trajectory, so a chaos-layer or robust-fold change cannot
-// drift silently.
-func goldenChaosConfig(t *testing.T) Config {
-	t.Helper()
-	cfg := goldenDeviceConfig(t)
-	// Stride-1 rotation: the flash-crowd surge doubles the cohort target, and
-	// a stride-1 selector turns that into genuinely more distinct invitees
-	// (rotatingSelector's stride-2 walk collapses a doubled target back to
-	// the same six parties under dedupe, hiding the surge from the golden).
-	cfg.Selector = &strideSelector{n: len(cfg.Parties)}
-	cfg.Fold = FoldConfig{Kind: FoldTrimmedMean}
-	inj, err := chaos.New(chaos.Spec{
-		Seed:          7,
-		Regions:       4,
-		OutageProb:    0.3,
-		OutageLen:     2,
-		DegradedProb:  0.2,
-		SurgeEvery:    3,
-		SurgeFactor:   2,
-		FaultFraction: 0.25,
-		Fault:         chaos.FaultByzantine,
-		FaultScale:    5,
-	}, len(cfg.Parties))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Faults = inj
-	return cfg
-}
-
-// goldenPrivacyConfig is the privacy pin (ISSUE 8): the device-model churn
-// fleet under full secure aggregation — pairwise masking, Shamir dropout
-// recovery at share threshold 2, L2 clipping and the post-fold Laplace noise
-// stream. It freezes the uint64 ring arithmetic, the fixed-point decode, the
-// reconstruction order and the noise stream in one trajectory, so a privacy
-// middleware change cannot drift silently.
-func goldenPrivacyConfig(t *testing.T) Config {
-	t.Helper()
-	cfg := goldenDeviceConfig(t)
-	cfg.Privacy = PrivacyConfig{Mask: true, Clip: 1, Epsilon: 5, ShareThreshold: 2}
-	return cfg
-}
+func goldenPrivacyConfig(t *testing.T) Config { return goldenFromBuilder(t, GoldenPrivacyConfig) }
 
 // goldenConfigs enumerates every pinned trajectory by testdata file name.
 func goldenConfigs() map[string]func(*testing.T) Config {
-	return map[string]func(*testing.T) Config{
-		"golden_legacy.json":   goldenLegacyConfig,
-		"golden_device.json":   goldenDeviceConfig,
-		"golden_async.json":    goldenAsyncConfig,
-		"golden_semisync.json": goldenSemiSyncConfig,
-		"golden_chaos.json":    goldenChaosConfig,
-		"golden_privacy.json":  goldenPrivacyConfig,
+	out := make(map[string]func(*testing.T) Config)
+	for name, mk := range GoldenConfigs() {
+		mk := mk
+		out[name] = func(t *testing.T) Config { return goldenFromBuilder(t, mk) }
 	}
+	return out
 }
 
 func TestGoldenLegacyRun(t *testing.T) {

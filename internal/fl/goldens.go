@@ -1,0 +1,197 @@
+package fl
+
+import (
+	"fmt"
+
+	"flips/internal/chaos"
+	"flips/internal/dataset"
+	"flips/internal/device"
+	"flips/internal/model"
+	"flips/internal/partition"
+	"flips/internal/rng"
+)
+
+// This file hosts the golden-run job constructors outside the test binary so
+// other packages — internal/dist's wire-invariance suite in particular — can
+// rebuild the exact pinned trajectories and replay them through a transport.
+// The in-package golden tests (golden_test.go) delegate here; the testdata
+// files under internal/fl/testdata remain the single source of truth.
+
+// rotatingSelector deterministically rotates through the party pool as a
+// pure function of the round number, so two independently constructed
+// instances always produce the same selections — the property the
+// determinism and golden suites need from their selector.
+type rotatingSelector struct{ n int }
+
+func (s *rotatingSelector) Name() string { return "rotating" }
+
+func (s *rotatingSelector) Select(round, target int) []int {
+	out := make([]int, 0, target)
+	for i := 0; i < target && i < s.n; i++ {
+		out = append(out, (round*3+i*2)%s.n)
+	}
+	return out
+}
+
+func (s *rotatingSelector) Observe(RoundFeedback) {}
+
+// strideSelector rotates through the pool one ID at a time — a pure function
+// of the round, like rotatingSelector, but with a stride coprime to every
+// pool size so a larger target always yields more distinct invitees.
+type strideSelector struct{ n int }
+
+func (s *strideSelector) Name() string { return "stride" }
+
+func (s *strideSelector) Select(round, target int) []int {
+	out := make([]int, 0, target)
+	for i := 0; i < target && i < s.n; i++ {
+		out = append(out, (round*5+i)%s.n)
+	}
+	return out
+}
+
+func (s *strideSelector) Observe(RoundFeedback) {}
+
+// GoldenJob builds the shared synthetic job all golden configurations start
+// from: an ECG-spec dataset, Dirichlet-partitioned across the pool, with the
+// deterministic party construction the rest of the suite leans on.
+func GoldenJob(seed uint64, parties int, alpha float64) ([]*Party, *dataset.Dataset, dataset.Spec, error) {
+	r := rng.New(seed)
+	spec := dataset.ECG().WithSizes(parties*30, 500)
+	train, test, err := dataset.Generate(spec, r)
+	if err != nil {
+		return nil, nil, spec, err
+	}
+	part, err := partition.Dirichlet(train, parties, alpha, r.Split(1))
+	if err != nil {
+		return nil, nil, spec, err
+	}
+	return BuildParties(train, part, 0.5, r.Split(2)), test, spec, nil
+}
+
+// GoldenLegacyConfig is the legacy-straggler pin: biased straggler drops, LR
+// decay, an adaptive server optimizer and a target accuracy, at a scale that
+// runs in tens of milliseconds.
+func GoldenLegacyConfig() (Config, error) {
+	parties, test, spec, err := GoldenJob(1001, 12, 0.4)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Parties:         parties,
+		Test:            test.Samples,
+		NumClasses:      len(spec.LabelNames),
+		Factory:         model.LogRegFactory(spec.Dim, len(spec.LabelNames)),
+		Optimizer:       NewFedYogi(),
+		Selector:        &rotatingSelector{n: len(parties)},
+		Rounds:          5,
+		PartiesPerRound: 6,
+		SGD:             model.SGDConfig{LearningRate: 0.05, BatchSize: 16, LocalEpochs: 1},
+		LRDecayEvery:    2,
+		LRDecayFactor:   0.9,
+		StragglerRate:   0.2,
+		StragglerBias:   1.5,
+		TargetAccuracy:  0.5,
+		Seed:            1001,
+	}, nil
+}
+
+// GoldenDeviceConfig is the device-model pin: lognormal fleet, churn, a
+// deadline, and the simulated clock driving time-to-target.
+func GoldenDeviceConfig() (Config, error) {
+	cfg, err := GoldenLegacyConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.StragglerRate = 0
+	cfg.StragglerBias = 0
+	dev := device.Lognormal()
+	dev.Availability = device.Availability{Kind: device.Churn, OnlineProb: 0.8}
+	AttachDevices(cfg.Parties, dev, rng.New(0x601D))
+	cfg.Deadline = 0.6
+	return cfg, nil
+}
+
+// GoldenAsyncConfig is the async pin: FedBuff-style buffered aggregation
+// (K=3, staleness half-life 2) over the same churn fleet as the device pin.
+func GoldenAsyncConfig() (Config, error) {
+	cfg, err := GoldenDeviceConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Deadline = 0
+	cfg.Aggregation = Buffered{K: 3, StalenessHalfLife: 2}
+	return cfg, nil
+}
+
+// GoldenSemiSyncConfig is the semi-synchronous pin: deadline windows over
+// the device-model churn fleet, stragglers carrying over with staleness
+// discounts (half-life 2).
+func GoldenSemiSyncConfig() (Config, error) {
+	cfg, err := GoldenDeviceConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Aggregation = SemiSync{StalenessHalfLife: 2}
+	return cfg, nil
+}
+
+// GoldenChaosConfig is the chaos pin (ISSUE 7): the device-model churn fleet
+// under a full chaos scenario — correlated regional outages, brownouts, a
+// flash crowd every third round and 25% byzantine parties — aggregated by
+// the trimmed-mean robust fold.
+func GoldenChaosConfig() (Config, error) {
+	cfg, err := GoldenDeviceConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	// Stride-1 rotation: the flash-crowd surge doubles the cohort target, and
+	// a stride-1 selector turns that into genuinely more distinct invitees
+	// (rotatingSelector's stride-2 walk collapses a doubled target back to
+	// the same six parties under dedupe, hiding the surge from the golden).
+	cfg.Selector = &strideSelector{n: len(cfg.Parties)}
+	cfg.Fold = FoldConfig{Kind: FoldTrimmedMean}
+	inj, err := chaos.New(chaos.Spec{
+		Seed:          7,
+		Regions:       4,
+		OutageProb:    0.3,
+		OutageLen:     2,
+		DegradedProb:  0.2,
+		SurgeEvery:    3,
+		SurgeFactor:   2,
+		FaultFraction: 0.25,
+		Fault:         chaos.FaultByzantine,
+		FaultScale:    5,
+	}, len(cfg.Parties))
+	if err != nil {
+		return Config{}, fmt.Errorf("fl: golden chaos injector: %w", err)
+	}
+	cfg.Faults = inj
+	return cfg, nil
+}
+
+// GoldenPrivacyConfig is the privacy pin (ISSUE 8): the device-model churn
+// fleet under full secure aggregation — pairwise masking, Shamir dropout
+// recovery at share threshold 2, L2 clipping and the post-fold Laplace noise
+// stream.
+func GoldenPrivacyConfig() (Config, error) {
+	cfg, err := GoldenDeviceConfig()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Privacy = PrivacyConfig{Mask: true, Clip: 1, Epsilon: 5, ShareThreshold: 2}
+	return cfg, nil
+}
+
+// GoldenConfigs enumerates every pinned golden trajectory by its testdata
+// file name (internal/fl/testdata/<name>).
+func GoldenConfigs() map[string]func() (Config, error) {
+	return map[string]func() (Config, error){
+		"golden_legacy.json":   GoldenLegacyConfig,
+		"golden_device.json":   GoldenDeviceConfig,
+		"golden_async.json":    GoldenAsyncConfig,
+		"golden_semisync.json": GoldenSemiSyncConfig,
+		"golden_chaos.json":    GoldenChaosConfig,
+		"golden_privacy.json":  GoldenPrivacyConfig,
+	}
+}

@@ -103,7 +103,9 @@ func (p SyncRounds) run(c *eventCore) error {
 		// Local training of all completed parties runs concurrently; worker
 		// replicas are lazily cloned once and re-seeded from the global
 		// parameters each use (see trainBatch for the determinism contract).
-		c.trainBatch(completed, roundRng)
+		if err := c.trainBatch(completed, roundRng); err != nil {
+			return err
+		}
 
 		// Schedule every completing party's arrival. Sync pending records
 		// live in a per-round pooled slice (they never outlive the round)

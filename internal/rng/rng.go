@@ -35,6 +35,16 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// State exposes the generator's internal xoshiro256** state so a Source can
+// be serialized across a process boundary. Together with FromState it lets a
+// coordinator pre-split per-party streams in canonical order and ship them to
+// shard workers, preserving bit-exact draws.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a Source from a state captured by State. The
+// reconstructed generator continues the original stream exactly.
+func FromState(s [4]uint64) *Source { return &Source{s: s} }
+
 // Split derives a child Source whose stream is independent of the parent's
 // subsequent output. The label distinguishes siblings split from the same
 // parent state.

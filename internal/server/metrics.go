@@ -57,6 +57,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("flipsd_job_arrivals_per_sec", "Job arrival rate over the last 60s.", arrivalRate)
 	gauge("flipsd_round_shards_touched_mean", "Mean aggregation shards touched per evaluated round (shard locality).", shardMean)
 
+	if s.cfg.DistStats != nil {
+		writeDistMetrics(&b, s.cfg.DistStats())
+	}
+
 	const lat = "flipsd_job_latency_seconds"
 	fmt.Fprintf(&b, "# HELP %s Submission-to-completion job latency (queue wait included).\n# TYPE %s summary\n", lat, lat)
 	fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", lat, promFloat(p50))
@@ -67,6 +71,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeDistMetrics renders the distributed shard-worker fleet: one
+// registration gauge plus per-slot labeled series keyed by (job, slot), with
+// the holding worker's ID as a third label so reattachments are visible in
+// the series stream.
+func writeDistMetrics(b *strings.Builder, snap DistSnapshot) {
+	fmt.Fprintf(b, "# HELP flipsd_dist_workers_registered Shard worker processes currently registered with the coordinator.\n# TYPE flipsd_dist_workers_registered gauge\n")
+	fmt.Fprintf(b, "flipsd_dist_workers_registered %d\n", snap.WorkersRegistered)
+	if len(snap.Slots) == 0 {
+		return
+	}
+	series := func(name, help, typ string, value func(DistWorkerStat) string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, st := range snap.Slots {
+			fmt.Fprintf(b, "%s{job=%q,slot=\"%d\",worker=\"%d\"} %s\n", name, st.Job, st.Slot, st.WorkerID, value(st))
+		}
+	}
+	series("flipsd_dist_worker_connected", "1 while a live worker holds the shard slot, 0 mid-recovery.", "gauge", func(st DistWorkerStat) string {
+		if st.Connected {
+			return "1"
+		}
+		return "0"
+	})
+	series("flipsd_dist_worker_parties", "Parties in the slot's contiguous shard range.", "gauge", func(st DistWorkerStat) string {
+		return fmt.Sprintf("%d", st.PartyHi-st.PartyLo)
+	})
+	series("flipsd_dist_worker_lag_waves", "Dispatch waves the slot trails the job cursor (nonzero during reconnect replay).", "gauge", func(st DistWorkerStat) string {
+		return fmt.Sprintf("%d", st.LagWaves)
+	})
+	series("flipsd_dist_worker_waves_total", "Training waves the slot has completed.", "counter", func(st DistWorkerStat) string {
+		return fmt.Sprintf("%d", st.Waves)
+	})
+	series("flipsd_dist_worker_bytes_in_total", "Wire bytes received from the slot's workers, replacements included.", "counter", func(st DistWorkerStat) string {
+		return fmt.Sprintf("%d", st.BytesIn)
+	})
+	series("flipsd_dist_worker_bytes_out_total", "Wire bytes sent to the slot's workers, replacements included.", "counter", func(st DistWorkerStat) string {
+		return fmt.Sprintf("%d", st.BytesOut)
+	})
 }
 
 // arrivalRateLocked counts arrivals inside the sliding window. The ring

@@ -55,8 +55,42 @@ type Config struct {
 	// Now is the clock (default time.Now); tests inject a fake.
 	Now func() time.Time
 	// Run executes one job (default flips.RunSimulationStream); tests
-	// inject a fake to control timing and failure.
+	// inject a fake to control timing and failure. flipsd swaps in the
+	// distributed runner when shard workers are configured.
 	Run func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error)
+	// DistStats, when non-nil, snapshots the distributed shard-worker fleet
+	// for /metrics (per-worker lag, byte counters, connectivity). Nil keeps
+	// the distributed gauges off the exposition.
+	DistStats func() DistSnapshot
+}
+
+// DistWorkerStat is one job shard slot of the distributed runner, as exposed
+// on /metrics. It mirrors dist.WorkerStat without importing the transport.
+type DistWorkerStat struct {
+	// Job is the server job ID the slot belongs to.
+	Job string
+	// Slot indexes the job's shard seats; WorkerID is the registered worker
+	// holding it (-1 while vacant after a failure).
+	Slot, WorkerID int
+	// PartyLo, PartyHi bound the slot's contiguous party-ID range.
+	PartyLo, PartyHi int
+	// Connected reports whether a live worker holds the slot right now.
+	Connected bool
+	// Waves counts completed training waves; LagWaves how many dispatch
+	// waves the slot trails the job's cursor (nonzero mid-recovery).
+	Waves, LagWaves uint64
+	// BytesIn/BytesOut are the slot's cumulative wire bytes, replacement
+	// workers included.
+	BytesIn, BytesOut int64
+}
+
+// DistSnapshot is one point-in-time read of the distributed worker fleet.
+type DistSnapshot struct {
+	// WorkersRegistered counts live registered shard workers (idle or
+	// attached).
+	WorkersRegistered int
+	// Slots lists every active job's shard slots.
+	Slots []DistWorkerStat
 }
 
 func (c Config) withDefaults() Config {

@@ -487,6 +487,64 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestMetricsDistExposition pins the distributed-fleet rendering: with a
+// DistStats hook configured, /metrics carries the registration gauge and one
+// labeled series per shard slot; without it, no dist series appear at all.
+func TestMetricsDistExposition(t *testing.T) {
+	t.Parallel()
+	s := New(Config{
+		Run: func(cfg flips.SimulationConfig, onRound func(flips.RoundPoint)) (*flips.SimulationResult, error) {
+			return &flips.SimulationResult{}, nil
+		},
+		DistStats: func() DistSnapshot {
+			return DistSnapshot{
+				WorkersRegistered: 3,
+				Slots: []DistWorkerStat{
+					{Job: "1", Slot: 0, WorkerID: 1, PartyLo: 0, PartyHi: 15, Connected: true, Waves: 7, BytesIn: 1024, BytesOut: 2048},
+					{Job: "1", Slot: 1, WorkerID: -1, PartyLo: 15, PartyHi: 30, LagWaves: 2},
+				},
+			}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"flipsd_dist_workers_registered 3",
+		`flipsd_dist_worker_connected{job="1",slot="0",worker="1"} 1`,
+		`flipsd_dist_worker_connected{job="1",slot="1",worker="-1"} 0`,
+		`flipsd_dist_worker_parties{job="1",slot="0",worker="1"} 15`,
+		`flipsd_dist_worker_lag_waves{job="1",slot="1",worker="-1"} 2`,
+		`flipsd_dist_worker_waves_total{job="1",slot="0",worker="1"} 7`,
+		`flipsd_dist_worker_bytes_in_total{job="1",slot="0",worker="1"} 1024`,
+		`flipsd_dist_worker_bytes_out_total{job="1",slot="0",worker="1"} 2048`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	plain := New(Config{})
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	resp, err = http.Get(tsPlain.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ = io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "flipsd_dist_") {
+		t.Fatal("dist series rendered without a DistStats hook")
+	}
+}
+
 // TestEvictionKeepsActiveJobs pins retention: beyond RetainJobs, the oldest
 // finished jobs disappear from the index while unfinished ones survive.
 func TestEvictionKeepsActiveJobs(t *testing.T) {

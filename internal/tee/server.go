@@ -1,27 +1,34 @@
 package tee
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"sync"
 	"time"
+
+	"flips/internal/wire"
 )
 
-// maxFrame bounds one newline-delimited JSON frame in either direction.
-// Requests and responses that exceed it are rejected with an explicit error
-// instead of silently corrupting the stream (see ErrFrameTooLarge).
-const maxFrame = 16 * 1024 * 1024
+// The TEE service speaks wire's length-prefixed binary framing (shared with
+// internal/dist): version byte wireVersion, one JSON payload per frame.
+const (
+	wireVersion byte = 1
+	frameReq    byte = 1
+	frameResp   byte = 2
+)
+
+// maxFrame bounds one JSON frame in either direction; it aliases the shared
+// wire limit so both protocols in this repository agree on the bound.
+const maxFrame = wire.MaxFrame
 
 // ErrFrameTooLarge reports a request or response exceeding the 16 MiB wire
 // frame limit. Clients see it from RemoteEnclave calls whose payload cannot
 // fit one frame; servers answer an oversized request with an error response
 // carrying the same text before closing the connection.
-var ErrFrameTooLarge = fmt.Errorf("frame exceeds %d-byte limit", maxFrame)
+var ErrFrameTooLarge = wire.ErrFrameTooLarge
 
 // request is the single wire message type of the TEE service. Operations
 // mirror the enclave API; all byte fields are base64 via encoding/json.
@@ -163,29 +170,46 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), maxFrame)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		var req request
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			_ = enc.Encode(response{Error: "malformed request: " + err.Error()})
-			return
+	codec := wire.NewCodec(conn, wireVersion)
+	reply := func(resp response) bool {
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			return false
 		}
-		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		return codec.Send(frameResp, payload) == nil
 	}
-	if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-		// The frame overflowed the scanner buffer mid-line, so the stream
-		// can no longer be re-framed: answer with an explicit error, then
-		// briefly drain whatever the client is still sending so the close
-		// is a clean FIN rather than an RST that could destroy the error
-		// response in flight.
-		_ = enc.Encode(response{Error: "request " + ErrFrameTooLarge.Error()})
-		_ = conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
-		_, _ = io.Copy(io.Discard, conn)
+	for {
+		typ, payload, err := codec.Recv()
+		if err != nil {
+			var bv *wire.BadVersionError
+			switch {
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				// The announced payload exceeds the frame bound, so the
+				// stream can no longer be re-framed: answer with an explicit
+				// error, then briefly drain whatever the client is still
+				// sending so the close is a clean FIN rather than an RST
+				// that could destroy the error response in flight.
+				_ = reply(response{Error: "request " + ErrFrameTooLarge.Error()})
+				wire.Drain(conn, 250*time.Millisecond)
+			case errors.As(err, &bv):
+				// Well-formed foreign frame: its payload was consumed, so
+				// the error reply still lands on a framed stream.
+				_ = reply(response{Error: bv.Error()})
+			}
+			return
+		}
+		if typ != frameReq {
+			_ = reply(response{Error: fmt.Sprintf("unexpected frame type %d", typ)})
+			return
+		}
+		var req request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			_ = reply(response{Error: "malformed request: " + err.Error()})
+			return
+		}
+		if !reply(s.handle(req)) {
+			return
+		}
 	}
 }
 
@@ -270,9 +294,9 @@ func (s *Server) Close() error {
 type RemoteEnclave struct {
 	addr string
 
-	mu   sync.Mutex
-	conn net.Conn
-	sc   *bufio.Scanner
+	mu    sync.Mutex
+	conn  net.Conn
+	codec *wire.Codec
 }
 
 var _ EnclaveAPI = (*RemoteEnclave)(nil)
@@ -283,9 +307,7 @@ func DialEnclave(addr string) (*RemoteEnclave, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tee dial: %w", err)
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), maxFrame)
-	return &RemoteEnclave{addr: addr, conn: conn, sc: sc}, nil
+	return &RemoteEnclave{addr: addr, conn: conn, codec: wire.NewCodec(conn, wireVersion)}, nil
 }
 
 // Close closes the connection.
@@ -296,27 +318,28 @@ func (r *RemoteEnclave) roundTrip(req request) (response, error) {
 	if err != nil {
 		return response{}, fmt.Errorf("tee send: %w", err)
 	}
-	if len(payload)+1 > maxFrame {
-		// Sending the frame anyway would corrupt the server-side stream
-		// mid-line; fail fast with the same error the server would report.
+	if len(payload) > maxFrame {
+		// The codec would refuse this anyway; fail with the same request-
+		// prefixed error the server reports so callers see one message.
 		return response{}, fmt.Errorf("tee send: request %w", ErrFrameTooLarge)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, err := r.conn.Write(append(payload, '\n')); err != nil {
+	if err := r.codec.Send(frameReq, payload); err != nil {
 		return response{}, fmt.Errorf("tee send: %w", err)
 	}
-	if !r.sc.Scan() {
-		if err := r.sc.Err(); err != nil {
-			if errors.Is(err, bufio.ErrTooLong) {
-				return response{}, fmt.Errorf("tee recv: response %w", ErrFrameTooLarge)
-			}
-			return response{}, fmt.Errorf("tee recv: %w", err)
+	typ, body, err := r.codec.Recv()
+	if err != nil {
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			return response{}, fmt.Errorf("tee recv: response %w", ErrFrameTooLarge)
 		}
-		return response{}, fmt.Errorf("tee recv: connection closed")
+		return response{}, fmt.Errorf("tee recv: %w", err)
+	}
+	if typ != frameResp {
+		return response{}, fmt.Errorf("tee recv: unexpected frame type %d", typ)
 	}
 	var resp response
-	if err := json.Unmarshal(r.sc.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(body, &resp); err != nil {
 		return response{}, fmt.Errorf("tee decode: %w", err)
 	}
 	if resp.Error != "" {

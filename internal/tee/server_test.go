@@ -1,7 +1,6 @@
 package tee
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -14,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"flips/internal/wire"
 )
 
 // TestCloseUnblocksHeldOpenClients is the shutdown-race regression test:
@@ -140,9 +141,11 @@ type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
-// TestOversizedRequestGetsExplicitError sends a frame just past the 16 MiB
-// scanner limit over a raw connection: the server must answer with an
-// explicit frame-limit error response instead of silently hanging up.
+// TestOversizedRequestGetsExplicitError hand-crafts a frame header announcing
+// a payload past the 16 MiB limit and streams the body behind it: the server
+// must reject from the header alone, answer with an explicit frame-limit
+// error response, and drain the in-flight body so the client's write
+// completes instead of dying on an RST.
 func TestOversizedRequestGetsExplicitError(t *testing.T) {
 	t.Parallel()
 	enclave, _ := newTestEnclave(t)
@@ -159,24 +162,37 @@ func TestOversizedRequestGetsExplicitError(t *testing.T) {
 	}
 	defer conn.Close()
 
-	// 64 KiB past the limit: the scanner overflows at 16 MiB and the small
-	// remainder fits kernel socket buffers, so the write completes even
-	// though the server stops consuming mid-line.
-	frame := bytes.Repeat([]byte{'a'}, maxFrame+64*1024)
-	frame[len(frame)-1] = '\n'
+	// Header: length = maxFrame + 64 KiB, correct version, request type. The
+	// server rejects from the header alone (never allocating the announced
+	// size), so only a slice of the body is streamed behind it — enough to be
+	// in flight when the error response comes back, small enough that the
+	// drain window always consumes it.
+	body := maxFrame + 64*1024
+	head := []byte{
+		byte(body >> 24), byte(body >> 16), byte(body >> 8), byte(body),
+		wireVersion, frameReq,
+	}
 	writeErr := make(chan error, 1)
 	go func() {
-		_, err := conn.Write(frame)
+		if _, err := conn.Write(head); err != nil {
+			writeErr <- err
+			return
+		}
+		_, err := conn.Write(bytes.Repeat([]byte{'a'}, 512*1024))
 		writeErr <- err
 	}()
 
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	sc := bufio.NewScanner(conn)
-	if !sc.Scan() {
-		t.Fatalf("no response to oversized request: %v", sc.Err())
+	codec := wire.NewCodec(conn, wireVersion)
+	typ, payload, err := codec.Recv()
+	if err != nil {
+		t.Fatalf("no response to oversized request: %v", err)
+	}
+	if typ != frameResp {
+		t.Fatalf("response frame type = %d, want %d", typ, frameResp)
 	}
 	var resp response
-	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(payload, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(resp.Error, "frame exceeds") {
@@ -184,6 +200,44 @@ func TestOversizedRequestGetsExplicitError(t *testing.T) {
 	}
 	if err := <-writeErr; err != nil {
 		t.Fatalf("oversized write failed before the error response: %v", err)
+	}
+}
+
+// TestBadVersionFrameGetsErrorResponse pins the version gate: a well-formed
+// frame carrying a foreign protocol version draws an explicit error response
+// on a still-framed stream (the payload is consumed, not abandoned).
+func TestBadVersionFrameGetsErrorResponse(t *testing.T) {
+	t.Parallel()
+	enclave, _ := newTestEnclave(t)
+	server := NewServer(enclave)
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	foreign := wire.NewCodec(conn, wireVersion+1)
+	if err := foreign.Send(frameReq, []byte(`{"op":"quote"}`)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	codec := wire.NewCodec(conn, wireVersion)
+	typ, payload, err := codec.Recv()
+	if err != nil || typ != frameResp {
+		t.Fatalf("recv = (%d, %v), want an error response frame", typ, err)
+	}
+	var resp response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "version") {
+		t.Fatalf("response error = %q, want version mismatch", resp.Error)
 	}
 }
 

@@ -185,6 +185,11 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 	if c.Parties > 0 {
 		scale.Parties = c.Parties
 	}
+	if scale.TrainSize > 0 && scale.TrainSize < 2*scale.Parties {
+		// Dirichlet partitioning needs at least one sample per party; give a
+		// Parties override headroom instead of failing at build time.
+		scale.TrainSize = 2 * scale.Parties
+	}
 	scale.Parallelism = c.Parallelism
 	setting := experiment.Setting{
 		Spec:              spec,
