@@ -11,6 +11,8 @@
 //	flipsbench -exp chaos                  # fault-matrix sweep (outages, surges, byzantine × folds)
 //	flipsbench -exp chaos -chaos-matrix m.json  # ... with a custom declarative fault matrix
 //	flipsbench -exp privacy                # privacy-ladder sweep (clip, masking, masking+DP)
+//	flipsbench -exp tournament             # every registered selector ranked across fleet regimes
+//	flipsbench -exp tournament -selector random,oort  # ... a chosen subset
 //	flipsbench -exp tee                    # TEE clustering overhead
 //	flipsbench -exp scale -shards 64       # fleet-scale sweep (1k/10k/100k parties)
 //	flipsbench -exp dist                   # multi-process aggregation sweep (subprocess shard workers)
@@ -51,7 +53,8 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("flipsbench", flag.ContinueOnError)
-	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, chaos, privacy, tee, all-tables, all-figures, all")
+	exps := fs.String("exp", "all", "comma-separated experiments: tableN, figN, het, async, chaos, privacy, tournament, tee, all-tables, all-figures, all")
+	selector := fs.String("selector", "", "comma-separated selector registry names: the tournament's competitors (default: every registered selector); a single name also picks the scale sweep's strategy")
 	tracePath := fs.String("trace", "", "CSV/JSON device availability trace replayed by the async sweep (one row of 0/1 slots per device, mapped onto parties by ID)")
 	chaosMatrix := fs.String("chaos-matrix", "", "JSON fault-matrix file for the chaos sweep (fault arms × folds × strategies; default: built-in matrix)")
 	scaleName := fs.String("scale", "laptop", "experiment scale: laptop or paper")
@@ -117,6 +120,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale.Shards = *shards
 
 	ids, err := expandExperiments(*exps)
+	if err != nil {
+		return err
+	}
+
+	// Validate -selector names against the registry at the edge, before any
+	// compute is spent: a typo reports what would have worked.
+	selectors, err := parseSelectors(*selector)
 	if err != nil {
 		return err
 	}
@@ -224,9 +234,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			table.Render(stdout)
 			fmt.Fprintln(stdout)
+		case id == "tournament":
+			fmt.Fprintln(stderr, "running selector tournament (selectors x fleet regimes)...")
+			table, err := experiment.RunTournament(scale, *seed, selectors, progress)
+			if err != nil {
+				return err
+			}
+			table.Render(stdout)
+			fmt.Fprintln(stdout)
 		case id == "scale":
 			fmt.Fprintln(stderr, "running fleet-scale sweep (parties x shards)...")
 			sweep := experiment.ScaleSweep{Seed: *seed, Parallelism: *par}
+			if len(selectors) == 1 {
+				sweep.Strategy = selectors[0]
+			}
 			if *shards > 0 {
 				sweep.Shards = []int{*shards}
 			}
@@ -302,6 +323,7 @@ func expandExperiments(spec string) ([]string, error) {
 			add("async")
 			add("chaos")
 			add("privacy")
+			add("tournament")
 			add("scale")
 			add("dist")
 			add("tee")
@@ -321,7 +343,7 @@ func expandExperiments(spec string) ([]string, error) {
 		return nil, fmt.Errorf("no experiments selected")
 	}
 	// Stable order: tables numerically, then figures, then het, async,
-	// chaos, privacy, scale, dist, tee.
+	// chaos, privacy, tournament, scale, dist, tee.
 	sort.SliceStable(out, func(i, j int) bool { return expRank(out[i]) < expRank(out[j]) })
 	return out, nil
 }
@@ -346,6 +368,9 @@ func expRank(id string) int {
 	}
 	if id == "privacy" {
 		return 167
+	}
+	if id == "tournament" {
+		return 168
 	}
 	if id == "scale" {
 		return 170
@@ -392,6 +417,34 @@ func subprocessWorkers(stderr io.Writer) experiment.WorkerSpawner {
 			}
 		}, nil
 	}
+}
+
+// parseSelectors parses and validates a comma-separated selector list
+// against the selection registry ("" -> nil, meaning every registrant).
+func parseSelectors(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	registered := map[string]bool{}
+	for _, name := range experiment.ExtendedStrategies() {
+		registered[name] = true
+	}
+	var out []string
+	for _, f := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(f)
+		if name == "" {
+			continue
+		}
+		if !registered[name] {
+			return nil, fmt.Errorf("-selector: unknown selector %q (registered: %s)",
+				name, strings.Join(experiment.ExtendedStrategies(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-selector: no selector names given")
+	}
+	return out, nil
 }
 
 // parseIntList parses a comma-separated list of positive ints ("" -> nil).

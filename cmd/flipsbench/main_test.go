@@ -14,7 +14,7 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 24+10+1+1+1+1+1+1+1 {
+	if len(ids) != 24+10+1+1+1+1+1+1+1+1 {
 		t.Fatalf("expanded %d ids", len(ids))
 	}
 	if ids[0] != "table1" || ids[23] != "table24" {
@@ -23,9 +23,9 @@ func TestExpandExperimentsAll(t *testing.T) {
 	if ids[24] != "fig2" {
 		t.Fatalf("figures not after tables: %v", ids[24])
 	}
-	for i, want := range []string{"het", "async", "chaos", "privacy", "scale", "dist", "tee"} {
-		if got := ids[len(ids)-7+i]; got != want {
-			t.Fatalf("tail ordering: got %q at %d, want %q (ids: %v)", got, i, want, ids[len(ids)-7:])
+	for i, want := range []string{"het", "async", "chaos", "privacy", "tournament", "scale", "dist", "tee"} {
+		if got := ids[len(ids)-8+i]; got != want {
+			t.Fatalf("tail ordering: got %q at %d, want %q (ids: %v)", got, i, want, ids[len(ids)-8:])
 		}
 	}
 }
@@ -135,6 +135,40 @@ func TestRunDistExperiment(t *testing.T) {
 	}
 	if strings.Contains(got, "false") {
 		t.Fatalf("divergent cell in output:\n%s", got)
+	}
+}
+
+func TestParseSelectors(t *testing.T) {
+	if got, err := parseSelectors(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+	got, err := parseSelectors(" random, loss-prop ")
+	if err != nil || len(got) != 2 || got[0] != "random" || got[1] != "loss-prop" {
+		t.Fatalf("parsed %v, %v", got, err)
+	}
+	if _, err := parseSelectors("psychic"); err == nil || !strings.Contains(err.Error(), "flips") {
+		t.Fatalf("unknown selector: err = %v, want error listing registered names", err)
+	}
+	if _, err := parseSelectors(" , "); err == nil {
+		t.Fatal("blank list accepted")
+	}
+}
+
+// TestRunTournamentExperiment runs a reduced tournament through the CLI: two
+// selectors, four regimes, with the -selector flag doing the subsetting.
+func TestRunTournamentExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament runs FL jobs at laptop scale")
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "tournament", "-selector", "random,flips", "-q"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Selector tournament", "clean arm reached by", "byzantine-20%"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
 	}
 }
 

@@ -58,6 +58,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -98,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	connect := fs.String("connect", "", "-worker: coordinator address to dial")
 	selftest := fs.Bool("selftest", false, "run a short device-model FL simulation (clustering + selection + training pipeline) instead of serving, report time-to-target accuracy, and exit")
 	seed := fs.Uint64("seed", 1, "random seed for -selftest")
+	selector := fs.String("selector", "flips", "-selftest selection strategy, any selector registry name — smoke the selector a deployment will run")
 	aggregation := fs.String("aggregation", "sync", "-selftest execution model: sync, buffered or semisync")
 	shards := fs.Int("shards", 0, "-selftest aggregation shard count (0 = single shard; results are identical at every value)")
 	fold := fs.String("fold", "", "-selftest aggregation fold: mean (default), trimmed-mean, median or krum — smoke the robust fold a deployment will run")
@@ -120,12 +122,15 @@ func run(args []string, stdout, stderr io.Writer, stop chan os.Signal) error {
 	if _, err := fl.FoldByName(*fold); err != nil {
 		return fmt.Errorf("-fold: %w", err)
 	}
+	if !validSelector(*selector) {
+		return fmt.Errorf("unknown -selector %q (registered: %s)", *selector, strings.Join(flips.Strategies(), ", "))
+	}
 
 	if *selftest {
 		// The CPU cap is applied exactly once: as the simulation's
 		// worker-pool width. (The serve modes below use GOMAXPROCS instead;
 		// doing both here used to double-apply the cap.)
-		return runSelftest(stdout, *seed, *par, *aggregation, *shards, *fold, privacyFlags{
+		return runSelftest(stdout, *seed, *par, *aggregation, *shards, *fold, *selector, privacyFlags{
 			mask: *mask, clip: *clip, epsilon: *epsilon, shareThreshold: *shareThreshold,
 		})
 	}
@@ -358,17 +363,28 @@ type privacyFlags struct {
 	shareThreshold int
 }
 
-// runSelftest exercises the full FLIPS pipeline the service host will carry
-// — clustering, FLIPS selection, FL rounds over a heterogeneous device fleet
-// — and reports rounds- and simulated time-to-target-accuracy. aggregation
-// picks the execution model ("sync" rounds with a 3s deadline, "buffered"
-// FedBuff-style async, or "semisync" 3s windows), so a deployment can smoke
-// whichever mode it will run; priv smokes the secure-aggregation middleware
-// (masking, dropout reconstruction, clipping, DP noise) the same way.
-func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int, fold string, priv privacyFlags) error {
+// validSelector reports whether name is a registered selection strategy.
+func validSelector(name string) bool {
+	for _, s := range flips.Strategies() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runSelftest exercises the full pipeline the service host will carry —
+// clustering, participant selection, FL rounds over a heterogeneous device
+// fleet — and reports rounds- and simulated time-to-target-accuracy.
+// aggregation picks the execution model ("sync" rounds with a 3s deadline,
+// "buffered" FedBuff-style async, or "semisync" 3s windows) and selector the
+// selection strategy, so a deployment can smoke whichever combination it
+// will run; priv smokes the secure-aggregation middleware (masking, dropout
+// reconstruction, clipping, DP noise) the same way.
+func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, shards int, fold, selector string, priv privacyFlags) error {
 	cfg := flips.SimulationConfig{
 		Dataset:        "mit-bih-ecg",
-		Strategy:       "flips",
+		Strategy:       selector,
 		DeviceProfile:  "lognormal",
 		Availability:   "churn",
 		Deadline:       3,
@@ -403,8 +419,10 @@ func runSelftest(stdout io.Writer, seed uint64, par int, aggregation string, sha
 	if priv.epsilon > 0 {
 		foldNote += fmt.Sprintf(", ε=%g", priv.epsilon)
 	}
-	fmt.Fprintf(stdout, "flipsd selftest: FLIPS selection over a lognormal device fleet (churn, %s aggregation%s)\n", aggregation, foldNote)
-	fmt.Fprintf(stdout, "  clusters:            %d\n", res.NumClusters)
+	fmt.Fprintf(stdout, "flipsd selftest: %s selection over a lognormal device fleet (churn, %s aggregation%s)\n", selector, aggregation, foldNote)
+	if res.NumClusters > 0 {
+		fmt.Fprintf(stdout, "  clusters:            %d\n", res.NumClusters)
+	}
 	fmt.Fprintf(stdout, "  peak accuracy:       %.2f%%\n", 100*res.PeakAccuracy)
 	fmt.Fprintf(stdout, "  simulated job time:  %s\n", experiment.FormatSimDuration(res.SimTime))
 	fmt.Fprintf(stdout, "  rounds to %.0f%%:       %s\n", 100*res.TargetAccuracy, formatRounds(res.RoundsToTarget))

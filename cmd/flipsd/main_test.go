@@ -94,6 +94,38 @@ func TestRunRejectsUnknownFold(t *testing.T) {
 	}
 }
 
+// TestRunRejectsUnknownSelector pins the same fail-fast contract for the
+// -selector registry name, and checks the error lists what would have worked.
+func TestRunRejectsUnknownSelector(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-selftest", "-selector", "psychic"}, &out, &errBuf, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "-selector") || !strings.Contains(err.Error(), "oort") {
+		t.Fatalf("unknown selector not rejected at flag time with the registered list: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("selftest ran before validation:\n%s", out.String())
+	}
+}
+
+// TestSelftestRunsAlternateSelector smokes the -selector flag end to end:
+// the selftest must thread the strategy through the public config and name
+// it in its banner.
+func TestSelftestRunsAlternateSelector(t *testing.T) {
+	t.Parallel()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-selftest", "-seed", "3", "-selector", "loss-prop"}, &out, &errBuf, make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "loss-prop selection") {
+		t.Fatalf("selftest banner missing the selector:\n%s", o)
+	}
+	if !strings.Contains(o, "selftest: ok") {
+		t.Fatalf("selftest with an alternate selector did not finish:\n%s", o)
+	}
+}
+
 // TestServeAndShutdown boots the TEE daemon on an ephemeral port and stops it
 // via the signal channel, checking the provisioning banner and the wipe
 // message — the full lifecycle short of real TCP clients (covered by

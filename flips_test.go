@@ -300,11 +300,31 @@ func TestRunFigureRejectsBadID(t *testing.T) {
 	}
 }
 
+func TestRunTournamentWritesRanking(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunTournament(&buf, TournamentConfig{
+		Selectors: []string{"random", "loss-prop"},
+		Rounds:    6,
+		Parties:   16,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Selector tournament") || !strings.Contains(out, "clean arm reached by") {
+		t.Fatalf("tournament output:\n%s", out)
+	}
+	if err := RunTournament(&buf, TournamentConfig{Selectors: []string{"nope"}}); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
 func TestDatasetAndStrategyLists(t *testing.T) {
 	if len(Datasets()) != 4 {
 		t.Fatalf("datasets %v", Datasets())
 	}
-	if len(Strategies()) != 6 {
+	if len(Strategies()) != 13 {
 		t.Fatalf("strategies %v", Strategies())
 	}
 }

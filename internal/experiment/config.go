@@ -8,7 +8,6 @@ import (
 	"fmt"
 
 	"flips/internal/chaos"
-	"flips/internal/core"
 	"flips/internal/dataset"
 	"flips/internal/device"
 	"flips/internal/fl"
@@ -17,16 +16,26 @@ import (
 	"flips/internal/partition"
 	"flips/internal/rng"
 	"flips/internal/selection"
+	"flips/internal/tensor"
 )
 
-// Strategy names accepted by Setting.Strategy.
+// Strategy names accepted by Setting.Strategy. These are the selection
+// registry's names; ExtendedStrategies() enumerates the registry itself, so
+// the accepted set cannot drift from what actually builds.
 const (
-	StrategyRandom        = "random"
-	StrategyFLIPS         = "flips"
-	StrategyOort          = "oort"
-	StrategyGradClus      = "gradclus"
-	StrategyTiFL          = "tifl"
-	StrategyPowerOfChoice = "power-of-choice"
+	StrategyRandom              = "random"
+	StrategyFLIPS               = "flips"
+	StrategyOort                = "oort"
+	StrategyGradClus            = "gradclus"
+	StrategyTiFL                = "tifl"
+	StrategyPowerOfChoice       = "power-of-choice"
+	StrategyClusterProportional = "cluster-proportional"
+	StrategyGradNorm            = "grad-norm"
+	StrategyLossProp            = "loss-prop"
+	StrategyDivergence          = "divergence"
+	StrategySoftDeadline        = "soft-deadline"
+	StrategyHardDeadline        = "hard-deadline"
+	StrategyDPP                 = "dpp"
 )
 
 // Algorithm names accepted by Setting.Algorithm.
@@ -44,6 +53,12 @@ const (
 func AllStrategies() []string {
 	return []string{StrategyRandom, StrategyFLIPS, StrategyOort, StrategyGradClus, StrategyTiFL}
 }
+
+// ExtendedStrategies lists every registered selection strategy in the
+// registry's canonical order — the paper's five first, then the extension
+// families. This is the accepted-name list for Setting.Strategy, the job
+// server's submission validator and the CLI -selector flags.
+func ExtendedStrategies() []string { return selection.Names() }
 
 // Scale bounds the compute of one experiment run.
 type Scale struct {
@@ -107,8 +122,13 @@ type Setting struct {
 	// Deadline is the per-round reporting deadline in simulated seconds
 	// (device model only; 0 waits for every online party).
 	Deadline float64
-	// Strategy is one of the Strategy* constants.
+	// Strategy is one of the Strategy* constants (any name registered in
+	// the selection registry; see ExtendedStrategies).
 	Strategy string
+	// CandidateFactor is the power-of-choice candidate over-sampling ratio
+	// d/Nr. 0 keeps the historical default of 2; values in (0, 1) are
+	// rejected. Ignored by the other strategies.
+	CandidateFactor float64
 	// Aggregation selects the engine execution model: "" or "sync"
 	// (synchronous rounds), "buffered" (FedBuff-style aggregation every
 	// BufferSize arrivals) or "semisync" (Deadline windows with straggler
@@ -264,6 +284,9 @@ func Build(setting Setting, scale Scale) (*BuildResult, error) {
 	if setting.PartyFraction <= 0 || setting.PartyFraction > 1 {
 		return nil, fmt.Errorf("experiment: party fraction %v out of (0,1]", setting.PartyFraction)
 	}
+	if f := setting.CandidateFactor; f < 0 || (f > 0 && f < 1) {
+		return nil, fmt.Errorf("experiment: candidate factor %v must be 0 (default 2) or >= 1", f)
+	}
 	spec := setting.Spec
 	if scale.TrainSize > 0 {
 		spec = spec.WithSizes(scale.TrainSize, max(scale.TestSize, 1))
@@ -402,52 +425,43 @@ func applyFeatureShift(parties []*fl.Party, dim int, sigma float64, r *rng.Sourc
 	}
 }
 
+// buildSelector resolves the setting's strategy through the selection
+// registry. The context's signal accessors are closures, so a strategy pays
+// only for the signals its builder reads — and each strategy's RNG
+// consumption is byte-identical to the historical hardwired switch.
 func buildSelector(setting Setting, parties []*fl.Party, paramDim int, r *rng.Source) (fl.Selector, [][]int, error) {
 	n := len(parties)
-	switch setting.Strategy {
-	case StrategyRandom:
-		return selection.NewRandom(n, r), nil, nil
-	case StrategyFLIPS:
-		lds := fl.NormalizedLabelDists(parties)
-		maxK := n / 4
-		if maxK < 3 {
-			maxK = min(3, n)
-		}
-		clusters, err := core.ClusterLabelDistributions(lds, maxK, 5, r.Split(1))
-		if err != nil {
-			return nil, nil, err
-		}
-		sel, err := core.NewSelector(clusters)
-		if err != nil {
-			return nil, nil, err
-		}
-		return sel, clusters, nil
-	case StrategyOort:
-		sizes := make([]int, n)
-		for i, p := range parties {
-			sizes[i] = p.NumSamples()
-		}
-		return selection.NewOort(n, sizes, selection.OortConfig{}, r), nil, nil
-	case StrategyGradClus:
-		return selection.NewGradClus(n, paramDim, r), nil, nil
-	case StrategyTiFL:
-		// TiFL's offline profiling pass: with devices attached, tiers form
-		// over simulated round durations (the real systemic signal); the
-		// legacy path keeps the unitless latency multiplier.
-		latencies := make([]float64, n)
-		for i, p := range parties {
-			if p.Device != nil {
-				latencies[i] = p.Device.RoundDuration(p.NumSamples(), 1, int64(paramDim)*8)
-			} else {
-				latencies[i] = p.Latency
+	ctx := selection.BuildContext{
+		NumParties: n,
+		ParamDim:   paramDim,
+		RNG:        r,
+		DataSizes: func() []int {
+			sizes := make([]int, n)
+			for i, p := range parties {
+				sizes[i] = p.NumSamples()
 			}
-		}
-		return selection.NewTiFL(latencies, selection.TiFLConfig{}, r), nil, nil
-	case StrategyPowerOfChoice:
-		return selection.NewPowerOfChoice(n, 2, r), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("experiment: unknown strategy %q", setting.Strategy)
+			return sizes
+		},
+		Latencies: func() []float64 {
+			// TiFL's offline profiling pass: with devices attached, tiers
+			// form over simulated round durations (the real systemic
+			// signal); the legacy path keeps the unitless latency
+			// multiplier.
+			latencies := make([]float64, n)
+			for i, p := range parties {
+				if p.Device != nil {
+					latencies[i] = p.Device.RoundDuration(p.NumSamples(), 1, int64(paramDim)*8)
+				} else {
+					latencies[i] = p.Latency
+				}
+			}
+			return latencies
+		},
+		LabelDists:      func() []tensor.Vec { return fl.NormalizedLabelDists(parties) },
+		Deadline:        setting.Deadline,
+		CandidateFactor: setting.CandidateFactor,
 	}
+	return selection.Build(setting.Strategy, ctx)
 }
 
 func buildAlgorithm(name string, sgd model.SGDConfig) (fl.ServerOptimizer, model.SGDConfig, float64, error) {

@@ -69,7 +69,7 @@ func TestBuildValidation(t *testing.T) {
 
 func TestBuildAllStrategiesAndAlgorithms(t *testing.T) {
 	t.Parallel()
-	for _, strategy := range append(AllStrategies(), StrategyPowerOfChoice) {
+	for _, strategy := range ExtendedStrategies() {
 		for _, algo := range []string{AlgoFedAvg, AlgoFedProx, AlgoFedYogi, AlgoFedAdam, AlgoFedAdagrad, AlgoFedDyn, AlgoFedSGD} {
 			s := Setting{
 				Spec: dataset.ECG(), Algorithm: algo, Alpha: 0.3,
@@ -86,6 +86,80 @@ func TestBuildAllStrategiesAndAlgorithms(t *testing.T) {
 				t.Fatalf("FLIPS build missing clusters")
 			}
 		}
+	}
+}
+
+// TestStrategyListsMatchRegistry pins the accepted-name lists to the
+// selection registry: the paper's five are a prefix of the extended list,
+// and every Strategy* constant is registered — a renamed or dropped
+// registrant breaks here, not at a user's CLI flag.
+func TestStrategyListsMatchRegistry(t *testing.T) {
+	t.Parallel()
+	ext := ExtendedStrategies()
+	for i, name := range AllStrategies() {
+		if i >= len(ext) || ext[i] != name {
+			t.Fatalf("AllStrategies()[%d]=%q is not a prefix of ExtendedStrategies() %v", i, name, ext)
+		}
+	}
+	registered := map[string]bool{}
+	for _, name := range ext {
+		registered[name] = true
+	}
+	for _, name := range []string{
+		StrategyRandom, StrategyFLIPS, StrategyOort, StrategyGradClus, StrategyTiFL,
+		StrategyPowerOfChoice, StrategyClusterProportional, StrategyGradNorm,
+		StrategyLossProp, StrategyDivergence, StrategySoftDeadline,
+		StrategyHardDeadline, StrategyDPP,
+	} {
+		if !registered[name] {
+			t.Fatalf("strategy constant %q is not in the selection registry", name)
+		}
+	}
+}
+
+// TestCandidateFactorValidation pins the power-of-choice knob: 0 defaults,
+// >= 1 passes through, (0, 1) and negatives are rejected at build time.
+func TestCandidateFactorValidation(t *testing.T) {
+	t.Parallel()
+	s := Setting{
+		Spec: dataset.ECG(), Algorithm: AlgoFedAvg, Alpha: 0.3,
+		PartyFraction: 0.2, Strategy: StrategyPowerOfChoice, Seed: 7,
+	}
+	for _, ok := range []float64{0, 1, 1.5, 4} {
+		s.CandidateFactor = ok
+		if _, err := Build(s, tinyScale()); err != nil {
+			t.Fatalf("candidate factor %v rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{-1, 0.5, 0.99} {
+		s.CandidateFactor = bad
+		if _, err := Build(s, tinyScale()); err == nil {
+			t.Fatalf("candidate factor %v accepted", bad)
+		}
+	}
+}
+
+// TestCandidateFactorDefaultBitIdentical is the satellite's byte-for-byte
+// guarantee: CandidateFactor 0 and the historical hardwired 2 produce
+// identical runs.
+func TestCandidateFactorDefaultBitIdentical(t *testing.T) {
+	t.Parallel()
+	run := func(factor float64) float64 {
+		res, err := RunSetting(Setting{
+			Spec: dataset.ECG(), Algorithm: AlgoFedAvg, Alpha: 0.6,
+			PartyFraction: 0.25, Strategy: StrategyPowerOfChoice,
+			CandidateFactor: factor, TargetAccuracy: 0.9, Seed: 13,
+		}, tinyScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PeakAccuracy
+	}
+	if a, b := run(0), run(2); math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("default factor diverged from explicit 2: %v vs %v", a, b)
+	}
+	if a, b := run(0), run(3); math.Float64bits(a) == math.Float64bits(b) {
+		t.Fatalf("factor 3 produced the same run as the default — knob not threaded (%v)", a)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"flips/internal/model"
 	"flips/internal/rng"
 	"flips/internal/selection"
+	"flips/internal/tensor"
 )
 
 // The scale sweep measures the simulator itself instead of the science: how
@@ -36,8 +37,10 @@ type ScaleSweep struct {
 	// Repeats re-runs each cell and reports streaming mean ± std throughput
 	// (default 1).
 	Repeats int
-	// Strategy picks the selector: "random" (default) or "oort" — the two
-	// strategies whose fleet-scale paths are O(cohort), not O(population).
+	// Strategy picks the selector by registry name (default "random"); any
+	// registered selector is accepted — see selection.Names(). Every
+	// selector has a fleet-scale path above its ScaleThreshold, so per-round
+	// cost stays O(cohort + pool), not O(population).
 	Strategy string
 	// Seed fixes the run.
 	Seed uint64
@@ -135,15 +138,25 @@ func scaleCellConfig(sweep ScaleSweep, parties, shards int) (fl.Config, error) {
 	if err != nil {
 		return fl.Config{}, err
 	}
-	var sel fl.Selector
-	r := rng.New(sweep.Seed ^ 0x5CA1E)
-	switch sweep.Strategy {
-	case StrategyRandom:
-		sel = selection.NewRandom(parties, r)
-	case StrategyOort:
-		sel = selection.NewOort(parties, nil, selection.OortConfig{}, r)
-	default:
-		return fl.Config{}, fmt.Errorf("experiment: scale sweep strategy %q (valid: random, oort)", sweep.Strategy)
+	// Resolve the strategy through the selection registry. DataSizes stays
+	// nil (the synthetic fleet is uniform), so the historical random/oort
+	// cells keep their exact RNG streams.
+	classes := len(spec.LabelNames)
+	sel, _, err := selection.Build(sweep.Strategy, selection.BuildContext{
+		NumParties: parties,
+		ParamDim:   model.NewLogReg(spec.Dim, classes).NumParams(),
+		RNG:        rng.New(sweep.Seed ^ 0x5CA1E),
+		Latencies: func() []float64 {
+			ls := make([]float64, parties)
+			for i, p := range pool {
+				ls[i] = p.Latency
+			}
+			return ls
+		},
+		LabelDists: func() []tensor.Vec { return fl.NormalizedLabelDists(pool) },
+	})
+	if err != nil {
+		return fl.Config{}, fmt.Errorf("experiment: scale sweep: %w", err)
 	}
 	perRound := sweep.PartiesPerRound
 	if perRound > parties {

@@ -70,9 +70,34 @@ func TestRunScaleOortStrategy(t *testing.T) {
 func TestRunScaleRejectsUnknownStrategy(t *testing.T) {
 	t.Parallel()
 	sweep := testSweep()
-	sweep.Strategy = "tifl"
-	if _, err := RunScale(sweep, nil); err == nil {
+	sweep.Strategy = "psychic"
+	_, err := RunScale(sweep, nil)
+	if err == nil {
 		t.Fatal("unknown scale strategy accepted")
+	}
+	// The registry rejection names what would have worked.
+	if !strings.Contains(err.Error(), StrategyTiFL) {
+		t.Fatalf("error %q should list the registered selectors", err)
+	}
+}
+
+// TestRunScaleAcceptsAnyRegisteredStrategy pins the registry routing: every
+// selector — including the signal-hungry families that need latencies and
+// label distributions — builds and runs a fleet-scale cell.
+func TestRunScaleAcceptsAnyRegisteredStrategy(t *testing.T) {
+	t.Parallel()
+	for _, strategy := range []string{StrategyTiFL, StrategyLossProp, StrategyDPP} {
+		sweep := testSweep()
+		sweep.Parties = []int{300}
+		sweep.Shards = []int{2}
+		sweep.Strategy = strategy
+		table, err := RunScale(sweep, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if len(table.Cells) != 1 || table.Cells[0].RoundsPerSec <= 0 {
+			t.Fatalf("%s sweep cells: %+v", strategy, table.Cells)
+		}
 	}
 }
 

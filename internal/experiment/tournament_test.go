@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRunTournamentSmoke runs the full registered-selector tournament at the
+// unit-test scale and checks the full ranking: every selector appears in
+// every arm, per-arm ranks are a permutation, scores are normalized, rows
+// come back best first, and the rendered table leaks no NaN or raw -1
+// sentinel cells.
+func TestRunTournamentSmoke(t *testing.T) {
+	t.Parallel()
+	var lines []string
+	table, err := RunTournament(tinyScale(), 21, nil, func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	selectors := ExtendedStrategies()
+	if len(table.Rows) != len(selectors) {
+		t.Fatalf("%d rows, want %d (every registered selector)", len(table.Rows), len(selectors))
+	}
+	if len(table.Arms) != 4 {
+		t.Fatalf("%d arms, want 4", len(table.Arms))
+	}
+	if len(lines) != len(selectors)*len(table.Arms) {
+		t.Fatalf("progress reported %d cells, want %d", len(lines), len(selectors)*len(table.Arms))
+	}
+	seen := map[string]bool{}
+	for _, row := range table.Rows {
+		if seen[row.Selector] {
+			t.Fatalf("selector %q ranked twice", row.Selector)
+		}
+		seen[row.Selector] = true
+		if len(row.Cells) != len(table.Arms) {
+			t.Fatalf("%s has %d cells, want %d", row.Selector, len(row.Cells), len(table.Arms))
+		}
+		if row.Score < 0 || row.Score > 1 || math.IsNaN(row.Score) {
+			t.Fatalf("%s score %v out of [0,1]", row.Selector, row.Score)
+		}
+		for a, cell := range row.Cells {
+			if cell.Selector != row.Selector || cell.Arm != table.Arms[a].Name {
+				t.Fatalf("cell mislabeled: %+v under row %s arm %s", cell, row.Selector, table.Arms[a].Name)
+			}
+			if cell.PeakAccuracy <= 0 || cell.PeakAccuracy > 1 {
+				t.Fatalf("cell %s/%s peak accuracy %v", cell.Arm, cell.Selector, cell.PeakAccuracy)
+			}
+		}
+	}
+	for _, name := range selectors {
+		if !seen[name] {
+			t.Fatalf("registered selector %q missing from the ranking", name)
+		}
+	}
+	// Per-arm ranks are a permutation of 0..N-1.
+	for a := range table.Arms {
+		got := map[int]bool{}
+		for _, row := range table.Rows {
+			got[row.Cells[a].Rank] = true
+		}
+		for r := 0; r < len(table.Rows); r++ {
+			if !got[r] {
+				t.Fatalf("arm %s missing rank %d", table.Arms[a].Name, r)
+			}
+		}
+	}
+	// Rows are sorted best first.
+	for i := 1; i < len(table.Rows); i++ {
+		if table.Rows[i].Score > table.Rows[i-1].Score {
+			t.Fatalf("rows unsorted: %s (%.3f) after %s (%.3f)",
+				table.Rows[i].Selector, table.Rows[i].Score, table.Rows[i-1].Selector, table.Rows[i-1].Score)
+		}
+	}
+	if got := table.CleanArmReached(); got < 0 || got > len(table.Rows) {
+		t.Fatalf("clean-arm reached count %d out of range", got)
+	}
+
+	var buf bytes.Buffer
+	table.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Selector tournament", "clean arm reached by", "non-iid", "byzantine-20%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Sentinel hygiene: an unreached cell must render as "never (...)", not a
+	// raw -1, and no arithmetic on empty arms may leak NaN into the table.
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("rendered table leaks NaN:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		for _, field := range strings.Split(line, "\t") {
+			if strings.HasPrefix(field, "-1") {
+				t.Fatalf("rendered table leaks raw -1 sentinel in %q:\n%s", line, out)
+			}
+		}
+	}
+}
+
+// TestRunTournamentValidatesSelectors pins the edge validation: unknown and
+// duplicated selector names fail before any compute is spent, and the error
+// lists what would have worked.
+func TestRunTournamentValidatesSelectors(t *testing.T) {
+	t.Parallel()
+	_, err := RunTournament(tinyScale(), 1, []string{"psychic"}, nil)
+	if err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	if !strings.Contains(err.Error(), "psychic") || !strings.Contains(err.Error(), StrategyFLIPS) {
+		t.Fatalf("error %q should name the typo and the registered list", err)
+	}
+	if _, err := RunTournament(tinyScale(), 1, []string{StrategyRandom, StrategyRandom}, nil); err == nil {
+		t.Fatal("duplicate selector accepted")
+	}
+}
+
+// TestRunTournamentIsDeterministic pins the fan-out bookkeeping: the same
+// tournament at parallelism 1 and 4 must be bit-identical, cell for cell.
+func TestRunTournamentIsDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(parallelism int) *TournamentTable {
+		scale := tinyScale()
+		scale.Parallelism = parallelism
+		table, err := RunTournament(scale, 9, []string{StrategyRandom, StrategyGradNorm}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	a, b := run(1), run(4)
+	for r := range a.Rows {
+		if a.Rows[r].Selector != b.Rows[r].Selector ||
+			math.Float64bits(a.Rows[r].Score) != math.Float64bits(b.Rows[r].Score) {
+			t.Fatalf("row %d diverges across parallelism: %+v vs %+v", r, a.Rows[r], b.Rows[r])
+		}
+		for c := range a.Rows[r].Cells {
+			x, y := a.Rows[r].Cells[c], b.Rows[r].Cells[c]
+			if math.Float64bits(x.TimeToTarget) != math.Float64bits(y.TimeToTarget) ||
+				math.Float64bits(x.PeakAccuracy) != math.Float64bits(y.PeakAccuracy) || x.Rank != y.Rank {
+				t.Fatalf("cell %s/%s diverges across parallelism: %+v vs %+v", x.Arm, x.Selector, x, y)
+			}
+		}
+	}
+}

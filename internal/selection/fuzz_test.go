@@ -8,10 +8,12 @@ import (
 	"flips/internal/tensor"
 )
 
-// FuzzSelectorFeedback drives every baseline selector through arbitrary
+// FuzzSelectorFeedback drives every registered selector through arbitrary
 // Select/Observe sequences — byte-derived losses, durations, straggler
 // splits and round targets — and asserts the Selector contract: returned IDs
-// are unique and in range, and no feedback sequence panics a selector.
+// are unique and in range, and no feedback sequence panics a selector. The
+// selector list enumerates the registry, so a new registrant is fuzzed
+// without touching this file.
 func FuzzSelectorFeedback(f *testing.F) {
 	f.Add(uint64(1), 8, 3, 5, []byte{0x01, 0x80, 0xFF})
 	f.Add(uint64(7), 1, 1, 1, []byte{})
@@ -33,12 +35,30 @@ func FuzzSelectorFeedback(f *testing.F) {
 			sizes[i] = 1 + lr.Intn(50)
 			latencies[i] = 0.1 + lr.Float64()*5
 		}
-		selectors := []fl.Selector{
-			NewRandom(n, rng.New(seed)),
-			NewOort(n, sizes, OortConfig{}, rng.New(seed+1)),
-			NewGradClus(n, paramDim, rng.New(seed+2)),
-			NewTiFL(latencies, TiFLConfig{}, rng.New(seed+3)),
-			NewPowerOfChoice(n, 2, rng.New(seed+4)),
+		lds := make([]tensor.Vec, n)
+		for i := range lds {
+			v := tensor.NewVec(4)
+			for j := range v {
+				v[j] = 0.05
+			}
+			v[i%4] += 0.8
+			lds[i] = v.Normalize()
+		}
+		var selectors []fl.Selector
+		for off, name := range Names() {
+			ctx := BuildContext{
+				NumParties: n,
+				ParamDim:   paramDim,
+				RNG:        rng.New(seed + uint64(off)),
+				DataSizes:  func() []int { return sizes },
+				Latencies:  func() []float64 { return latencies },
+				LabelDists: func() []tensor.Vec { return lds },
+			}
+			sel, _, err := Build(name, ctx)
+			if err != nil {
+				t.Fatalf("Build(%q, n=%d): %v", name, n, err)
+			}
+			selectors = append(selectors, sel)
 		}
 
 		// byte(i) cycles through data to perturb the synthesized feedback.

@@ -39,33 +39,16 @@ func (c GradClusConfig) withDefaults() GradClusConfig {
 // in the beginning are random numbers and get iteratively updated as the
 // party gets picked").
 //
-// Below GradClusConfig.ScaleThreshold the full population is clustered, as
-// the original algorithm specifies (bit-identical to the pre-scale
-// implementation). Above it, clustering runs over a bounded pool — the most
-// recently observed parties plus a uniform draw of never-observed ones — and
-// placeholder gradients materialize lazily per pooled party, so memory is
-// O(observed·dim + pool²) instead of O(parties·dim + parties²).
+// The gradient memory and its bounded fleet-scale pool live in gradPool
+// (shared with the DPP selector). Below GradClusConfig.ScaleThreshold the
+// full population is clustered, as the original algorithm specifies
+// (bit-identical to the pre-scale implementation); above it clustering runs
+// over the bounded pool.
 type GradClus struct {
 	numParties int
 	r          *rng.Source
-	grads      []tensor.Vec
+	pool       *gradPool
 	linkage    cluster.Linkage
-	gradDim    int
-	cfg        GradClusConfig
-
-	// Fleet-scale state. observed lists parties with real gradients in
-	// last-observation order (newest at the end; re-observed parties move to
-	// the back via -1 tombstones, compacted when they dominate); phSeed
-	// derives placeholder gradients statelessly per party, so they are
-	// recomputable on demand and never cached — memory stays bounded by the
-	// observed set, not the population. inPool is the pool dedupe scratch.
-	scaleMode  bool
-	observed   []int
-	obsPos     []int // party id -> index in observed (-1 if never observed)
-	tombstones int
-	isObserved []bool
-	phSeed     uint64
-	inPool     map[int]bool
 }
 
 var _ fl.Selector = (*GradClus)(nil)
@@ -80,33 +63,13 @@ func NewGradClus(numParties, gradDim int, r *rng.Source) *GradClus {
 
 // NewGradClusConfig is NewGradClus with explicit fleet-scale configuration.
 func NewGradClusConfig(numParties, gradDim int, cfg GradClusConfig, r *rng.Source) *GradClus {
-	g := &GradClus{
+	cfg = cfg.withDefaults()
+	return &GradClus{
 		numParties: numParties,
 		r:          r,
-		grads:      make([]tensor.Vec, numParties),
+		pool:       newGradPool(numParties, gradDim, cfg.PoolSize, cfg.ScaleThreshold, r),
 		linkage:    cluster.AverageLinkage,
-		gradDim:    gradDim,
-		cfg:        cfg.withDefaults(),
 	}
-	if numParties > g.cfg.ScaleThreshold {
-		g.scaleMode = true
-		g.isObserved = make([]bool, numParties)
-		g.obsPos = make([]int, numParties)
-		for i := range g.obsPos {
-			g.obsPos[i] = -1
-		}
-		g.phSeed = r.Uint64()
-		g.inPool = make(map[int]bool)
-		return g
-	}
-	for i := range g.grads {
-		v := tensor.NewVec(gradDim)
-		for j := range v {
-			v[j] = r.NormFloat64()
-		}
-		g.grads[i] = v
-	}
-	return g
 }
 
 // Name implements fl.Selector.
@@ -122,10 +85,10 @@ func (s *GradClus) Select(_, target int) []int {
 	if target > s.numParties {
 		target = s.numParties
 	}
-	pool := s.clusterPool(target)
+	pool := s.pool.pool(target, s.r)
 	grads := make([]tensor.Vec, len(pool))
 	for i, id := range pool {
-		grads[i] = s.gradient(id)
+		grads[i] = s.pool.gradient(id)
 	}
 	dist := cluster.CosineDistanceMatrix(grads)
 	assign, err := cluster.Agglomerative(dist, target, s.linkage)
@@ -153,117 +116,6 @@ func (s *GradClus) Select(_, target int) []int {
 	return out
 }
 
-// clusterPool returns the party ids to cluster this round: the whole
-// population below the scale threshold, else a bounded pool of the most
-// recently observed parties topped up with uniformly drawn unobserved ones
-// (so never-picked parties keep a route into the cohort, as the original
-// algorithm's random placeholder gradients provide).
-func (s *GradClus) clusterPool(target int) []int {
-	if !s.scaleMode {
-		pool := make([]int, s.numParties)
-		for i := range pool {
-			pool[i] = i
-		}
-		return pool
-	}
-	size := s.cfg.PoolSize
-	if size < 2*target {
-		size = 2 * target
-	}
-	if size > s.numParties {
-		size = s.numParties
-	}
-	pool := make([]int, 0, size)
-	clear(s.inPool)
-	// Newest observations first: their gradients are freshest. The observed
-	// list is in last-observation order with tombstones for moved entries.
-	obsCap := size / 2
-	for i := len(s.observed) - 1; i >= 0 && obsCap > 0; i-- {
-		id := s.observed[i]
-		if id < 0 {
-			continue
-		}
-		pool = append(pool, id)
-		s.inPool[id] = true
-		obsCap--
-	}
-	// Top up uniformly from the rest of the fleet. Rejection sampling is
-	// cheap while the pool is a vanishing fraction of the population; the
-	// deterministic fallback walk guarantees termination regardless.
-	for tries := 0; len(pool) < size && tries < 16*size; tries++ {
-		id := s.r.Intn(s.numParties)
-		if !s.inPool[id] {
-			s.inPool[id] = true
-			pool = append(pool, id)
-		}
-	}
-	for id := 0; len(pool) < size && id < s.numParties; id++ {
-		if !s.inPool[id] {
-			s.inPool[id] = true
-			pool = append(pool, id)
-		}
-	}
-	return pool
-}
-
-// gradient returns the party's clustering representation: its last observed
-// update, or a random placeholder derived statelessly from (phSeed, id) —
-// the same vector on every call, recomputed instead of cached so the
-// fleet-scale memory bound stays O(observed·dim), not O(parties·dim).
-func (s *GradClus) gradient(id int) tensor.Vec {
-	if g := s.grads[id]; g != nil {
-		return g
-	}
-	pr := rng.New(s.phSeed ^ (uint64(id)+1)*0xd1342543de82ef95)
-	v := tensor.NewVec(s.gradDim)
-	for j := range v {
-		v[j] = pr.NormFloat64()
-	}
-	return v
-}
-
 // Observe implements fl.Selector: store the completed parties' updates as
-// their current gradient representation. In fleet-scale mode the party moves
-// to the back of the recency list (its slot tombstoned, compacted once
-// tombstones dominate), so repeatedly re-selected parties keep their fresh
-// gradients inside the clustering pool's recency band.
-func (s *GradClus) Observe(fb fl.RoundFeedback) {
-	for _, id := range fb.Completed {
-		u, ok := fb.Update[id]
-		if !ok || len(u) != s.gradDim {
-			continue
-		}
-		s.grads[id] = u.Clone()
-		if !s.scaleMode {
-			continue
-		}
-		if s.isObserved[id] {
-			if s.obsPos[id] == len(s.observed)-1 {
-				continue // already newest
-			}
-			s.observed[s.obsPos[id]] = -1
-			s.tombstones++
-		} else {
-			s.isObserved[id] = true
-		}
-		s.obsPos[id] = len(s.observed)
-		s.observed = append(s.observed, id)
-		if s.tombstones > len(s.observed)/2 {
-			s.compactObserved()
-		}
-	}
-}
-
-// compactObserved drops tombstones from the recency list, preserving order.
-func (s *GradClus) compactObserved() {
-	live := s.observed[:0]
-	for _, id := range s.observed {
-		if id < 0 {
-			continue
-		}
-		s.obsPos[id] = len(live)
-		live = append(live, id)
-	}
-	s.observed = live
-	s.tombstones = 0
-}
+// their current gradient representation (see gradPool.observe).
+func (s *GradClus) Observe(fb fl.RoundFeedback) { s.pool.observe(fb) }

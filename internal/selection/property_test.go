@@ -10,102 +10,208 @@ import (
 	"flips/internal/tensor"
 )
 
-// Property-based selector invariant suite (ISSUE 5). Every selection
-// strategy — in both its exact small-fleet mode and its bounded fleet-scale
-// mode — must uphold, across randomized scenarios with a live feedback loop:
+// Property-based selector invariant suite (ISSUE 5, registry-driven since
+// ISSUE 10). Every selection strategy — in both its exact small-fleet mode
+// and its bounded fleet-scale mode — must uphold, across randomized
+// scenarios with a live feedback loop:
 //
 //  1. no duplicate IDs in a selection;
 //  2. selection ⊆ available (every ID in [0, n));
-//  3. exact-k when feasible (the entry's wantLen predicate — Oort
-//     over-provisions by design once stragglers appear);
+//  3. selection size inside the strategy's owed bounds (exact-k for most;
+//     Oort and FLIPS over-provision by design once stragglers appear);
 //  4. determinism: two identically seeded instances fed identical feedback
-//     produce identical trajectories; and for the order-insensitive
-//     small-fleet modes, the trajectory is additionally invariant when each
-//     round's feedback is re-indexed — slices permuted and maps rebuilt in
-//     permuted insertion order — which pins that no selector decision leans
-//     on Go map iteration order or on the engine's fold order.
+//     produce identical trajectories; and for the order-insensitive modes,
+//     the trajectory is additionally invariant when each round's feedback is
+//     re-indexed — slices permuted and maps rebuilt in permuted insertion
+//     order — which pins that no selector decision leans on Go map iteration
+//     order or on the engine's fold order.
 //
-// The fleet-scale modes are exercised at small n by forcing ScaleThreshold
-// to 1; their internal pools are order-sensitive by construction (swap
-// removal, streaming sums), so they assert determinism but not permutation
-// invariance.
+// The registry half of the suite enumerates selection.Names() and fails if a
+// registered selector has no registryCaseProps entry: a selector cannot be
+// added to the registry without declaring its invariants here and passing
+// them. Fleet-scale twins are exercised at small n by forcing ScaleThreshold
+// to 1; the pool-based ones (Oort's untried pool, GradClus/DPP's recency
+// list, TiFL's streaming tiers) are order-sensitive by construction, so they
+// assert determinism but not permutation invariance — the Scored family's
+// scale mode shares all state with its exact mode and stays fully invariant.
 
 type selectorCase struct {
 	name string
 	// build constructs a fresh selector over n parties from a seed.
 	build func(n int, seed uint64) fl.Selector
-	// wantLen is the exact selection size the strategy owes when feasible.
-	wantLen func(n, target int, sawStrag bool) int
+	// wantLen returns the [lo, hi] selection-size bounds the strategy owes.
+	wantLen func(n, target int, sawStrag bool) (int, int)
 	// orderInvariant asserts the re-indexed-feedback invariance too.
 	orderInvariant bool
 }
 
-func selectorCases() []selectorCase {
-	exact := func(n, target int, _ bool) int { return minInt(target, n) }
-	oortLen := func(n, target int, sawStrag bool) int {
-		target = minInt(target, n)
-		if !sawStrag {
-			return target
-		}
-		return minInt(int(math.Ceil(1.3*float64(target))), n)
+// selectorProps declares a registered selector's invariants for the suite.
+type selectorProps struct {
+	wantLen        func(n, target int, sawStrag bool) (int, int)
+	orderInvariant bool
+}
+
+func exactLen(n, target int, _ bool) (int, int) {
+	k := minInt(target, n)
+	return k, k
+}
+
+func oortLen(n, target int, sawStrag bool) (int, int) {
+	target = minInt(target, n)
+	if !sawStrag {
+		return target, target
 	}
-	latencies := func(n int, r *rng.Source) []float64 {
-		ls := make([]float64, n)
-		for i := range ls {
-			ls[i] = 0.1 + r.Float64()
-		}
-		return ls
+	k := minInt(int(math.Ceil(1.3*float64(target))), n)
+	return k, k
+}
+
+// flipsLen: pickEquitable always fills min(target, n); outstanding
+// stragglers add up to int(stragRate·target) over-provisioned parties.
+func flipsLen(n, target int, _ bool) (int, int) {
+	return minInt(target, n), n
+}
+
+// registryCaseProps declares the invariants for every registered selector.
+// TestPropertySuiteCoversRegistry fails if a registrant is missing here.
+var registryCaseProps = map[string]selectorProps{
+	"random":               {wantLen: exactLen, orderInvariant: true},
+	"flips":                {wantLen: flipsLen, orderInvariant: true},
+	"oort":                 {wantLen: oortLen, orderInvariant: true},
+	"gradclus":             {wantLen: exactLen, orderInvariant: true},
+	"tifl":                 {wantLen: exactLen, orderInvariant: true},
+	"power-of-choice":      {wantLen: exactLen, orderInvariant: true},
+	"cluster-proportional": {wantLen: exactLen, orderInvariant: true},
+	"grad-norm":            {wantLen: exactLen, orderInvariant: true},
+	"loss-prop":            {wantLen: exactLen, orderInvariant: true},
+	"divergence":           {wantLen: exactLen, orderInvariant: true},
+	"soft-deadline":        {wantLen: exactLen, orderInvariant: true},
+	"hard-deadline":        {wantLen: exactLen, orderInvariant: true},
+	"dpp":                  {wantLen: exactLen, orderInvariant: true},
+}
+
+// testBuildContext synthesizes the registry build signals for n parties:
+// deterministic non-uniform data sizes, latencies, and 5-class label
+// distributions with a dominant class cycling by party id.
+func testBuildContext(n int, seed uint64) BuildContext {
+	return BuildContext{
+		NumParties: n,
+		ParamDim:   6,
+		RNG:        rng.New(seed),
+		DataSizes: func() []int {
+			sizes := make([]int, n)
+			for i := range sizes {
+				sizes[i] = 1 + i%50
+			}
+			return sizes
+		},
+		Latencies: func() []float64 {
+			ls := make([]float64, n)
+			for i := range ls {
+				ls[i] = 0.1 + float64(i%13)/8
+			}
+			return ls
+		},
+		LabelDists: func() []tensor.Vec {
+			lds := make([]tensor.Vec, n)
+			for i := range lds {
+				v := tensor.NewVec(5)
+				for j := range v {
+					v[j] = 0.06
+				}
+				v[i%5] += 0.7
+				lds[i] = v.Normalize()
+			}
+			return lds
+		},
 	}
-	return []selectorCase{
-		{
-			name:           "random",
-			build:          func(n int, seed uint64) fl.Selector { return NewRandom(n, rng.New(seed)) },
-			wantLen:        exact,
-			orderInvariant: true,
-		},
-		{
-			name:           "oort",
-			build:          func(n int, seed uint64) fl.Selector { return NewOort(n, nil, OortConfig{}, rng.New(seed)) },
-			wantLen:        oortLen,
-			orderInvariant: true,
-		},
-		{
+}
+
+func selectorCases(t *testing.T) []selectorCase {
+	var cases []selectorCase
+	for _, name := range Names() {
+		props, ok := registryCaseProps[name]
+		if !ok {
+			t.Fatalf("selector %q is registered but has no property-suite entry — add it to registryCaseProps", name)
+		}
+		name := name
+		cases = append(cases, selectorCase{
+			name: name,
+			build: func(n int, seed uint64) fl.Selector {
+				sel, _, err := Build(name, testBuildContext(n, seed))
+				if err != nil {
+					t.Fatalf("Build(%q, n=%d): %v", name, n, err)
+				}
+				return sel
+			},
+			wantLen:        props.wantLen,
+			orderInvariant: props.orderInvariant,
+		})
+	}
+	// Fleet-scale twins, forced at small n with ScaleThreshold 1 and tight
+	// pools so the band/pool bounding logic actually engages.
+	scored := func(mk func(int, ScoredConfig, *rng.Source) *Scored) func(n int, seed uint64) fl.Selector {
+		return func(n int, seed uint64) fl.Selector {
+			return mk(n, ScoredConfig{ScaleThreshold: 1, CandidatePool: 8}, rng.New(seed))
+		}
+	}
+	cases = append(cases,
+		selectorCase{
 			name: "oort-scale",
 			build: func(n int, seed uint64) fl.Selector {
 				return NewOort(n, nil, OortConfig{ScaleThreshold: 1, CandidatePool: 8}, rng.New(seed))
 			},
 			wantLen: oortLen,
 		},
-		{
-			name: "tifl",
-			build: func(n int, seed uint64) fl.Selector {
-				r := rng.New(seed)
-				return NewTiFL(latencies(n, r.Split(1)), TiFLConfig{}, r.Split(2))
-			},
-			wantLen:        exact,
-			orderInvariant: true,
-		},
-		{
+		selectorCase{
 			name: "tifl-scale",
 			build: func(n int, seed uint64) fl.Selector {
 				r := rng.New(seed)
-				return NewTiFL(latencies(n, r.Split(1)), TiFLConfig{ScaleThreshold: 1}, r.Split(2))
+				lr := r.Split(1)
+				ls := make([]float64, n)
+				for i := range ls {
+					ls[i] = 0.1 + lr.Float64()
+				}
+				return NewTiFL(ls, TiFLConfig{ScaleThreshold: 1}, r.Split(2))
 			},
-			wantLen: exact,
+			wantLen: exactLen,
 		},
-		{
-			name:           "gradclus",
-			build:          func(n int, seed uint64) fl.Selector { return NewGradClus(n, 6, rng.New(seed)) },
-			wantLen:        exact,
-			orderInvariant: true,
-		},
-		{
+		selectorCase{
 			name: "gradclus-scale",
 			build: func(n int, seed uint64) fl.Selector {
 				return NewGradClusConfig(n, 6, GradClusConfig{ScaleThreshold: 1, PoolSize: 8}, rng.New(seed))
 			},
-			wantLen: exact,
+			wantLen: exactLen,
 		},
+		selectorCase{
+			name: "dpp-scale",
+			build: func(n int, seed uint64) fl.Selector {
+				return NewDPP(n, 6, DPPConfig{ScaleThreshold: 1, PoolSize: 8}, rng.New(seed))
+			},
+			wantLen: exactLen,
+		},
+		selectorCase{name: "grad-norm-scale", build: scored(NewGradNorm), wantLen: exactLen, orderInvariant: true},
+		selectorCase{name: "loss-prop-scale", build: scored(NewLossProportional), wantLen: exactLen, orderInvariant: true},
+		selectorCase{name: "divergence-scale", build: scored(NewUpdateDivergence), wantLen: exactLen, orderInvariant: true},
+		selectorCase{name: "soft-deadline-scale", build: scored(NewSoftDeadline), wantLen: exactLen, orderInvariant: true},
+		selectorCase{name: "hard-deadline-scale", build: scored(NewHardDeadline), wantLen: exactLen, orderInvariant: true},
+	)
+	return cases
+}
+
+// TestPropertySuiteCoversRegistry enforces the registry-admission rule: every
+// registered selector must declare its invariants in registryCaseProps (and
+// therefore run through TestSelectorInvariantSuite).
+func TestPropertySuiteCoversRegistry(t *testing.T) {
+	t.Parallel()
+	for _, name := range Names() {
+		if _, ok := registryCaseProps[name]; !ok {
+			t.Errorf("selector %q is registered but not covered by the property suite", name)
+		}
+	}
+	for name := range registryCaseProps {
+		if _, _, err := Build(name, testBuildContext(8, 1)); err != nil {
+			t.Errorf("property-suite entry %q does not build from the registry: %v", name, err)
+		}
 	}
 }
 
@@ -184,7 +290,7 @@ func permuteFeedback(fb fl.RoundFeedback) fl.RoundFeedback {
 func TestSelectorInvariantSuite(t *testing.T) {
 	t.Parallel()
 	const gradDim = 6
-	for _, tc := range selectorCases() {
+	for _, tc := range selectorCases(t) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
@@ -204,9 +310,10 @@ func TestSelectorInvariantSuite(t *testing.T) {
 					selB := b.Select(round, target)
 
 					// Invariants 1-3 on the primary instance.
-					if want := tc.wantLen(n, target, sawStrag); len(sel) != want {
-						t.Fatalf("seed %d round %d: selected %d parties, want %d (n=%d target=%d strag=%v)",
-							seed, round, len(sel), want, n, target, sawStrag)
+					lo, hi := tc.wantLen(n, target, sawStrag)
+					if len(sel) < lo || len(sel) > hi {
+						t.Fatalf("seed %d round %d: selected %d parties, want [%d,%d] (n=%d target=%d strag=%v)",
+							seed, round, len(sel), lo, hi, n, target, sawStrag)
 					}
 					seen := make(map[int]bool, len(sel))
 					for _, id := range sel {

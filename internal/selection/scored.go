@@ -1,0 +1,390 @@
+package selection
+
+import (
+	"math"
+	"sort"
+
+	"flips/internal/fl"
+	"flips/internal/rng"
+	"flips/internal/tensor"
+)
+
+// scoredKind picks the utility signal a Scored selector ranks parties by.
+type scoredKind int
+
+const (
+	// scoreGradNorm ranks by ‖Δ_i‖₂ of the last observed update — parties
+	// whose local training still moves the model far contribute more.
+	scoreGradNorm scoredKind = iota
+	// scoreLossProp ranks proportionally to the party's mean local loss
+	// (the loss-based sampling family: high-loss parties are undertrained).
+	scoreLossProp
+	// scoreDivergence ranks by ‖Δ_i − Δ̄‖₂, the update's distance from the
+	// round's mean update — parties whose data pulls the model away from
+	// the crowd carry the non-IID signal.
+	scoreDivergence
+	// scoreSoftDeadline ranks by deadline fit: 1 inside the deadline,
+	// decaying quadratically with the overshoot ratio outside it.
+	scoreSoftDeadline
+	// scoreHardDeadline ranks 0/1: parties that missed the deadline (or
+	// straggled) are excluded from exploitation entirely until they
+	// complete inside it again.
+	scoreHardDeadline
+)
+
+// ScoredConfig tunes the Scored selector family. Zero values take the same
+// exploration defaults as OortConfig.
+type ScoredConfig struct {
+	// ExplorationFraction is the share of each round reserved for parties
+	// never tried before (default 0.3, decaying by ExplorationDecay).
+	ExplorationFraction float64
+	// ExplorationDecay multiplies the exploration fraction each round
+	// (default 0.98, floored at 0.1).
+	ExplorationDecay float64
+	// CandidatePool bounds the exploitation candidate band in fleet-scale
+	// mode: each round pops the top max(CandidatePool, 2·target) parties by
+	// score from the heap instead of the full tried set (default 256).
+	// Ignored below ScaleThreshold.
+	CandidatePool int
+	// ScaleThreshold is the population size above which the candidate band
+	// is bounded (default 2048; set to 1 to force fleet-scale mode for
+	// testing). Unlike Oort, the exact and fleet-scale paths share all
+	// state and RNG draws — the threshold only caps the band size — so a
+	// threshold-1 twin with CandidatePool ≥ population is bit-identical.
+	ScaleThreshold int
+	// Deadline is the reporting deadline in simulated seconds for the
+	// deadline kinds. 0 means adaptive: the mean observed completion
+	// duration (every party fits until the first durations arrive).
+	Deadline float64
+}
+
+func (c ScoredConfig) withDefaults() ScoredConfig {
+	if c.ExplorationFraction == 0 {
+		c.ExplorationFraction = 0.3
+	}
+	if c.ExplorationDecay == 0 {
+		c.ExplorationDecay = 0.98
+	}
+	if c.CandidatePool == 0 {
+		c.CandidatePool = 256
+	}
+	if c.ScaleThreshold == 0 {
+		c.ScaleThreshold = scaleModeThreshold
+	}
+	return c
+}
+
+// Scored is the shared engine behind the score-driven selector family
+// (grad-norm, loss-prop, divergence, soft-deadline, hard-deadline): tried
+// parties live in a top-k utility heap keyed by the kind's score, each round
+// splits the request between exploring never-tried parties and sampling the
+// candidate band Categorically by score, and Observe re-keys heap entries in
+// O(log tried) from the round's feedback.
+//
+// State updates consume feedback through a sorted copy of the party lists,
+// so Observe — and therefore every later Select — is invariant to feedback
+// ordering. Below ScaleThreshold the candidate band is the whole tried set;
+// above it the band is bounded by CandidatePool. Nothing else differs
+// between the modes, so the fleet-scale path's below-threshold twin is
+// bit-identical by construction.
+type Scored struct {
+	kind       scoredKind
+	name       string
+	cfg        ScoredConfig
+	numParties int
+	scaleMode  bool
+	r          *rng.Source
+
+	utility  []float64
+	tried    []bool
+	nTried   int
+	heap     utilityHeap
+	heapItem []*utilItem
+	explore  float64
+
+	// Adaptive-deadline accumulator (deadline kinds only).
+	durSum   float64
+	durCount int
+
+	// Reusable per-round scratch.
+	inRound     []bool
+	cand        []*utilItem
+	candIDs     []int
+	candScores  []float64
+	obsScratch  []int
+	meanScratch tensor.Vec
+}
+
+var _ fl.Selector = (*Scored)(nil)
+var _ fl.UpdateConsumer = (*Scored)(nil)
+
+func newScored(kind scoredKind, name string, numParties int, cfg ScoredConfig, r *rng.Source) *Scored {
+	s := &Scored{
+		kind:       kind,
+		name:       name,
+		cfg:        cfg.withDefaults(),
+		numParties: numParties,
+		r:          r,
+		utility:    make([]float64, numParties),
+		tried:      make([]bool, numParties),
+		heapItem:   make([]*utilItem, numParties),
+		inRound:    make([]bool, numParties),
+	}
+	s.scaleMode = numParties > s.cfg.ScaleThreshold
+	s.explore = s.cfg.ExplorationFraction
+	return s
+}
+
+// NewGradNorm builds a gradient-norm scorer: parties are sampled
+// proportionally to the Euclidean norm of their last observed model update.
+func NewGradNorm(numParties int, cfg ScoredConfig, r *rng.Source) *Scored {
+	return newScored(scoreGradNorm, "grad-norm", numParties, cfg, r)
+}
+
+// NewLossProportional builds a loss-proportional scorer: parties are sampled
+// proportionally to their last observed mean local loss.
+func NewLossProportional(numParties int, cfg ScoredConfig, r *rng.Source) *Scored {
+	return newScored(scoreLossProp, "loss-prop", numParties, cfg, r)
+}
+
+// NewUpdateDivergence builds an update-divergence scorer: parties are
+// sampled proportionally to their update's distance from the round's mean
+// update.
+func NewUpdateDivergence(numParties int, cfg ScoredConfig, r *rng.Source) *Scored {
+	return newScored(scoreDivergence, "divergence", numParties, cfg, r)
+}
+
+// NewSoftDeadline builds a soft-deadline system selector: parties that
+// complete inside the deadline score 1, overshooters decay quadratically
+// with the overshoot ratio, and stragglers are quartered.
+func NewSoftDeadline(numParties int, cfg ScoredConfig, r *rng.Source) *Scored {
+	return newScored(scoreSoftDeadline, "soft-deadline", numParties, cfg, r)
+}
+
+// NewHardDeadline builds a hard-deadline system selector: parties that miss
+// the deadline (or straggle) score 0 and drop out of exploitation until they
+// complete inside it again.
+func NewHardDeadline(numParties int, cfg ScoredConfig, r *rng.Source) *Scored {
+	return newScored(scoreHardDeadline, "hard-deadline", numParties, cfg, r)
+}
+
+// Name implements fl.Selector.
+func (s *Scored) Name() string { return s.name }
+
+// NeedsUpdates implements fl.UpdateConsumer: only the update-driven kinds
+// make the engine materialize delta vectors.
+func (s *Scored) NeedsUpdates() bool {
+	return s.kind == scoreGradNorm || s.kind == scoreDivergence
+}
+
+// Select implements fl.Selector: exploration over never-tried parties first
+// (rejection-sampled against the tried bitmap), then Categorical sampling by
+// score over the candidate band. Always returns exactly min(target, N)
+// parties.
+func (s *Scored) Select(_, target int) []int {
+	if target > s.numParties {
+		target = s.numParties
+	}
+	nUntried := s.numParties - s.nTried
+	nExplore := int(math.Round(s.explore * float64(target)))
+	if nExplore > nUntried {
+		nExplore = nUntried
+	}
+	nExploit := target - nExplore
+	if nExploit > s.nTried {
+		// Not enough history yet: widen exploration.
+		nExplore = minInt(target, nUntried)
+		nExploit = minInt(target-nExplore, s.nTried)
+	}
+
+	selected := make([]int, 0, target)
+	if nExplore > 0 {
+		// Rejection sampling is cheap while untried parties are plentiful;
+		// the deterministic walk guarantees termination once they are not.
+		picked := 0
+		for tries := 0; picked < nExplore && tries < 16*(nExplore+4); tries++ {
+			id := s.r.Intn(s.numParties)
+			if s.tried[id] || s.inRound[id] {
+				continue
+			}
+			s.inRound[id] = true
+			selected = append(selected, id)
+			picked++
+		}
+		for id := 0; picked < nExplore && id < s.numParties; id++ {
+			if s.tried[id] || s.inRound[id] {
+				continue
+			}
+			s.inRound[id] = true
+			selected = append(selected, id)
+			picked++
+		}
+		for _, id := range selected {
+			s.inRound[id] = false
+		}
+	}
+	if nExploit > 0 {
+		band := s.nTried
+		if s.scaleMode {
+			band = s.cfg.CandidatePool
+			if band < 2*target {
+				band = 2 * target
+			}
+			if band > s.nTried {
+				band = s.nTried
+			}
+		}
+		// Pop the band in (score desc, id asc) order — uniquely determined
+		// by the heap's strict total order regardless of internal layout —
+		// sample within it, and push it back.
+		s.cand, s.candIDs, s.candScores = s.cand[:0], s.candIDs[:0], s.candScores[:0]
+		for len(s.cand) < band {
+			it := s.heap.pop()
+			s.cand = append(s.cand, it)
+			s.candIDs = append(s.candIDs, it.id)
+			s.candScores = append(s.candScores, it.util)
+		}
+		ids, scores := s.candIDs, s.candScores
+		for i := 0; i < nExploit && len(ids) > 0; i++ {
+			j := s.r.Categorical(scores)
+			selected = append(selected, ids[j])
+			last := len(ids) - 1
+			ids[j], scores[j] = ids[last], scores[last]
+			ids, scores = ids[:last], scores[:last]
+		}
+		for _, it := range s.cand {
+			s.heap.push(it)
+		}
+	}
+	return selected
+}
+
+// Observe implements fl.Selector. Completed parties and stragglers are
+// processed in sorted-id order so the resulting state is independent of the
+// engine's feedback ordering.
+func (s *Scored) Observe(fb fl.RoundFeedback) {
+	s.obsScratch = append(s.obsScratch[:0], fb.Completed...)
+	sort.Ints(s.obsScratch)
+
+	// The deadline kinds resolve the deadline before ingesting this round's
+	// durations, so a round is judged against the history that preceded it.
+	var deadline float64
+	if s.kind == scoreSoftDeadline || s.kind == scoreHardDeadline {
+		deadline = s.deadline()
+	}
+	if s.kind == scoreDivergence {
+		s.roundMean(fb)
+	}
+
+	for _, id := range s.obsScratch {
+		s.markTried(id)
+		switch s.kind {
+		case scoreGradNorm:
+			if u, ok := fb.Update[id]; ok {
+				s.setScore(id, u.Norm2())
+			}
+		case scoreLossProp:
+			s.setScore(id, math.Max(fb.MeanLoss[id], 0))
+		case scoreDivergence:
+			if u, ok := fb.Update[id]; ok && len(u) == len(s.meanScratch) {
+				var sq float64
+				for j, x := range u {
+					d := x - s.meanScratch[j]
+					sq += d * d
+				}
+				s.setScore(id, math.Sqrt(sq))
+			}
+		case scoreSoftDeadline, scoreHardDeadline:
+			d, ok := fb.Duration[id]
+			if !ok {
+				break
+			}
+			fit := 1.0
+			if d > deadline {
+				if s.kind == scoreHardDeadline {
+					fit = 0
+				} else {
+					fit = (deadline / d) * (deadline / d)
+				}
+			}
+			s.setScore(id, fit)
+			s.durSum += d
+			s.durCount++
+		}
+	}
+
+	if len(fb.Stragglers) > 0 {
+		s.obsScratch = append(s.obsScratch[:0], fb.Stragglers...)
+		sort.Ints(s.obsScratch)
+		for _, id := range s.obsScratch {
+			s.markTried(id)
+			switch s.kind {
+			case scoreSoftDeadline:
+				s.setScore(id, s.utility[id]/4)
+			case scoreHardDeadline:
+				s.setScore(id, 0)
+			}
+		}
+	}
+	s.explore = math.Max(0.1, s.explore*s.cfg.ExplorationDecay)
+}
+
+// deadline resolves the active deadline: the configured one, else the mean
+// observed duration, else +Inf (every party fits until history exists).
+func (s *Scored) deadline() float64 {
+	if s.cfg.Deadline > 0 {
+		return s.cfg.Deadline
+	}
+	if s.durCount == 0 {
+		return math.Inf(1)
+	}
+	return s.durSum / float64(s.durCount)
+}
+
+// roundMean accumulates the mean of this round's updates into meanScratch.
+// The dimensionality follows the first usable update; mismatched vectors are
+// skipped (they cannot be averaged together).
+func (s *Scored) roundMean(fb fl.RoundFeedback) {
+	s.meanScratch = s.meanScratch[:0]
+	count := 0
+	for _, id := range s.obsScratch {
+		u, ok := fb.Update[id]
+		if !ok {
+			continue
+		}
+		if count == 0 {
+			s.meanScratch = append(s.meanScratch, u...)
+			count = 1
+			continue
+		}
+		if len(u) != len(s.meanScratch) {
+			continue
+		}
+		s.meanScratch.AddInPlace(u)
+		count++
+	}
+	if count > 1 {
+		s.meanScratch.ScaleInPlace(1 / float64(count))
+	}
+}
+
+// markTried enters a party into the tried set and the utility heap.
+func (s *Scored) markTried(id int) {
+	if s.tried[id] {
+		return
+	}
+	s.tried[id] = true
+	s.nTried++
+	it := &utilItem{id: id, util: s.utility[id]}
+	s.heapItem[id] = it
+	s.heap.push(it)
+}
+
+// setScore writes a party's score, re-keying its heap entry.
+func (s *Scored) setScore(id int, u float64) {
+	s.utility[id] = u
+	if it := s.heapItem[id]; it != nil && it.util != u {
+		it.util = u
+		s.heap.fix(it)
+	}
+}

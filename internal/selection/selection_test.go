@@ -186,7 +186,7 @@ func TestGradClusSelectsOnePerCluster(t *testing.T) {
 		g := tensor.NewVec(dim)
 		g[i/4] = 1
 		g[5] = 0.01 * float64(i) // small jitter to avoid exact ties
-		s.grads[i] = g
+		s.pool.grads[i] = g
 	}
 	sel := s.Select(0, 3)
 	if len(sel) != 3 {
@@ -214,14 +214,14 @@ func TestGradClusObserveUpdatesGradients(t *testing.T) {
 	}
 	s.Observe(fb)
 	for i, v := range update {
-		if s.grads[1][i] != v {
+		if s.pool.grads[1][i] != v {
 			t.Fatal("gradient not updated")
 		}
 		_ = i
 	}
 	// Stored gradient must be a copy, not an alias.
 	update[0] = -1
-	if s.grads[1][0] == -1 {
+	if s.pool.grads[1][0] == -1 {
 		t.Fatal("GradClus aliases feedback storage")
 	}
 }
@@ -254,7 +254,7 @@ func TestGradClusScaleRecency(t *testing.T) {
 		observe(id)
 	}
 	observe(0) // refreshed: must move to the back
-	if got := s.observed[len(s.observed)-1]; got != 0 {
+	if got := s.pool.observed[len(s.pool.observed)-1]; got != 0 {
 		t.Fatalf("re-observed party at tail is %d, want 0", got)
 	}
 	// Churn enough re-observations to force compaction, then check every
@@ -263,13 +263,13 @@ func TestGradClusScaleRecency(t *testing.T) {
 		observe(round % 11)
 	}
 	live := 0
-	for i, id := range s.observed {
+	for i, id := range s.pool.observed {
 		if id < 0 {
 			continue
 		}
 		live++
-		if s.obsPos[id] != i {
-			t.Fatalf("party %d position %d, list index %d", id, s.obsPos[id], i)
+		if s.pool.obsPos[id] != i {
+			t.Fatalf("party %d position %d, list index %d", id, s.pool.obsPos[id], i)
 		}
 	}
 	if live != 11 {
@@ -277,13 +277,13 @@ func TestGradClusScaleRecency(t *testing.T) {
 	}
 	// Placeholders are stateless: the same party yields the same vector on
 	// every call, and nothing is cached for unobserved parties.
-	a, b := s.gradient(19), s.gradient(19)
+	a, b := s.pool.gradient(19), s.pool.gradient(19)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("placeholder gradient not stable across calls")
 		}
 	}
-	if s.grads[19] != nil {
+	if s.pool.grads[19] != nil {
 		t.Fatal("placeholder gradient was cached")
 	}
 }

@@ -19,9 +19,18 @@ type SimulationConfig struct {
 	// Algorithm is one of "fedavg", "fedprox", "fedyogi", "fedadam",
 	// "fedadagrad", "feddyn", "fedsgd" (default "fedyogi").
 	Algorithm string
-	// Strategy is one of "random", "flips", "oort", "gradclus", "tifl",
-	// "power-of-choice" (default "flips").
+	// Strategy is any selector name in the selection registry — see
+	// Strategies() for the accepted list: the paper's five ("random",
+	// "flips", "oort", "gradclus", "tifl"), "power-of-choice",
+	// "cluster-proportional", the scored family ("grad-norm", "loss-prop",
+	// "divergence"), the deadline-aware pair ("soft-deadline",
+	// "hard-deadline") and "dpp" (default "flips").
 	Strategy string
+	// CandidateFactor is the power-of-choice candidate over-sampling ratio
+	// d/Nr: the selector invites utility-ranked winners from a candidate
+	// list of CandidateFactor × cohort-size parties. 0 keeps the default of
+	// 2; values in (0, 1) are rejected. Ignored by the other strategies.
+	CandidateFactor float64
 	// Alpha is the Dirichlet non-IIDness (default 0.3).
 	Alpha float64
 	// PartyFraction is per-round participation (default 0.2).
@@ -195,6 +204,7 @@ func (c SimulationConfig) resolve() (experiment.Setting, experiment.Scale, error
 		Spec:              spec,
 		Algorithm:         orDefault(c.Algorithm, experiment.AlgoFedYogi),
 		Strategy:          orDefault(c.Strategy, experiment.StrategyFLIPS),
+		CandidateFactor:   c.CandidateFactor,
 		Alpha:             orDefaultF(c.Alpha, 0.3),
 		PartyFraction:     orDefaultF(c.PartyFraction, 0.2),
 		StragglerRate:     c.StragglerRate,
@@ -451,6 +461,53 @@ func RunPrivacy(w io.Writer, paperScale bool, seed uint64) error {
 	return nil
 }
 
+// TournamentConfig configures the selector tournament.
+type TournamentConfig struct {
+	// Selectors lists the competitors by registry name; nil or empty enters
+	// every registered selector (see Strategies()).
+	Selectors []string
+	// PaperScale runs the 200-party/400-round configuration instead of the
+	// laptop default.
+	PaperScale bool
+	// Rounds overrides the round budget when positive.
+	Rounds int
+	// Parties overrides the population size when positive.
+	Parties int
+	// Parallelism bounds concurrent cells (0 = GOMAXPROCS).
+	Parallelism int
+	// Seed fixes the run.
+	Seed uint64
+}
+
+// RunTournament runs the selector tournament — every registered selection
+// strategy (or the configured subset) ranked on time-to-target-accuracy
+// across clean, non-IID, churn and byzantine fleet regimes — and writes its
+// ranking table to w. The final order is the across-arm mean of normalized
+// per-arm ranks, so a selector wins by being consistently near the top, not
+// by one lucky cell.
+func RunTournament(w io.Writer, cfg TournamentConfig) error {
+	scale := experiment.LaptopScale()
+	if cfg.PaperScale {
+		scale = experiment.PaperScale()
+	}
+	if cfg.Rounds > 0 {
+		scale.Rounds = cfg.Rounds
+	}
+	if cfg.Parties > 0 {
+		scale.Parties = cfg.Parties
+		if scale.TrainSize > 0 && scale.TrainSize < 2*scale.Parties {
+			scale.TrainSize = 2 * scale.Parties
+		}
+	}
+	scale.Parallelism = cfg.Parallelism
+	table, err := experiment.RunTournament(scale, cfg.Seed, cfg.Selectors, nil)
+	if err != nil {
+		return err
+	}
+	table.Render(w)
+	return nil
+}
+
 // ScaleConfig configures the fleet-scale sweep.
 type ScaleConfig struct {
 	// Parties lists population sizes (default 1k, 10k, 100k).
@@ -459,7 +516,8 @@ type ScaleConfig struct {
 	Shards []int
 	// Rounds is the aggregation-step budget per cell (default 8).
 	Rounds int
-	// Strategy is "random" (default) or "oort".
+	// Strategy picks the selector by registry name — any name in
+	// Strategies() is accepted (default "random").
 	Strategy string
 	// Repeats re-runs each cell, reporting streaming mean ± std (default 1).
 	Repeats int
@@ -517,9 +575,11 @@ func Datasets() []string {
 	return names
 }
 
-// Strategies lists the built-in participant-selection strategy names.
+// Strategies lists the built-in participant-selection strategy names — the
+// selection registry's canonical order, so the list cannot drift from what
+// actually builds.
 func Strategies() []string {
-	return append(experiment.AllStrategies(), experiment.StrategyPowerOfChoice)
+	return experiment.ExtendedStrategies()
 }
 
 func orDefault(v, def string) string {
